@@ -1,0 +1,434 @@
+// Benchmarks: one per table and figure of the paper's evaluation (the
+// regeneration recipes), plus component micro-benchmarks for the major
+// subsystems. The table/figure benches time the operation that produces
+// the artifact and attach the artifact's headline numbers as custom
+// metrics, so `go test -bench=.` both measures and reproduces.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/clustersim"
+	"repro/internal/cone"
+	"repro/internal/elab"
+	"repro/internal/experiments"
+	"repro/internal/fm"
+	"repro/internal/gen"
+	"repro/internal/hypergraph"
+	"repro/internal/multilevel"
+	"repro/internal/partition"
+	"repro/internal/presim"
+	"repro/internal/sim"
+	"repro/internal/timewarp"
+	"repro/internal/verilog"
+)
+
+// ---- shared fixtures ------------------------------------------------------
+
+var (
+	fixtureOnce sync.Once
+	fixtureED   *elab.Design // the default Viterbi workload
+	fixtureSrc  string       // its Verilog source
+	benchCtx    *experiments.Context
+	benchGrid   []*experiments.GridPoint
+	gridOnce    sync.Once
+)
+
+func workload(b *testing.B) *elab.Design {
+	b.Helper()
+	fixtureOnce.Do(func() {
+		c := gen.Viterbi(gen.DefaultViterbi)
+		fixtureSrc = c.Source
+		ed, err := c.Elaborate()
+		if err != nil {
+			panic(err)
+		}
+		fixtureED = ed
+	})
+	return fixtureED
+}
+
+// grid computes the (k, b) pre-simulation grid once, at a bench-friendly
+// scale (1,000 vectors; cmd/experiments runs the paper-scale 10,000).
+func grid(b *testing.B) (*experiments.Context, []*experiments.GridPoint) {
+	b.Helper()
+	workload(b)
+	gridOnce.Do(func() {
+		ks, bs := experiments.DefaultGrid()
+		benchCtx = &experiments.Context{
+			ED: fixtureED, Ks: ks, Bs: bs,
+			PresimCycles: 1000, FullCycles: 5000, Seed: 1, MLBalance: 5,
+		}
+		benchCtx.Init()
+		pts, err := benchCtx.PresimGrid()
+		if err != nil {
+			panic(err)
+		}
+		benchGrid = pts
+	})
+	return benchCtx, benchGrid
+}
+
+// ---- Table 1: design-driven cut grid -------------------------------------
+
+func BenchmarkTable1DesignDrivenPartition(b *testing.B) {
+	ed := workload(b)
+	b.ResetTimer()
+	var cut int
+	for i := 0; i < b.N; i++ {
+		res, err := partition.Multiway(ed, partition.Options{K: 4, B: 7.5, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cut = res.Cut
+	}
+	b.ReportMetric(float64(cut), "cut")
+}
+
+// ---- Table 2: multilevel (hMetis-substitute) cut grid --------------------
+
+func BenchmarkTable2MultilevelPartition(b *testing.B) {
+	ed := workload(b)
+	b.ResetTimer()
+	var cut int
+	for i := 0; i < b.N; i++ {
+		_, res, err := multilevel.PartitionFlat(ed, multilevel.Options{K: 4, B: 5, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cut = res.Cut
+	}
+	b.ReportMetric(float64(cut), "cut")
+}
+
+// ---- Table 3: pre-simulation grid -----------------------------------------
+
+func BenchmarkTable3Presimulation(b *testing.B) {
+	ctx, pts := grid(b)
+	best := experiments.BestPerK(pts)[3]
+	rec, err := ctx.PartitionParts(3, best.B)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := clustersim.Run(clustersim.Config{
+			NL: ctx.ED.Netlist, GateParts: rec, K: 3,
+			Vectors: sim.RandomVectors{Seed: 1}, Cycles: 1000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = res.Speedup
+	}
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(float64(best.Cut), "cut")
+}
+
+// ---- Table 4: best-partition search (heuristic pre-simulation) -----------
+
+func BenchmarkTable4HeuristicSearch(b *testing.B) {
+	ed := workload(b)
+	cfg := &presim.Config{
+		Design: ed, Ks: []int{2, 3, 4}, Bs: []float64{7.5, 10, 12.5, 15},
+		Cycles: 300, Seed: 1,
+	}
+	b.ResetTimer()
+	var visits int
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		best, visited, err := presim.Heuristic(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		visits = len(visited)
+		speedup = best.Speedup
+	}
+	b.ReportMetric(float64(visits), "presim-runs")
+	b.ReportMetric(speedup, "best-speedup")
+}
+
+// ---- Table 5 / Figure 5: full simulation vs machine count ----------------
+
+func BenchmarkTable5FullSimulation(b *testing.B) {
+	ctx, pts := grid(b)
+	best := experiments.BestPerK(pts)
+	b.ResetTimer()
+	speedups := map[int]float64{}
+	for i := 0; i < b.N; i++ {
+		for _, k := range []int{2, 3, 4} {
+			p := best[k]
+			rec, err := ctx.PartitionParts(k, p.B)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := clustersim.Run(clustersim.Config{
+				NL: ctx.ED.Netlist, GateParts: rec, K: k,
+				Vectors: sim.RandomVectors{Seed: 1}, Cycles: ctx.FullCycles,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			speedups[k] = res.Speedup
+		}
+	}
+	b.ReportMetric(speedups[2], "speedup-k2")
+	b.ReportMetric(speedups[3], "speedup-k3")
+	b.ReportMetric(speedups[4], "speedup-k4")
+}
+
+// ---- Figures 6 and 7: messages and rollbacks ------------------------------
+
+func BenchmarkFig6Messages(b *testing.B) {
+	ctx, _ := grid(b)
+	rec, err := ctx.PartitionParts(4, 7.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var msgs uint64
+	for i := 0; i < b.N; i++ {
+		res, err := clustersim.Run(clustersim.Config{
+			NL: ctx.ED.Netlist, GateParts: rec, K: 4,
+			Vectors: sim.RandomVectors{Seed: 1}, Cycles: 1000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs = res.Messages
+	}
+	b.ReportMetric(float64(msgs), "messages")
+}
+
+func BenchmarkFig7Rollbacks(b *testing.B) {
+	ctx, _ := grid(b)
+	rec, err := ctx.PartitionParts(4, 7.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var rollbacks uint64
+	for i := 0; i < b.N; i++ {
+		res, err := clustersim.Run(clustersim.Config{
+			NL: ctx.ED.Netlist, GateParts: rec, K: 4,
+			Vectors: sim.RandomVectors{Seed: 1}, Cycles: 1000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rollbacks = res.Rollbacks
+	}
+	b.ReportMetric(float64(rollbacks), "rollbacks")
+}
+
+// ---- component micro-benchmarks -------------------------------------------
+
+func BenchmarkVerilogParse(b *testing.B) {
+	workload(b)
+	b.SetBytes(int64(len(fixtureSrc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := verilog.Parse(fixtureSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkElaborate(b *testing.B) {
+	workload(b)
+	d, err := verilog.Parse(fixtureSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := elab.Elaborate(d, "viterbi"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHypergraphBuild(b *testing.B) {
+	ed := workload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hypergraph.BuildHierarchical(ed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConePartition(b *testing.B) {
+	ed := workload(b)
+	h, err := hypergraph.BuildHierarchical(ed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cone.Partition(ed, h, 4)
+	}
+}
+
+func BenchmarkFMRefinePass(b *testing.B) {
+	ed := workload(b)
+	h, err := hypergraph.BuildHierarchical(ed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := cone.Partition(ed, h, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := base.Clone()
+		fm.RefinePair(h, a, 0, 1, nil, 1)
+	}
+}
+
+func BenchmarkSequentialSimulator(b *testing.B) {
+	ed := workload(b)
+	s, err := sim.New(ed.Netlist)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		n, err := s.Run(sim.RandomVectors{Seed: 1}, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = n
+	}
+	b.ReportMetric(float64(events)/100, "events/cycle")
+}
+
+func BenchmarkTimeWarpKernel(b *testing.B) {
+	ed := workload(b)
+	res, err := partition.Multiway(ed, partition.Options{K: 2, B: 10, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := timewarp.Run(timewarp.Config{
+			NL: ed.Netlist, GateParts: res.GateParts, K: 2,
+			Vectors: sim.RandomVectors{Seed: 1}, Cycles: 50,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterModel(b *testing.B) {
+	ed := workload(b)
+	res, err := partition.Multiway(ed, partition.Options{K: 4, B: 10, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := clustersim.Run(clustersim.Config{
+			NL: ed.Netlist, GateParts: res.GateParts, K: 4,
+			Vectors: sim.RandomVectors{Seed: 1}, Cycles: 200,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- ablation benches (DESIGN.md §5) ---------------------------------------
+
+// BenchmarkAblationPairingStrategies times one multiway run per pairing
+// criterion and reports the cut each achieves.
+func BenchmarkAblationPairingStrategies(b *testing.B) {
+	ed := workload(b)
+	strategies := []partition.PairingStrategy{
+		partition.PairRandom, partition.PairExhaustive,
+		partition.PairCutBased, partition.PairGainBased,
+	}
+	cuts := make([]int, len(strategies))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for si, s := range strategies {
+			res, err := partition.Multiway(ed, partition.Options{
+				K: 3, B: 10, Strategy: s, Seed: 1, Restarts: 2,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cuts[si] = res.Cut
+		}
+	}
+	b.ReportMetric(float64(cuts[0]), "cut-random")
+	b.ReportMetric(float64(cuts[1]), "cut-exhaustive")
+	b.ReportMetric(float64(cuts[2]), "cut-cutbased")
+	b.ReportMetric(float64(cuts[3]), "cut-gainbased")
+}
+
+// BenchmarkAblationHierarchyDestruction runs the 2-channel SoC study: cut
+// at k=2 (channel-aligned) vs k=4 (trellis-splitting).
+func BenchmarkAblationHierarchyDestruction(b *testing.B) {
+	c := gen.ViterbiSoC(gen.SoCConfig{
+		Channels:      2,
+		Viterbi:       gen.ViterbiConfig{K: 4, W: 4, TB: 8},
+		ScramblerBits: 16,
+		CRCBits:       8,
+	})
+	ed, err := c.Elaborate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cut2, cut4 int
+	for i := 0; i < b.N; i++ {
+		r2, err := partition.Multiway(ed, partition.Options{K: 2, B: 10, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r4, err := partition.Multiway(ed, partition.Options{K: 4, B: 10, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cut2, cut4 = r2.Cut, r4.Cut
+	}
+	b.ReportMetric(float64(cut2), "cut-k2")
+	b.ReportMetric(float64(cut4), "cut-k4")
+}
+
+// BenchmarkAblationActivityWeights times the activity-profiled
+// partitioning pipeline (the paper's future-work load metric).
+func BenchmarkAblationActivityWeights(b *testing.B) {
+	ed := workload(b)
+	s, err := sim.New(ed.Netlist)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Run(sim.RandomVectors{Seed: 1}, 200); err != nil {
+		b.Fatal(err)
+	}
+	var max uint64 = 1
+	for _, n := range s.EvalCount {
+		if n > max {
+			max = n
+		}
+	}
+	weights := make([]int, len(s.EvalCount))
+	for i, n := range s.EvalCount {
+		weights[i] = int(n*15/max) + 1
+	}
+	b.ResetTimer()
+	var cut int
+	for i := 0; i < b.N; i++ {
+		res, err := partition.Multiway(ed, partition.Options{
+			K: 3, B: 10, Seed: 1, GateWeights: weights, Restarts: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cut = res.Cut
+	}
+	b.ReportMetric(float64(cut), "cut-activity")
+}

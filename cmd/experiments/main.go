@@ -1,0 +1,202 @@
+// Command experiments regenerates the paper's tables and figures (see
+// DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	experiments -all                 # every table and figure
+//	experiments -table 1             # one table (1..5)
+//	experiments -fig 6               # one figure (5..7)
+//	experiments -heuristic           # §3.4 heuristic pre-simulation study
+//	experiments -ablation pairing    # pairing | recursive | flatten | init |
+//	                                 # activity | sync | hierarchy | clustering | scale
+//	experiments -all -presim 2000    # faster, lower-fidelity run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		all       = flag.Bool("all", false, "run every table and figure")
+		table     = flag.Int("table", 0, "regenerate one table (1..5)")
+		fig       = flag.Int("fig", 0, "regenerate one figure (5..7)")
+		heuristic = flag.Bool("heuristic", false, "run the heuristic pre-simulation study")
+		ablation  = flag.String("ablation", "", "pairing | flatten | init | activity")
+		dump      = flag.String("dump", "", "also write the figure series as TSV files into this directory")
+		presimC   = flag.Uint64("presim", 10000, "pre-simulation vectors (paper: 10,000)")
+		fullC     = flag.Uint64("full", 100000, "full-run vectors (paper: 1,000,000)")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	ctx, err := experiments.NewDefaultContext()
+	fatal(err)
+	ctx.PresimCycles = *presimC
+	ctx.FullCycles = *fullC
+	ctx.Seed = *seed
+	st := ctx.ED.Netlist.Stats()
+	fmt.Printf("workload: generated Viterbi decoder — %d gates (%d DFF), %d module instances\n",
+		st.Gates, st.DFFs, len(ctx.ED.Instances)-1)
+	fmt.Printf("grid: k=%v b=%v; presim %d vectors, full %d vectors\n\n",
+		ctx.Ks, ctx.Bs, ctx.PresimCycles, ctx.FullCycles)
+
+	needGrid := *all || *table >= 3 || *fig >= 5
+	var points []*experiments.GridPoint
+	if needGrid {
+		start := time.Now()
+		points, err = ctx.PresimGrid()
+		fatal(err)
+		fmt.Printf("(pre-simulation grid computed in %v)\n\n", time.Since(start).Round(time.Second))
+	}
+
+	run := func(want int, sel *int) bool { return *all || *sel == want }
+
+	if *dump != "" && points != nil {
+		fatal(os.MkdirAll(*dump, 0o755))
+		fatal(dumpTSV(*dump, points))
+		fmt.Printf("wrote TSV series to %s\n", *dump)
+	}
+
+	if run(1, table) {
+		t, err := ctx.Table1()
+		fatal(err)
+		section("Table 1: cut-size with design-driven partitioning algorithm")
+		fmt.Print(t.String())
+	}
+	if run(2, table) {
+		t, err := ctx.Table2()
+		fatal(err)
+		section("Table 2: cut-size with multilevel (hMetis-substitute) partitioning, flattened netlist")
+		fmt.Print(t.String())
+	}
+	if run(3, table) {
+		section("Table 3: pre-simulation time with design-driven partitioning algorithm")
+		fmt.Print(experiments.Table3(points).String())
+	}
+	if run(4, table) {
+		section("Table 4: best partition produced by design-driven partitioning algorithm")
+		fmt.Print(experiments.Table4(points, ctx.Ks).String())
+	}
+	if run(5, table) || run(5, fig) {
+		section(fmt.Sprintf("Table 5 / Figure 5: full simulation (%d vectors)", ctx.FullCycles))
+		t, series, err := ctx.FullRuns(points)
+		fatal(err)
+		fmt.Print(t.String())
+		fmt.Println("\nFigure 5 series (simulation time vs machines, 1 machine = sequential):")
+		for i, v := range series {
+			fmt.Printf("  machines=%d  time=%.0f\n", i+1, v)
+		}
+	}
+	if run(6, fig) {
+		section("Figure 6: message number during the pre-simulation")
+		fmt.Print(experiments.Fig6(points, ctx.Ks, ctx.Bs).String())
+	}
+	if run(7, fig) {
+		section("Figure 7: rollback number during the pre-simulation")
+		fmt.Print(experiments.Fig7(points, ctx.Ks, ctx.Bs).String())
+	}
+	if *all || *heuristic {
+		section("Heuristic pre-simulation (paper §3.4, fig. 3)")
+		s, err := ctx.HeuristicStudy()
+		fatal(err)
+		fmt.Println(s)
+	}
+	if *all || *ablation == "pairing" {
+		section("Ablation: pairing strategies (paper §3.1.1)")
+		t, err := ctx.AblationPairing(10)
+		fatal(err)
+		fmt.Print(t.String())
+	}
+	if *all || *ablation == "recursive" {
+		section("Ablation: direct pairwise vs recursive bisection (paper §3.1.1)")
+		t, err := ctx.AblationRecursive(10)
+		fatal(err)
+		fmt.Print(t.String())
+	}
+	if *all || *ablation == "flatten" {
+		section("Ablation: super-gate flattening (paper §3.2)")
+		t, err := ctx.AblationFlattening()
+		fatal(err)
+		fmt.Print(t.String())
+	}
+	if *all || *ablation == "init" {
+		section("Ablation: initial partition (cone vs random)")
+		t, err := ctx.AblationInitial(2, 10)
+		fatal(err)
+		fmt.Print(t.String())
+	}
+	if *all || *ablation == "activity" {
+		section("Extension: activity-weighted load metric (paper future work)")
+		s, err := ctx.ActivityWeightStudy(3, 10)
+		fatal(err)
+		fmt.Println(s)
+	}
+	if (*all || *ablation == "sync") && points != nil {
+		section("Ablation: optimistic (Time Warp) vs synchronous (barrier) execution")
+		t, err := ctx.SyncVsOptimistic(points)
+		fatal(err)
+		fmt.Print(t.String())
+	}
+	if *all || *ablation == "hierarchy" {
+		section("Extension: hierarchy destruction on a 2-channel SoC (paper §4.3 discussion)")
+		t, err := experiments.HierarchyStudy(min64(*presimC, 2000), *seed)
+		fatal(err)
+		fmt.Print(t.String())
+	}
+	if *all || *ablation == "clustering" {
+		section("Extension: bottom-up clustering vs design hierarchy (paper §2 related work)")
+		t, err := ctx.ClusteringStudy(3, 10)
+		fatal(err)
+		fmt.Print(t.String())
+	}
+	if *all || *ablation == "scale" {
+		section("Extension: scaling the design-driven partitioner")
+		t, err := experiments.ScaleStudy(nil, *seed)
+		fatal(err)
+		fmt.Print(t.String())
+	}
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// dumpTSV writes one row per grid point: plot-ready data for the paper's
+// Table 3 and Figures 6/7 (k, b, cut, time, speedup, messages, rollbacks).
+func dumpTSV(dir string, points []*experiments.GridPoint) error {
+	f, err := os.Create(dir + "/presim_grid.tsv")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, "k\tb\tcut\tsim_time\tspeedup\tmessages\trollbacks"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(f, "%d\t%g\t%d\t%.0f\t%.4f\t%d\t%d\n",
+			p.K, p.B, p.Cut, p.SimTime, p.Speedup, p.Messages, p.Rollbacks); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func section(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,113 @@
+// Command presim runs the pre-simulation search for the best (k, b)
+// combination (paper §3.4): brute force over the whole grid or the
+// heuristic of figure 3.
+//
+// Examples:
+//
+//	presim -in design.v -top chip -ks 2,3,4 -bs 2.5,5,7.5,10,12.5,15
+//	presim -in design.v -top chip -heuristic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/elab"
+	"repro/internal/presim"
+	"repro/internal/stats"
+	"repro/internal/verilog"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input Verilog file (required)")
+		top       = flag.String("top", "", "top module name (required)")
+		ksFlag    = flag.String("ks", "2,3,4", "candidate machine counts")
+		bsFlag    = flag.String("bs", "2.5,5,7.5,10,12.5,15", "candidate balance factors (percent)")
+		cycles    = flag.Uint64("cycles", 10000, "pre-simulation vectors")
+		seed      = flag.Int64("seed", 1, "vector seed")
+		heuristic = flag.Bool("heuristic", false, "use the heuristic search instead of brute force")
+	)
+	flag.Parse()
+	if *in == "" || *top == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(*in)
+	fatal(err)
+	d, err := verilog.Parse(string(src))
+	fatal(err)
+	ed, err := elab.Elaborate(d, *top)
+	fatal(err)
+
+	cfg := &presim.Config{
+		Design: ed,
+		Ks:     parseInts(*ksFlag),
+		Bs:     parseFloats(*bsFlag),
+		Cycles: *cycles,
+		Seed:   *seed,
+	}
+
+	if *heuristic {
+		best, visited, err := presim.Heuristic(cfg)
+		fatal(err)
+		printPoints(visited)
+		fmt.Printf("\nheuristic visited %d of %d combinations\n",
+			len(visited), len(cfg.Ks)*len(cfg.Bs))
+		fmt.Printf("best: k=%d b=%g speedup=%.2f cut=%d\n", best.K, best.B, best.Speedup, best.Cut)
+		return
+	}
+
+	points, best, err := presim.BruteForce(cfg)
+	fatal(err)
+	printPoints(points)
+	fmt.Println("\nbest partitions per machine count:")
+	tbl := stats.NewTable("k", "b", "cut-size", "Simulation time", "Speedup")
+	perK := presim.BestPerK(points)
+	for _, k := range cfg.Ks {
+		if p, ok := perK[k]; ok {
+			tbl.AddRow(p.K, p.B, p.Cut, p.SimTime, p.Speedup)
+		}
+	}
+	fmt.Print(tbl.String())
+	fmt.Printf("\noverall best: k=%d b=%g speedup=%.2f\n", best.K, best.B, best.Speedup)
+}
+
+func printPoints(points []*presim.Point) {
+	tbl := stats.NewTable("k", "b", "cut-size", "Sim time", "Speedup", "Messages", "Rollbacks")
+	for _, p := range points {
+		tbl.AddRow(p.K, p.B, p.Cut, p.SimTime, p.Speedup, p.Messages, p.Rollbacks)
+	}
+	fmt.Print(tbl.String())
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		fatal(err)
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		fatal(err)
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "presim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,106 @@
+// Command vgen generates synthetic hierarchical gate-level Verilog
+// circuits (the workload generators of this repository) and writes the
+// source to stdout or a file.
+//
+// Usage:
+//
+//	vgen -circuit viterbi -k 7 -w 8 -tb 24 > viterbi.v
+//	vgen -circuit mul -n 16
+//	vgen -circuit lfsr -n 32
+//	vgen -circuit randhier -seed 7 -modules 12 -gates 40 -top 24
+//	vgen -circuit viterbi -stats          # print netlist statistics only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+)
+
+func main() {
+	var (
+		circuit = flag.String("circuit", "viterbi", "circuit family: viterbi | mul | lfsr | randhier")
+		out     = flag.String("o", "", "output file (default stdout)")
+		stats   = flag.Bool("stats", false, "elaborate and print statistics instead of emitting source")
+		tree    = flag.Int("tree", -2, "print the instance hierarchy to this depth (-1 = unlimited)")
+
+		kFlag = flag.Int("k", 7, "viterbi: constraint length (states = 2^(k-1))")
+		w     = flag.Int("w", 8, "viterbi: path metric width in bits")
+		tb    = flag.Int("tb", 24, "viterbi: survivor path depth")
+
+		n = flag.Int("n", 16, "mul/lfsr: operand width / register length")
+
+		seed    = flag.Int64("seed", 1, "randhier: generation seed")
+		modules = flag.Int("modules", 12, "randhier: module library size")
+		gates   = flag.Int("gates", 40, "randhier: approx gates per module")
+		insts   = flag.Int("insts", 3, "randhier: approx child instances per module")
+		top     = flag.Int("top", 24, "randhier: instances in the top module")
+		pis     = flag.Int("pis", 16, "randhier: primary inputs")
+	)
+	flag.Parse()
+
+	var c *gen.Circuit
+	switch *circuit {
+	case "viterbi":
+		c = gen.Viterbi(gen.ViterbiConfig{K: *kFlag, W: *w, TB: *tb})
+	case "mul":
+		c = gen.Multiplier(*n)
+	case "lfsr":
+		c = gen.LFSR(*n, nil)
+	case "randhier":
+		c = gen.RandomHierarchical(gen.RandHierConfig{
+			ModuleTypes: *modules, GatesPerModule: *gates,
+			InstancesPerModule: *insts, TopInstances: *top,
+			PIs: *pis, Seed: *seed, DFFFraction: 0.25,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "vgen: unknown circuit %q\n", *circuit)
+		os.Exit(2)
+	}
+
+	if *tree >= -1 {
+		ed, err := c.Elaborate()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vgen:", err)
+			os.Exit(1)
+		}
+		if err := ed.WriteHierarchy(os.Stdout, *tree); err != nil {
+			fmt.Fprintln(os.Stderr, "vgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *stats {
+		ed, err := c.Elaborate()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vgen:", err)
+			os.Exit(1)
+		}
+		st := ed.Netlist.Stats()
+		depth, _ := ed.Netlist.Depth()
+		fmt.Printf("circuit:    %s (top module %s)\n", c.Name, c.Top)
+		fmt.Printf("gates:      %d (%d combinational, %d dff)\n", st.Gates, st.Combinational, st.DFFs)
+		fmt.Printf("nets:       %d\n", st.Nets)
+		fmt.Printf("PIs/POs:    %d / %d\n", st.PIs, st.POs)
+		fmt.Printf("instances:  %d (max depth %d)\n", len(ed.Instances), ed.MaxDepth())
+		fmt.Printf("logic depth: %d\n", depth)
+		return
+	}
+
+	w8 := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w8 = f
+	}
+	if _, err := w8.WriteString(c.Source); err != nil {
+		fmt.Fprintln(os.Stderr, "vgen:", err)
+		os.Exit(1)
+	}
+}

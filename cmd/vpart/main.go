@@ -1,0 +1,107 @@
+// Command vpart partitions a gate-level Verilog design and reports the
+// hyperedge cut and per-partition loads.
+//
+// Usage:
+//
+//	vpart -in design.v -top mychip -k 4 -b 10               # design-driven
+//	vpart -in design.v -top mychip -k 4 -b 10 -algo ml      # multilevel (flat)
+//	vpart -in design.v -top mychip -k 2 -b 10 -strategy cut # pairing choice
+//	vpart -in design.v -top mychip -k 4 -b 10 -out parts.txt
+//
+// The optional output file lists one "gatePath partition" pair per line.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/elab"
+	"repro/internal/multilevel"
+	"repro/internal/partition"
+	"repro/internal/verilog"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input Verilog file (required)")
+		top      = flag.String("top", "", "top module name (required)")
+		k        = flag.Int("k", 2, "number of partitions")
+		b        = flag.Float64("b", 10, "load balance factor in percent")
+		algo     = flag.String("algo", "dd", "partitioner: dd (design-driven) | ml (multilevel, flattened)")
+		strategy = flag.String("strategy", "gain", "dd pairing strategy: random | exhaustive | cut | gain")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", "", "write gate→partition mapping to this file")
+		opt      = flag.Bool("opt", false, "run constant propagation + dead-gate sweep first")
+	)
+	flag.Parse()
+	if *in == "" || *top == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(*in)
+	fatal(err)
+	d, err := verilog.Parse(string(src))
+	fatal(err)
+	ed, err := elab.Elaborate(d, *top)
+	fatal(err)
+	st := ed.Netlist.Stats()
+	fmt.Printf("design: %d gates, %d nets, %d module instances\n",
+		st.Gates, st.Nets, len(ed.Instances)-1)
+	if *opt {
+		// Optimization rewrites the flat netlist; the hierarchy-aware
+		// design-driven algorithm needs the original instance tree, so
+		// -opt applies to the multilevel path only.
+		if *algo != "ml" {
+			fatal(fmt.Errorf("-opt is only supported with -algo ml (optimization discards hierarchy)"))
+		}
+		optNL, _, res, err := ed.Netlist.Optimize()
+		fatal(err)
+		fmt.Printf("optimized: %s\n", res)
+		ed.Netlist = optNL
+	}
+
+	var gateParts []int32
+	switch *algo {
+	case "dd":
+		ps, ok := partition.ParsePairingStrategy(*strategy)
+		if !ok {
+			fatal(fmt.Errorf("unknown strategy %q", *strategy))
+		}
+		res, err := partition.Multiway(ed, partition.Options{
+			K: *k, B: *b, Strategy: ps, Seed: *seed,
+		})
+		fatal(err)
+		fmt.Printf("design-driven: cut=%d balanced=%v loads=%v flattened=%d (%s)\n",
+			res.Cut, res.Balanced, res.Loads, res.Flattened, res.Constraint)
+		gateParts = res.GateParts
+	case "ml":
+		_, res, err := multilevel.PartitionFlat(ed, multilevel.Options{K: *k, B: *b, Seed: *seed})
+		fatal(err)
+		fmt.Printf("multilevel(flat): cut=%d balanced=%v loads=%v levels=%d\n",
+			res.Cut, res.Balanced, res.Loads, res.Levels)
+		gateParts = res.GateParts
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		fatal(err)
+		defer f.Close()
+		w := bufio.NewWriter(f)
+		for gi := range ed.Netlist.Gates {
+			fmt.Fprintf(w, "%s %d\n", ed.Netlist.Gates[gi].Path, gateParts[gi])
+		}
+		fatal(w.Flush())
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpart:", err)
+		os.Exit(1)
+	}
+}

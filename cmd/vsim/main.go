@@ -1,0 +1,115 @@
+// Command vsim simulates a gate-level Verilog design with random vectors.
+//
+// Modes:
+//
+//	-mode seq      sequential event-driven simulation (default)
+//	-mode tw       optimistic Time Warp over k partitions (goroutines)
+//	-mode model    deterministic cluster model: modeled parallel time,
+//	               speedup, message and rollback counts
+//
+// Examples:
+//
+//	vsim -in design.v -top chip -cycles 10000
+//	vsim -in design.v -top chip -cycles 10000 -mode tw -k 4 -b 10
+//	vsim -in design.v -top chip -cycles 10000 -mode model -k 4 -b 7.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/clustersim"
+	"repro/internal/elab"
+	"repro/internal/partition"
+	"repro/internal/sim"
+	"repro/internal/timewarp"
+	"repro/internal/verilog"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input Verilog file (required)")
+		top    = flag.String("top", "", "top module name (required)")
+		cycles = flag.Uint64("cycles", 10000, "number of random vectors")
+		seed   = flag.Int64("seed", 1, "vector seed")
+		mode   = flag.String("mode", "seq", "seq | tw | model")
+		k      = flag.Int("k", 2, "partitions (tw/model)")
+		b      = flag.Float64("b", 10, "balance factor in percent (tw/model)")
+		vcd    = flag.String("vcd", "", "dump primary-output waveforms to this VCD file (seq mode)")
+	)
+	flag.Parse()
+	if *in == "" || *top == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(*in)
+	fatal(err)
+	d, err := verilog.Parse(string(src))
+	fatal(err)
+	ed, err := elab.Elaborate(d, *top)
+	fatal(err)
+	nl := ed.Netlist
+	vs := sim.RandomVectors{Seed: *seed}
+
+	switch *mode {
+	case "seq":
+		s, err := sim.New(nl)
+		fatal(err)
+		var vcdW *sim.VCDWriter
+		if *vcd != "" {
+			f, err := os.Create(*vcd)
+			fatal(err)
+			defer f.Close()
+			vcdW, err = sim.NewVCDWriter(f, s, nl.POs)
+			fatal(err)
+		}
+		start := time.Now()
+		events, err := s.Run(vs, *cycles)
+		fatal(err)
+		wall := time.Since(start)
+		if vcdW != nil {
+			fatal(vcdW.Close())
+			fmt.Printf("wrote %s\n", *vcd)
+		}
+		fmt.Printf("sequential: %d cycles, %d events (%.1f/cycle), %d toggles, wall %v\n",
+			*cycles, events, float64(events)/float64(*cycles), s.Toggles, wall.Round(time.Millisecond))
+
+	case "tw", "model":
+		pr, err := partition.Multiway(ed, partition.Options{K: *k, B: *b})
+		fatal(err)
+		fmt.Printf("partition: k=%d b=%g cut=%d balanced=%v loads=%v\n",
+			*k, *b, pr.Cut, pr.Balanced, pr.Loads)
+		if *mode == "tw" {
+			start := time.Now()
+			res, err := timewarp.Run(timewarp.Config{
+				NL: nl, GateParts: pr.GateParts, K: *k, Vectors: vs, Cycles: *cycles,
+			})
+			fatal(err)
+			wall := time.Since(start)
+			st := res.Stats
+			fmt.Printf("timewarp: events=%d rolledback=%d msgs=%d anti=%d rollbacks=%d wall %v\n",
+				st.Events, st.RolledBackEvents, st.Messages, st.AntiMessages, st.Rollbacks,
+				wall.Round(time.Millisecond))
+		} else {
+			res, err := clustersim.Run(clustersim.Config{
+				NL: nl, GateParts: pr.GateParts, K: *k, Vectors: vs, Cycles: *cycles,
+			})
+			fatal(err)
+			fmt.Printf("model: seqTime=%.0f parTime=%.0f speedup=%.2f msgs=%d rollbacks=%d reexec=%d\n",
+				res.SeqTime, res.ParTime, res.Speedup, res.Messages, res.Rollbacks, res.ReexecEvents)
+		}
+
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vsim:", err)
+		os.Exit(1)
+	}
+}

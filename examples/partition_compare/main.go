@@ -1,0 +1,67 @@
+// Partition comparison: run the design-driven multiway algorithm against
+// the multilevel (hMetis-substitute) baseline on several circuits and
+// report cut sizes and modeled speedups — the paper's Tables 1/2 story on
+// more than one workload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/clustersim"
+	"repro/internal/elab"
+	"repro/internal/gen"
+	"repro/internal/multilevel"
+	"repro/internal/partition"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func main() {
+	workloads := []*gen.Circuit{
+		gen.Viterbi(gen.ViterbiConfig{K: 5, W: 6, TB: 16}),
+		gen.Multiplier(16),
+		gen.FIR(gen.DefaultFIR),
+		gen.RandomHierarchical(gen.DefaultRandHier),
+	}
+	const k = 3
+	const b = 10.0
+	const cycles = 300
+
+	t := stats.NewTable("circuit", "gates", "modules",
+		"dd cut", "dd speedup", "ml cut", "ml speedup")
+	for _, w := range workloads {
+		ed, err := w.Elaborate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		dd, err := partition.Multiway(ed, partition.Options{K: k, B: b})
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, ml, err := multilevel.PartitionFlat(ed, multilevel.Options{K: k, B: 5, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ddS := modeled(ed, dd.GateParts, k, cycles)
+		mlS := modeled(ed, ml.GateParts, k, cycles)
+		t.AddRow(w.Name, ed.Netlist.NumGates(), len(ed.Instances)-1,
+			dd.Cut, fmt.Sprintf("%.2f", ddS), ml.Cut, fmt.Sprintf("%.2f", mlS))
+	}
+	fmt.Printf("design-driven (b=%g) vs multilevel-on-flat (default balance), k=%d:\n\n", b, k)
+	fmt.Print(t.String())
+	fmt.Println("\nThe design-driven algorithm cuts along module boundaries, which are")
+	fmt.Println("registered and quiet; flat multilevel cuts of similar SIZE can cross")
+	fmt.Println("glitchy combinational paths, which costs far more traffic per net.")
+}
+
+func modeled(ed *elab.Design, parts []int32, k int, cycles uint64) float64 {
+	res, err := clustersim.Run(clustersim.Config{
+		NL: ed.Netlist, GateParts: parts, K: k,
+		Vectors: sim.RandomVectors{Seed: 4}, Cycles: cycles,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Speedup
+}

@@ -1,0 +1,60 @@
+// Pre-simulation tuning walkthrough: the paper's §3.4 in action. Short
+// pre-simulation runs score each (k, b) candidate; the heuristic search
+// (fig. 3) finds a near-best point with far fewer runs than the full
+// sweep.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/gen"
+	"repro/internal/presim"
+	"repro/internal/stats"
+)
+
+func main() {
+	circuit := gen.Viterbi(gen.ViterbiConfig{K: 5, W: 6, TB: 16})
+	ed, err := circuit.Elaborate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := &presim.Config{
+		Design: ed,
+		Ks:     []int{2, 3, 4},
+		Bs:     []float64{2.5, 5, 7.5, 10, 12.5, 15},
+		Cycles: 1000, // "pre"-simulation: short on purpose
+		Seed:   11,
+	}
+
+	fmt.Println("brute-force sweep over the whole (k, b) grid:")
+	points, best, err := presim.BruteForce(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := stats.NewTable("k", "b", "cut", "speedup", "messages", "rollbacks")
+	for _, p := range points {
+		t.AddRow(p.K, p.B, p.Cut, fmt.Sprintf("%.2f", p.Speedup), p.Messages, p.Rollbacks)
+	}
+	fmt.Print(t.String())
+	fmt.Printf("\nbrute force: %d runs → best k=%d b=%g (speedup %.2f)\n\n",
+		len(points), best.K, best.B, best.Speedup)
+
+	hBest, visited, err := presim.Heuristic(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("heuristic (paper fig. 3): %d runs → best k=%d b=%g (speedup %.2f)\n",
+		len(visited), hBest.K, hBest.B, hBest.Speedup)
+	fmt.Printf("saved %d of %d pre-simulation runs\n", len(points)-len(visited), len(points))
+
+	perK := presim.BestPerK(points)
+	fmt.Println("\nbest partition per machine count (paper Table 4):")
+	t4 := stats.NewTable("k", "b", "cut", "speedup")
+	for _, k := range cfg.Ks {
+		if p, ok := perK[k]; ok {
+			t4.AddRow(p.K, p.B, p.Cut, fmt.Sprintf("%.2f", p.Speedup))
+		}
+	}
+	fmt.Print(t4.String())
+}

@@ -1,0 +1,107 @@
+// Package comm is the message-passing substrate for the Time Warp kernel —
+// the role MPICH played under DVS. Endpoints are in-process mailboxes with
+// unbounded buffering (sends never block, so optimistic clusters cannot
+// deadlock on full channels) and per-endpoint delivery counters.
+package comm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Message is an opaque payload routed between endpoints.
+type Message any
+
+// Network connects K endpoints.
+type Network struct {
+	eps      []*Endpoint
+	inFlight atomic.Int64
+	sent     atomic.Uint64
+}
+
+// NewNetwork creates a network with k endpoints.
+func NewNetwork(k int) *Network {
+	n := &Network{eps: make([]*Endpoint, k)}
+	for i := range n.eps {
+		ep := &Endpoint{id: i, net: n}
+		ep.cond = sync.NewCond(&ep.mu)
+		n.eps[i] = ep
+	}
+	return n
+}
+
+// Endpoint returns endpoint i.
+func (n *Network) Endpoint(i int) *Endpoint { return n.eps[i] }
+
+// InFlight returns the number of sent-but-not-received messages.
+func (n *Network) InFlight() int64 { return n.inFlight.Load() }
+
+// TotalSent returns the total number of messages sent on the network.
+func (n *Network) TotalSent() uint64 { return n.sent.Load() }
+
+// Endpoint is one mailbox.
+type Endpoint struct {
+	id   int
+	net  *Network
+	mu   sync.Mutex
+	cond *sync.Cond
+	box  []Message
+	// closed wakes blocked receivers permanently.
+	closed bool
+}
+
+// ID returns the endpoint index.
+func (e *Endpoint) ID() int { return e.id }
+
+// Send delivers msg to endpoint dst. It never blocks.
+func (e *Endpoint) Send(dst int, msg Message) {
+	n := e.net
+	n.inFlight.Add(1)
+	n.sent.Add(1)
+	d := n.eps[dst]
+	d.mu.Lock()
+	d.box = append(d.box, msg)
+	d.mu.Unlock()
+	d.cond.Signal()
+}
+
+// TryRecvAll drains and returns all queued messages without blocking
+// (nil when empty).
+func (e *Endpoint) TryRecvAll() []Message {
+	e.mu.Lock()
+	msgs := e.box
+	e.box = nil
+	e.mu.Unlock()
+	if len(msgs) > 0 {
+		e.net.inFlight.Add(int64(-len(msgs)))
+	}
+	return msgs
+}
+
+// RecvWait blocks until at least one message is queued or the endpoint is
+// closed, then drains the mailbox. It returns nil only when closed.
+func (e *Endpoint) RecvWait() []Message {
+	e.mu.Lock()
+	for len(e.box) == 0 && !e.closed {
+		e.cond.Wait()
+	}
+	msgs := e.box
+	e.box = nil
+	closed := e.closed
+	e.mu.Unlock()
+	if len(msgs) > 0 {
+		e.net.inFlight.Add(int64(-len(msgs)))
+	}
+	if len(msgs) == 0 && closed {
+		return nil
+	}
+	return msgs
+}
+
+// Close wakes any blocked receiver on this endpoint.
+func (e *Endpoint) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.cond.Broadcast()
+}

@@ -1,0 +1,115 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	n := NewNetwork(2)
+	a, b := n.Endpoint(0), n.Endpoint(1)
+	if a.ID() != 0 || b.ID() != 1 {
+		t.Fatal("endpoint IDs wrong")
+	}
+	a.Send(1, "hello")
+	a.Send(1, "world")
+	if got := n.InFlight(); got != 2 {
+		t.Errorf("in flight: %d, want 2", got)
+	}
+	msgs := b.TryRecvAll()
+	if len(msgs) != 2 || msgs[0] != "hello" || msgs[1] != "world" {
+		t.Errorf("messages: %v", msgs)
+	}
+	if got := n.InFlight(); got != 0 {
+		t.Errorf("in flight after recv: %d", got)
+	}
+	if n.TotalSent() != 2 {
+		t.Errorf("total sent: %d", n.TotalSent())
+	}
+	if more := b.TryRecvAll(); more != nil {
+		t.Errorf("empty mailbox returned %v", more)
+	}
+}
+
+func TestRecvWaitBlocksUntilSend(t *testing.T) {
+	n := NewNetwork(2)
+	done := make(chan []Message, 1)
+	go func() { done <- n.Endpoint(1).RecvWait() }()
+	select {
+	case <-done:
+		t.Fatal("RecvWait returned before any send")
+	case <-time.After(10 * time.Millisecond):
+	}
+	n.Endpoint(0).Send(1, 42)
+	select {
+	case msgs := <-done:
+		if len(msgs) != 1 || msgs[0] != 42 {
+			t.Errorf("messages: %v", msgs)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("RecvWait did not wake on send")
+	}
+}
+
+func TestCloseWakesReceiver(t *testing.T) {
+	n := NewNetwork(1)
+	done := make(chan []Message, 1)
+	go func() { done <- n.Endpoint(0).RecvWait() }()
+	time.Sleep(5 * time.Millisecond)
+	n.Endpoint(0).Close()
+	select {
+	case msgs := <-done:
+		if msgs != nil {
+			t.Errorf("closed endpoint returned %v, want nil", msgs)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not wake RecvWait")
+	}
+}
+
+func TestPerLinkFIFO(t *testing.T) {
+	n := NewNetwork(2)
+	const count = 1000
+	for i := 0; i < count; i++ {
+		n.Endpoint(0).Send(1, i)
+	}
+	var got []Message
+	for len(got) < count {
+		got = append(got, n.Endpoint(1).TryRecvAll()...)
+	}
+	for i, m := range got {
+		if m != i {
+			t.Fatalf("message %d out of order: %v", i, m)
+		}
+	}
+}
+
+func TestConcurrentSendersCounted(t *testing.T) {
+	n := NewNetwork(3)
+	const per = 500
+	var wg sync.WaitGroup
+	for src := 0; src < 3; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				n.Endpoint(src).Send((src+1)%3, i)
+			}
+		}(src)
+	}
+	wg.Wait()
+	if n.TotalSent() != 3*per {
+		t.Errorf("total sent %d, want %d", n.TotalSent(), 3*per)
+	}
+	total := 0
+	for dst := 0; dst < 3; dst++ {
+		total += len(n.Endpoint(dst).TryRecvAll())
+	}
+	if total != 3*per {
+		t.Errorf("received %d, want %d", total, 3*per)
+	}
+	if n.InFlight() != 0 {
+		t.Errorf("in flight %d after full drain", n.InFlight())
+	}
+}

@@ -1,0 +1,584 @@
+// Package elab elaborates a parsed Verilog design into (a) a flattened
+// gate-level netlist and (b) the design hierarchy (the instance tree), which
+// the design-driven partitioner exploits and flattened-netlist algorithms
+// ignore.
+//
+// Elaboration walks the instance tree depth-first, allocates a signal slot
+// for every bit of every declared net in every instance, and merges slots
+// through port connections with a union–find. Gates then reference the
+// union representative, which becomes a netlist.Net.
+package elab
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/verilog"
+)
+
+// Instance is one node of the design hierarchy.
+type Instance struct {
+	ID       int32 // index into Design.Instances; 0 is the top instance
+	Module   *verilog.Module
+	Name     string // instance name ("top" for the root)
+	Path     string // full hierarchical path, e.g. "top.dp.fa0"
+	Parent   *Instance
+	Children []*Instance
+	// Gates directly inside this instance (not in children).
+	Gates []netlist.GateID
+	// SubtreeGates counts all gates in this instance and its descendants —
+	// the "number of gates" vertex weight of the paper's hypergraph.
+	SubtreeGates int
+	// Depth is 0 for the top instance.
+	Depth int
+}
+
+// Design is the elaborated design: hierarchy plus flat netlist.
+type Design struct {
+	Top       *Instance
+	Instances []*Instance // pre-order; Instances[0] == Top
+	Netlist   *netlist.Netlist
+}
+
+// Instance returns the instance with the given hierarchical path, or nil.
+func (d *Design) Instance(path string) *Instance {
+	for _, inst := range d.Instances {
+		if inst.Path == path {
+			return inst
+		}
+	}
+	return nil
+}
+
+// maxDepthDefault bounds hierarchy recursion to catch recursive
+// instantiation in malformed inputs.
+const maxDepthDefault = 64
+
+// slot is a single-bit signal endpoint before union-find resolution.
+type slot = int32
+
+// elaborator carries the global state of one elaboration run.
+type elaborator struct {
+	design *verilog.Design
+	uf     []slot   // union-find parent array over slots
+	names  []string // representative hierarchical name per slot (first writer wins)
+	// Constant slots (allocated up front).
+	const0, const1 slot
+
+	instances []*Instance
+	gates     []protoGate
+	synthSeq  int // numbers operator-synthesized gates
+	// po/pi slots of the top module, in port order.
+	piSlots, poSlots []slot
+	piNames, poNames []string
+}
+
+// protoGate is a gate before slot→net renumbering.
+type protoGate struct {
+	kind   verilog.GateKind
+	path   string
+	owner  int32
+	inputs []slot
+	output slot
+	line   int
+}
+
+// scope is the per-instance signal table: (net name) → slots MSB-first.
+type scope struct {
+	inst *Instance
+	nets map[string][]slot // in declaration bit order, MSB first
+	mod  *verilog.Module
+}
+
+// Elaborate builds the hierarchy and flat netlist for module `top` of the
+// design.
+func Elaborate(d *verilog.Design, top string) (*Design, error) {
+	topMod := d.Module(top)
+	if topMod == nil {
+		return nil, fmt.Errorf("elab: top module %q not found", top)
+	}
+	e := &elaborator{design: d}
+	e.const0 = e.newSlot("const0")
+	e.const1 = e.newSlot("const1")
+
+	root := &Instance{ID: 0, Module: topMod, Name: top, Path: top}
+	e.instances = append(e.instances, root)
+	sc, err := e.openScope(root)
+	if err != nil {
+		return nil, err
+	}
+	// Record primary I/O slots from the top module's ports.
+	for _, p := range topMod.Ports {
+		bits := sc.nets[p.Name]
+		for i, b := range p.Range.Bits() {
+			name := p.Name
+			if !p.Range.Scalar {
+				name = fmt.Sprintf("%s[%d]", p.Name, b)
+			}
+			switch p.Dir {
+			case verilog.DirInput:
+				e.piSlots = append(e.piSlots, bits[i])
+				e.piNames = append(e.piNames, name)
+			case verilog.DirOutput:
+				e.poSlots = append(e.poSlots, bits[i])
+				e.poNames = append(e.poNames, name)
+			case verilog.DirInout:
+				return nil, fmt.Errorf("elab: inout port %s.%s not supported at top level", top, p.Name)
+			}
+		}
+	}
+	if err := e.elabBody(sc, 0); err != nil {
+		return nil, err
+	}
+	return e.finish()
+}
+
+func (e *elaborator) newSlot(name string) slot {
+	s := slot(len(e.uf))
+	e.uf = append(e.uf, s)
+	e.names = append(e.names, name)
+	return s
+}
+
+// find returns the union-find representative with path compression.
+func (e *elaborator) find(s slot) slot {
+	for e.uf[s] != s {
+		e.uf[s] = e.uf[e.uf[s]]
+		s = e.uf[s]
+	}
+	return s
+}
+
+// union merges two slots. Constant slots win representative status so a net
+// tied to a constant keeps its constant identity; otherwise the first
+// (lower-numbered, i.e. outermost) slot wins, keeping shallow names.
+func (e *elaborator) union(a, b slot) {
+	ra, rb := e.find(a), e.find(b)
+	if ra == rb {
+		return
+	}
+	// Prefer constants, then lower slot numbers, as representatives.
+	swap := false
+	switch {
+	case rb == e.const0 || rb == e.const1:
+		swap = true
+	case ra == e.const0 || ra == e.const1:
+	case rb < ra:
+		swap = true
+	}
+	if swap {
+		ra, rb = rb, ra
+	}
+	e.uf[rb] = ra
+}
+
+// openScope allocates slots for every net declared in inst's module.
+func (e *elaborator) openScope(inst *Instance) (*scope, error) {
+	sc := &scope{inst: inst, mod: inst.Module, nets: make(map[string][]slot, len(inst.Module.Nets))}
+	for _, n := range inst.Module.Nets {
+		bits := n.Range.Bits()
+		slots := make([]slot, len(bits))
+		for i, b := range bits {
+			name := inst.Path + "." + n.Name
+			if !n.Range.Scalar {
+				name = fmt.Sprintf("%s.%s[%d]", inst.Path, n.Name, b)
+			}
+			slots[i] = e.newSlot(name)
+		}
+		sc.nets[n.Name] = slots
+	}
+	return sc, nil
+}
+
+// exprBits resolves a structural expression to its slot list, MSB first.
+// ctxWidth gives the width an unsized constant should take (-1 if unknown).
+func (e *elaborator) exprBits(sc *scope, expr verilog.Expr, ctxWidth int) ([]slot, error) {
+	switch x := expr.(type) {
+	case *verilog.Ref:
+		bits, ok := sc.nets[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("elab: %s: unknown net %q", sc.inst.Path, x.Name)
+		}
+		return bits, nil
+
+	case *verilog.BitSelect:
+		bits, ok := sc.nets[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("elab: %s: unknown net %q", sc.inst.Path, x.Name)
+		}
+		n := sc.mod.Net(x.Name)
+		idx, err := bitIndex(n.Range, x.Bit)
+		if err != nil {
+			return nil, fmt.Errorf("elab: %s: %s: %v", sc.inst.Path, expr, err)
+		}
+		return bits[idx : idx+1], nil
+
+	case *verilog.PartSelect:
+		bits, ok := sc.nets[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("elab: %s: unknown net %q", sc.inst.Path, x.Name)
+		}
+		n := sc.mod.Net(x.Name)
+		hi, err := bitIndex(n.Range, x.MSB)
+		if err != nil {
+			return nil, fmt.Errorf("elab: %s: %s: %v", sc.inst.Path, expr, err)
+		}
+		lo, err := bitIndex(n.Range, x.LSB)
+		if err != nil {
+			return nil, fmt.Errorf("elab: %s: %s: %v", sc.inst.Path, expr, err)
+		}
+		if hi > lo {
+			return nil, fmt.Errorf("elab: %s: part select %s is reversed", sc.inst.Path, expr)
+		}
+		return bits[hi : lo+1], nil
+
+	case *verilog.Concat:
+		var out []slot
+		for _, p := range x.Parts {
+			bits, err := e.exprBits(sc, p, -1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, bits...)
+		}
+		return out, nil
+
+	case *verilog.Unary:
+		in, err := e.exprBits(sc, x.X, ctxWidth)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]slot, len(in))
+		for i := range in {
+			out[i] = e.synthGate(sc, verilog.GateNot, []slot{in[i]})
+		}
+		return out, nil
+
+	case *verilog.Binary:
+		var kind verilog.GateKind
+		switch x.Op {
+		case '&':
+			kind = verilog.GateAnd
+		case '|':
+			kind = verilog.GateOr
+		case '^':
+			kind = verilog.GateXor
+		default:
+			return nil, fmt.Errorf("elab: %s: unsupported operator %q", sc.inst.Path, string(x.Op))
+		}
+		xb, err := e.exprBits(sc, x.X, ctxWidth)
+		if err != nil {
+			return nil, err
+		}
+		yb, err := e.exprBits(sc, x.Y, len(xb))
+		if err != nil {
+			return nil, err
+		}
+		if len(xb) != len(yb) {
+			return nil, fmt.Errorf("elab: %s: operand width mismatch in %s (%d vs %d bits)",
+				sc.inst.Path, expr, len(xb), len(yb))
+		}
+		out := make([]slot, len(xb))
+		for i := range xb {
+			out[i] = e.synthGate(sc, kind, []slot{xb[i], yb[i]})
+		}
+		return out, nil
+
+	case *verilog.Const:
+		w := x.Width
+		if w < 0 {
+			w = ctxWidth
+		}
+		if w <= 0 {
+			return nil, fmt.Errorf("elab: %s: unsized constant %s in a context with unknown width",
+				sc.inst.Path, x.Text)
+		}
+		out := make([]slot, w)
+		for i := 0; i < w; i++ {
+			bit := (x.Value >> uint(w-1-i)) & 1 // MSB first
+			if bit == 1 {
+				out[i] = e.const1
+			} else {
+				out[i] = e.const0
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("elab: %s: unsupported expression %T", sc.inst.Path, expr)
+}
+
+// synthGate creates a gate for an operator expression, returning the slot
+// of its fresh output net. The gate is owned by the scope's instance.
+func (e *elaborator) synthGate(sc *scope, kind verilog.GateKind, inputs []slot) slot {
+	e.synthSeq++
+	out := e.newSlot(fmt.Sprintf("%s._op%d", sc.inst.Path, e.synthSeq))
+	gid := netlist.GateID(len(e.gates))
+	e.gates = append(e.gates, protoGate{
+		kind:   kind,
+		path:   fmt.Sprintf("%s._op%d", sc.inst.Path, e.synthSeq),
+		owner:  sc.inst.ID,
+		inputs: inputs,
+		output: out,
+	})
+	sc.inst.Gates = append(sc.inst.Gates, gid)
+	return out
+}
+
+// bitIndex converts a declared bit number to an MSB-first slice index.
+func bitIndex(r verilog.Range, bit int) (int, error) {
+	if !r.Contains(bit) {
+		return 0, fmt.Errorf("bit %d outside range %s", bit, r)
+	}
+	for i, b := range r.Bits() {
+		if b == bit {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("bit %d not found in range %s", bit, r)
+}
+
+// scalarBit resolves an expression that must be exactly one bit wide.
+func (e *elaborator) scalarBit(sc *scope, expr verilog.Expr, what string) (slot, error) {
+	bits, err := e.exprBits(sc, expr, 1)
+	if err != nil {
+		return 0, err
+	}
+	if len(bits) != 1 {
+		return 0, fmt.Errorf("elab: %s: %s connection %s is %d bits wide, want 1",
+			sc.inst.Path, what, expr, len(bits))
+	}
+	return bits[0], nil
+}
+
+// elabBody processes gates, assigns and child instances of one scope.
+func (e *elaborator) elabBody(sc *scope, depth int) error {
+	if depth > maxDepthDefault {
+		return fmt.Errorf("elab: %s: hierarchy deeper than %d levels (recursive instantiation?)",
+			sc.inst.Path, maxDepthDefault)
+	}
+	inst := sc.inst
+
+	// Gate primitives.
+	for _, g := range sc.mod.Gates {
+		pg := protoGate{kind: g.Kind, path: inst.Path + "." + g.Name, owner: inst.ID, line: g.Line}
+		if g.Kind == verilog.GateDff {
+			if len(g.Conns) != 3 {
+				return fmt.Errorf("elab: %s.%s: dff needs (q, d, clk), got %d connections",
+					inst.Path, g.Name, len(g.Conns))
+			}
+		} else if g.Kind == verilog.GateNot || g.Kind == verilog.GateBuf {
+			if len(g.Conns) != 2 {
+				return fmt.Errorf("elab: %s.%s: %s needs exactly (out, in)", inst.Path, g.Name, g.Kind)
+			}
+		}
+		out, err := e.scalarBit(sc, g.Conns[0], "gate output")
+		if err != nil {
+			return err
+		}
+		pg.output = out
+		for _, c := range g.Conns[1:] {
+			in, err := e.scalarBit(sc, c, "gate input")
+			if err != nil {
+				return err
+			}
+			pg.inputs = append(pg.inputs, in)
+		}
+		gid := netlist.GateID(len(e.gates))
+		e.gates = append(e.gates, pg)
+		inst.Gates = append(inst.Gates, gid)
+	}
+
+	// Continuous assignments become per-bit buffers.
+	for _, a := range sc.mod.Assigns {
+		lhs, err := e.exprBits(sc, a.LHS, -1)
+		if err != nil {
+			return err
+		}
+		rhs, err := e.exprBits(sc, a.RHS, len(lhs))
+		if err != nil {
+			return err
+		}
+		if len(lhs) != len(rhs) {
+			return fmt.Errorf("elab: %s: assign width mismatch: %s (%d bits) = %s (%d bits)",
+				inst.Path, a.LHS, len(lhs), a.RHS, len(rhs))
+		}
+		for i := range lhs {
+			gid := netlist.GateID(len(e.gates))
+			e.gates = append(e.gates, protoGate{
+				kind:   verilog.GateBuf,
+				path:   fmt.Sprintf("%s._assign%d_%d", inst.Path, a.Line, i),
+				owner:  inst.ID,
+				inputs: []slot{rhs[i]},
+				output: lhs[i],
+				line:   a.Line,
+			})
+			inst.Gates = append(inst.Gates, gid)
+		}
+	}
+
+	// Child module instances.
+	for _, mi := range sc.mod.Instances {
+		childMod := e.design.Module(mi.ModuleName)
+		if childMod == nil {
+			return fmt.Errorf("elab: %s: unknown module %q instantiated as %q",
+				inst.Path, mi.ModuleName, mi.Name)
+		}
+		child := &Instance{
+			ID:     int32(len(e.instances)),
+			Module: childMod,
+			Name:   mi.Name,
+			Path:   inst.Path + "." + mi.Name,
+			Parent: inst,
+			Depth:  depth + 1,
+		}
+		e.instances = append(e.instances, child)
+		inst.Children = append(inst.Children, child)
+		childScope, err := e.openScope(child)
+		if err != nil {
+			return err
+		}
+
+		// Wire the ports.
+		if mi.Positional != nil {
+			if len(mi.Positional) != len(childMod.Ports) {
+				return fmt.Errorf("elab: %s: %s has %d connections, module %s has %d ports",
+					inst.Path, mi.Name, len(mi.Positional), childMod.Name, len(childMod.Ports))
+			}
+			for i, expr := range mi.Positional {
+				if err := e.connectPort(sc, childScope, childMod.Ports[i], expr); err != nil {
+					return err
+				}
+			}
+		} else {
+			seen := make(map[string]bool, len(mi.Named))
+			for _, nc := range mi.Named {
+				port := childMod.Port(nc.Port)
+				if port == nil {
+					return fmt.Errorf("elab: %s: %s: module %s has no port %q",
+						inst.Path, mi.Name, childMod.Name, nc.Port)
+				}
+				if seen[nc.Port] {
+					return fmt.Errorf("elab: %s: %s: port %q connected twice", inst.Path, mi.Name, nc.Port)
+				}
+				seen[nc.Port] = true
+				if nc.Expr == nil {
+					continue // explicitly unconnected
+				}
+				if err := e.connectPort(sc, childScope, port, nc.Expr); err != nil {
+					return err
+				}
+			}
+		}
+		if err := e.elabBody(childScope, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// connectPort unions the parent-side expression bits with the child's port
+// net bits.
+func (e *elaborator) connectPort(parent, child *scope, port *verilog.Port, expr verilog.Expr) error {
+	want := port.Range.Width()
+	bits, err := e.exprBits(parent, expr, want)
+	if err != nil {
+		return err
+	}
+	if len(bits) != want {
+		return fmt.Errorf("elab: %s: connection %s to port %s.%s is %d bits, want %d",
+			parent.inst.Path, expr, child.inst.Path, port.Name, len(bits), want)
+	}
+	childBits := child.nets[port.Name]
+	for i := range bits {
+		e.union(bits[i], childBits[i])
+	}
+	return nil
+}
+
+// finish renumbers slots into nets, builds the netlist, computes subtree
+// gate counts, and validates.
+func (e *elaborator) finish() (*Design, error) {
+	nl := &netlist.Netlist{}
+	netOf := make(map[slot]netlist.NetID)
+
+	getNet := func(s slot) netlist.NetID {
+		r := e.find(s)
+		if id, ok := netOf[r]; ok {
+			return id
+		}
+		id := netlist.NetID(len(nl.Nets))
+		c := int8(-1)
+		switch r {
+		case e.const0:
+			c = 0
+		case e.const1:
+			c = 1
+		}
+		nl.Nets = append(nl.Nets, netlist.Net{
+			ID: id, Name: e.names[r], Driver: netlist.NoGate, Const: c,
+		})
+		netOf[r] = id
+		return id
+	}
+
+	for gi := range e.gates {
+		pg := &e.gates[gi]
+		g := netlist.Gate{
+			ID:     netlist.GateID(gi),
+			Kind:   pg.kind,
+			Path:   pg.path,
+			Owner:  pg.owner,
+			Output: getNet(pg.output),
+		}
+		for _, in := range pg.inputs {
+			g.Inputs = append(g.Inputs, getNet(in))
+		}
+		nl.Gates = append(nl.Gates, g)
+	}
+	// Drivers and sinks.
+	for gi := range nl.Gates {
+		g := &nl.Gates[gi]
+		out := &nl.Nets[g.Output]
+		if out.Const >= 0 {
+			return nil, fmt.Errorf("elab: gate %s drives constant net", g.Path)
+		}
+		if out.Driver != netlist.NoGate {
+			return nil, fmt.Errorf("elab: net %s driven by both %s and %s",
+				out.Name, nl.Gates[out.Driver].Path, g.Path)
+		}
+		out.Driver = g.ID
+		for _, in := range g.Inputs {
+			nl.Nets[in].Sinks = append(nl.Nets[in].Sinks, g.ID)
+		}
+	}
+	// Primary I/O.
+	for i, s := range e.piSlots {
+		id := getNet(s)
+		if nl.Nets[id].Driver != netlist.NoGate {
+			return nil, fmt.Errorf("elab: primary input %s is driven by gate %s",
+				e.piNames[i], nl.Gates[nl.Nets[id].Driver].Path)
+		}
+		nl.Nets[id].IsPI = true
+		nl.PIs = append(nl.PIs, id)
+	}
+	for _, s := range e.poSlots {
+		id := getNet(s)
+		nl.Nets[id].IsPO = true
+		nl.POs = append(nl.POs, id)
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+
+	d := &Design{Top: e.instances[0], Instances: e.instances, Netlist: nl}
+	// Subtree gate counts, children before parents (instances are
+	// pre-order, so iterate backwards).
+	for i := len(e.instances) - 1; i >= 0; i-- {
+		inst := e.instances[i]
+		inst.SubtreeGates = len(inst.Gates)
+		for _, c := range inst.Children {
+			inst.SubtreeGates += c.SubtreeGates
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,83 @@
+package elab
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Walk visits inst and all of its descendants in pre-order.
+func (inst *Instance) Walk(f func(*Instance)) {
+	f(inst)
+	for _, c := range inst.Children {
+		c.Walk(f)
+	}
+}
+
+// IsAncestorOf reports whether inst is a (possibly distant) ancestor of
+// other, or inst == other.
+func (inst *Instance) IsAncestorOf(other *Instance) bool {
+	for cur := other; cur != nil; cur = cur.Parent {
+		if cur == inst {
+			return true
+		}
+	}
+	return false
+}
+
+// ModuleCount returns the number of module instances in the design
+// (excluding the top instance), matching how the paper counts "modules".
+func (d *Design) ModuleCount() int { return len(d.Instances) - 1 }
+
+// MaxDepth returns the deepest instance depth (top is 0).
+func (d *Design) MaxDepth() int {
+	max := 0
+	for _, inst := range d.Instances {
+		if inst.Depth > max {
+			max = inst.Depth
+		}
+	}
+	return max
+}
+
+// GatesPerInstance returns the direct (non-subtree) gate count per
+// instance, indexed by Instance.ID.
+func (d *Design) GatesPerInstance() []int {
+	out := make([]int, len(d.Instances))
+	for _, inst := range d.Instances {
+		out[inst.ID] = len(inst.Gates)
+	}
+	return out
+}
+
+// WriteHierarchy prints the instance tree with per-subtree gate counts —
+// the designer's view of where the weight of the design lives.
+//
+//	top                      (20137 gates)
+//	  bmu : vit_bmu          (24 gates)
+//	  acs_0 : vit_acs        (146 gates)
+//	    adda : lib_add8      (40 gates)
+//	    ...
+func (d *Design) WriteHierarchy(w io.Writer, maxDepth int) error {
+	var walk func(inst *Instance, depth int) error
+	walk = func(inst *Instance, depth int) error {
+		if maxDepth >= 0 && depth > maxDepth {
+			return nil
+		}
+		indent := strings.Repeat("  ", depth)
+		label := inst.Name
+		if inst.Parent != nil {
+			label = fmt.Sprintf("%s : %s", inst.Name, inst.Module.Name)
+		}
+		if _, err := fmt.Fprintf(w, "%s%s  (%d gates)\n", indent, label, inst.SubtreeGates); err != nil {
+			return err
+		}
+		for _, c := range inst.Children {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(d.Top, 0)
+}

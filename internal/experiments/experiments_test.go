@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// smallContext builds a context over a small workload so the whole grid
+// runs in a couple of seconds.
+func smallContext(t *testing.T) *Context {
+	t.Helper()
+	c := gen.Viterbi(gen.ViterbiConfig{K: 4, W: 4, TB: 8})
+	ed, err := c.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Context{
+		ED: ed,
+		Ks: []int{2, 3}, Bs: []float64{5, 10, 15},
+		PresimCycles: 200, FullCycles: 400, Seed: 1, MLBalance: 5,
+	}
+	ctx.Init()
+	return ctx
+}
+
+func TestTable1MonotoneCutInB(t *testing.T) {
+	ctx := smallContext(t)
+	tab, err := ctx.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "Hyperedge cut") {
+		t.Error("table header missing")
+	}
+	// The carry-over rule makes the cut nonincreasing in b per k.
+	for _, k := range ctx.Ks {
+		prev := 1 << 30
+		for _, b := range ctx.Bs {
+			rec, err := ctx.Partition(k, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.cut > prev {
+				t.Errorf("k=%d: cut rose from %d to %d at b=%g", k, prev, rec.cut, b)
+			}
+			prev = rec.cut
+		}
+	}
+}
+
+func TestTable2IndependentOfB(t *testing.T) {
+	ctx := smallContext(t)
+	tab, err := ctx.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// header + separator + |Ks|*|Bs| rows
+	want := 2 + len(ctx.Ks)*len(ctx.Bs)
+	if len(lines) != want {
+		t.Errorf("table has %d lines, want %d:\n%s", len(lines), want, out)
+	}
+}
+
+func TestGridAndDerivedTables(t *testing.T) {
+	ctx := smallContext(t)
+	points, err := ctx.PresimGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(ctx.Ks)*len(ctx.Bs) {
+		t.Fatalf("grid has %d points", len(points))
+	}
+	for _, p := range points {
+		if p.Speedup <= 0 {
+			t.Errorf("k=%d b=%g: speedup %f", p.K, p.B, p.Speedup)
+		}
+		if p.SimTime <= 0 || p.SeqTime <= 0 {
+			t.Errorf("k=%d b=%g: times %f/%f", p.K, p.B, p.SimTime, p.SeqTime)
+		}
+	}
+	best := BestPerK(points)
+	if len(best) != len(ctx.Ks) {
+		t.Errorf("BestPerK: %d entries", len(best))
+	}
+	if s := Table3(points).String(); !strings.Contains(s, "Speedup") {
+		t.Error("Table3 malformed")
+	}
+	if s := Table4(points, ctx.Ks).String(); !strings.Contains(s, "cut-size") {
+		t.Error("Table4 malformed")
+	}
+	if s := Fig6(points, ctx.Ks, ctx.Bs).String(); !strings.Contains(s, "b=5") {
+		t.Error("Fig6 malformed")
+	}
+	if s := Fig7(points, ctx.Ks, ctx.Bs).String(); !strings.Contains(s, "machines") {
+		t.Error("Fig7 malformed")
+	}
+
+	tab, series, err := ctx.FullRuns(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != len(ctx.Ks)+1 {
+		t.Errorf("Figure 5 series has %d entries, want %d", len(series), len(ctx.Ks)+1)
+	}
+	if series[0] <= 0 {
+		t.Error("sequential time missing from Figure 5 series")
+	}
+	if !strings.Contains(tab.String(), "Simulation time") {
+		t.Error("Table5 malformed")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	ctx := smallContext(t)
+	if tab, err := ctx.AblationPairing(10); err != nil {
+		t.Errorf("pairing: %v", err)
+	} else if !strings.Contains(tab.String(), "gain") {
+		t.Error("pairing ablation missing strategies")
+	}
+	if tab, err := ctx.AblationFlattening(); err != nil {
+		t.Errorf("flattening: %v", err)
+	} else if !strings.Contains(tab.String(), "off") {
+		t.Error("flattening ablation missing off row")
+	}
+	if tab, err := ctx.AblationInitial(2, 10); err != nil {
+		t.Errorf("initial: %v", err)
+	} else if !strings.Contains(tab.String(), "cone") {
+		t.Error("initial ablation missing cone row")
+	}
+}
+
+func TestHeuristicStudy(t *testing.T) {
+	ctx := smallContext(t)
+	s, err := ctx.HeuristicStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "heuristic") || !strings.Contains(s, "brute force") {
+		t.Errorf("study output malformed: %s", s)
+	}
+}
+
+func TestActivityWeightStudy(t *testing.T) {
+	ctx := smallContext(t)
+	s, err := ctx.ActivityWeightStudy(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "activity weights") {
+		t.Errorf("study output malformed: %s", s)
+	}
+}
+
+func TestHierarchyStudy(t *testing.T) {
+	tab, err := HierarchyStudy(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "speedup") {
+		t.Error("hierarchy study malformed")
+	}
+}
+
+func TestScaleStudy(t *testing.T) {
+	tab, err := ScaleStudy([]int{4, 5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	if !strings.Contains(out, "4 (8)") || !strings.Contains(out, "5 (16)") {
+		t.Errorf("scale study malformed:\n%s", out)
+	}
+}
+
+func TestAblationRecursive(t *testing.T) {
+	ctx := smallContext(t)
+	tab, err := ctx.AblationRecursive(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "recursive cut") {
+		t.Error("recursive ablation malformed")
+	}
+}
+
+func TestClusteringStudy(t *testing.T) {
+	ctx := smallContext(t)
+	tab, err := ctx.ClusteringStudy(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	if !strings.Contains(out, "design hierarchy") || !strings.Contains(out, "bottom-up clusters") {
+		t.Errorf("clustering study malformed:\n%s", out)
+	}
+}

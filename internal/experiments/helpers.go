@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"repro/internal/clustersim"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// profileActivity runs a short sequential simulation and returns per-gate
+// evaluation counts scaled into small integer weights (min 1), the input
+// to the activity-weighted load metric.
+func profileActivity(c *Context, cycles uint64) ([]int, error) {
+	s, err := sim.New(c.ED.Netlist)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.Run(sim.RandomVectors{Seed: c.Seed}, cycles); err != nil {
+		return nil, err
+	}
+	// Scale so the busiest gate weighs ~16: coarse enough to keep vertex
+	// weights small, fine enough to distinguish hot logic from idle.
+	var max uint64 = 1
+	for _, n := range s.EvalCount {
+		if n > max {
+			max = n
+		}
+	}
+	w := make([]int, len(s.EvalCount))
+	for i, n := range s.EvalCount {
+		w[i] = int(n*15/max) + 1
+	}
+	return w, nil
+}
+
+// evalParts models a run over an explicit gate partition.
+func (c *Context) evalParts(gateParts []int32, k int, cycles uint64) (*GridPoint, error) {
+	res, err := clustersim.Run(clustersim.Config{
+		NL: c.ED.Netlist, GateParts: gateParts, K: k,
+		Vectors: sim.RandomVectors{Seed: c.Seed}, Cycles: cycles, Costs: c.Costs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &GridPoint{
+		K: k, SimTime: res.ParTime, SeqTime: res.SeqTime, Speedup: res.Speedup,
+		Messages: res.Messages, Rollbacks: res.Rollbacks,
+	}, nil
+}
+
+// CountGates is a small helper for reports.
+func CountGates(nl *netlist.Netlist) int { return nl.NumGates() }

@@ -1,0 +1,112 @@
+// Package fm implements Fiduccia–Mattheyses iterative improvement between
+// a pair of partitions of a hypergraph — the "iterative moving" engine of
+// the paper's multiway algorithm (§3.3): vertices move between the two
+// paired partitions until there is no free vertex left or no gain in the
+// cut-size can be obtained.
+package fm
+
+import "repro/internal/hypergraph"
+
+// bucketList is the classic FM gain-bucket structure: a doubly linked list
+// of vertices per gain value, with O(1) insert, delete and max-gain lookup.
+type bucketList struct {
+	offset  int // gain g lives in heads[g+offset]
+	heads   []int32
+	next    []int32 // by vertex, -1 terminated
+	prev    []int32
+	gain    []int32 // current gain by vertex
+	inList  []bool
+	maxGain int // current upper bound on occupied gain (lazy)
+}
+
+const nilIdx = int32(-1)
+
+func newBucketList(nVertices, maxDegree int) *bucketList {
+	b := &bucketList{
+		offset: maxDegree,
+		heads:  make([]int32, 2*maxDegree+1),
+		next:   make([]int32, nVertices),
+		prev:   make([]int32, nVertices),
+		gain:   make([]int32, nVertices),
+		inList: make([]bool, nVertices),
+	}
+	for i := range b.heads {
+		b.heads[i] = nilIdx
+	}
+	b.maxGain = -maxDegree - 1
+	return b
+}
+
+func (b *bucketList) insert(v hypergraph.VertexID, gain int) {
+	idx := gain + b.offset
+	b.gain[v] = int32(gain)
+	b.prev[v] = nilIdx
+	b.next[v] = b.heads[idx]
+	if b.heads[idx] != nilIdx {
+		b.prev[b.heads[idx]] = int32(v)
+	}
+	b.heads[idx] = int32(v)
+	b.inList[v] = true
+	if gain > b.maxGain {
+		b.maxGain = gain
+	}
+}
+
+func (b *bucketList) remove(v hypergraph.VertexID) {
+	if !b.inList[v] {
+		return
+	}
+	idx := int(b.gain[v]) + b.offset
+	if b.prev[v] != nilIdx {
+		b.next[b.prev[v]] = b.next[v]
+	} else {
+		b.heads[idx] = b.next[v]
+	}
+	if b.next[v] != nilIdx {
+		b.prev[b.next[v]] = b.prev[v]
+	}
+	b.inList[v] = false
+}
+
+func (b *bucketList) update(v hypergraph.VertexID, gain int) {
+	if b.inList[v] && int(b.gain[v]) == gain {
+		return
+	}
+	b.remove(v)
+	b.insert(v, gain)
+}
+
+// popBest removes and returns the vertex with maximum gain for which
+// accept returns true, scanning gains from high to low. It returns
+// (NoVertex, 0) when no acceptable vertex exists.
+func (b *bucketList) popBest(accept func(hypergraph.VertexID) bool) (hypergraph.VertexID, int) {
+	for g := b.maxGain; g >= -b.offset; g-- {
+		idx := g + b.offset
+		v := b.heads[idx]
+		// Track the highest non-empty bucket lazily.
+		if v == nilIdx {
+			if g == b.maxGain {
+				b.maxGain--
+			}
+			continue
+		}
+		for v != nilIdx {
+			if accept(hypergraph.VertexID(v)) {
+				b.remove(hypergraph.VertexID(v))
+				return hypergraph.VertexID(v), g
+			}
+			v = b.next[v]
+		}
+	}
+	return hypergraph.NoVertex, 0
+}
+
+func (b *bucketList) empty() bool {
+	for g := b.maxGain; g >= -b.offset; g-- {
+		if b.heads[g+b.offset] != nilIdx {
+			return false
+		}
+		b.maxGain = g - 1
+	}
+	return true
+}

@@ -1,0 +1,228 @@
+package fm
+
+import "repro/internal/hypergraph"
+
+// Feasible decides whether moving vertex v from partition `from` to
+// partition `to` is allowed (the load-balancing constraint, supplied by
+// the caller). loads is the refiner's live per-partition weight, updated
+// after every tentative move. A nil Feasible allows every move.
+type Feasible func(v hypergraph.VertexID, from, to int32, loads []int) bool
+
+// Result summarizes one RefinePair call.
+type Result struct {
+	Passes    int // passes actually run
+	Moves     int // net vertex moves kept after roll-back
+	GainTotal int // total cut reduction achieved
+}
+
+// refiner holds the per-call state of a pairwise FM refinement.
+type refiner struct {
+	h    *hypergraph.H
+	a    *hypergraph.Assignment
+	p, q int32
+
+	// pinCount[e][part] — pins of edge e in each partition; distinct[e] —
+	// number of distinct partitions edge e touches. Maintained
+	// incrementally so gains are O(degree) to compute.
+	pinCount [][]int32
+	distinct []int32
+
+	locked  []bool
+	buckets *bucketList
+	maxDeg  int
+
+	feasible Feasible
+	loads    []int // current load per partition (all k parts)
+}
+
+// RefinePair runs FM passes moving vertices between partitions p and q of
+// assignment a until a pass yields no improvement, or maxPasses is
+// reached. Vertices in other partitions are fixed. It returns the total
+// cut-size reduction.
+//
+// Each pass follows the classic algorithm: all vertices of p∪q start
+// free; the best-gain feasible move is applied and the vertex locked;
+// after all moves, the pass is rolled back to the prefix with the best
+// cumulative cut. "No free vertex or no gain" (paper fig. 2) ends the
+// refinement.
+func RefinePair(h *hypergraph.H, a *hypergraph.Assignment, p, q int32, feasible Feasible, maxPasses int) Result {
+	if maxPasses <= 0 {
+		maxPasses = 16
+	}
+	r := &refiner{h: h, a: a, p: p, q: q, feasible: feasible}
+	r.init()
+	var res Result
+	for pass := 0; pass < maxPasses; pass++ {
+		gain, moves := r.runPass()
+		res.Passes++
+		if gain <= 0 {
+			break
+		}
+		res.GainTotal += gain
+		res.Moves += moves
+	}
+	return res
+}
+
+func (r *refiner) init() {
+	h, a := r.h, r.a
+	r.pinCount = make([][]int32, len(h.Edges))
+	r.distinct = make([]int32, len(h.Edges))
+	for ei := range h.Edges {
+		counts := make([]int32, a.K)
+		for _, pin := range h.Edges[ei].Pins {
+			counts[a.Parts[pin]]++
+		}
+		d := int32(0)
+		for _, c := range counts {
+			if c > 0 {
+				d++
+			}
+		}
+		r.pinCount[ei] = counts
+		r.distinct[ei] = d
+	}
+	r.locked = make([]bool, len(h.Vertices))
+	r.loads = hypergraph.PartLoads(h, a)
+	// The gain of a vertex is bounded by the total weight of its incident
+	// edges (weights matter on coarsened hypergraphs).
+	r.maxDeg = 1
+	for vi := range h.Vertices {
+		d := 0
+		for _, e := range h.Vertices[vi].Edges {
+			d += h.Edges[e].Weight
+		}
+		if d > r.maxDeg {
+			r.maxDeg = d
+		}
+	}
+}
+
+// gainOf computes the cut reduction of moving v to the other side of the
+// pair.
+func (r *refiner) gainOf(v hypergraph.VertexID) int {
+	from := r.a.Parts[v]
+	to := r.other(from)
+	gain := 0
+	for _, e := range r.h.Vertices[v].Edges {
+		cFrom := r.pinCount[e][from]
+		cTo := r.pinCount[e][to]
+		d := r.distinct[e]
+		// Cut before: d > 1. After the move: distinct count changes by
+		// -1 if v was the last pin in `from`, +1 if `to` was empty.
+		dAfter := d
+		if cFrom == 1 {
+			dAfter--
+		}
+		if cTo == 0 {
+			dAfter++
+		}
+		before, after := 0, 0
+		if d > 1 {
+			before = 1
+		}
+		if dAfter > 1 {
+			after = 1
+		}
+		gain += (before - after) * r.h.Edges[e].Weight
+	}
+	return gain
+}
+
+func (r *refiner) other(part int32) int32 {
+	if part == r.p {
+		return r.q
+	}
+	return r.p
+}
+
+// apply moves v to the other side, updating pin counts, distinct counts
+// and loads.
+func (r *refiner) apply(v hypergraph.VertexID) {
+	from := r.a.Parts[v]
+	to := r.other(from)
+	for _, e := range r.h.Vertices[v].Edges {
+		if r.pinCount[e][from] == 1 {
+			r.distinct[e]--
+		}
+		if r.pinCount[e][to] == 0 {
+			r.distinct[e]++
+		}
+		r.pinCount[e][from]--
+		r.pinCount[e][to]++
+	}
+	w := r.h.Vertices[v].Weight
+	r.loads[from] -= w
+	r.loads[to] += w
+	r.a.Parts[v] = to
+}
+
+// runPass executes one FM pass and rolls back to the best prefix. It
+// returns the kept gain and the number of kept moves.
+func (r *refiner) runPass() (int, int) {
+	h, a := r.h, r.a
+	r.buckets = newBucketList(len(h.Vertices), r.maxDeg)
+	for i := range r.locked {
+		r.locked[i] = false
+	}
+	free := 0
+	for vi := range h.Vertices {
+		if a.Parts[vi] == r.p || a.Parts[vi] == r.q {
+			r.buckets.insert(hypergraph.VertexID(vi), r.gainOf(hypergraph.VertexID(vi)))
+			free++
+		}
+	}
+	if free == 0 {
+		return 0, 0
+	}
+
+	type move struct {
+		v    hypergraph.VertexID
+		gain int
+	}
+	moves := make([]move, 0, free)
+	cum, bestCum, bestIdx := 0, 0, -1
+
+	accept := func(v hypergraph.VertexID) bool {
+		if r.locked[v] {
+			return false
+		}
+		if r.feasible == nil {
+			return true
+		}
+		from := a.Parts[v]
+		return r.feasible(v, from, r.other(from), r.loads)
+	}
+
+	for !r.buckets.empty() {
+		v, g := r.buckets.popBest(accept)
+		if v == hypergraph.NoVertex {
+			break // no feasible move remains
+		}
+		r.locked[v] = true
+		r.apply(v)
+		moves = append(moves, move{v: v, gain: g})
+		cum += g
+		if cum > bestCum {
+			bestCum = cum
+			bestIdx = len(moves) - 1
+		}
+		// Update gains of unlocked neighbours on v's nets.
+		for _, e := range h.Vertices[v].Edges {
+			for _, n := range h.Edges[e].Pins {
+				if n == v || r.locked[n] {
+					continue
+				}
+				if pt := a.Parts[n]; pt == r.p || pt == r.q {
+					r.buckets.update(n, r.gainOf(n))
+				}
+			}
+		}
+	}
+
+	// Roll back moves after the best prefix.
+	for i := len(moves) - 1; i > bestIdx; i-- {
+		r.apply(moves[i].v) // apply is its own inverse for a pair swap
+	}
+	return bestCum, bestIdx + 1
+}

@@ -1,0 +1,123 @@
+package gen
+
+import "fmt"
+
+// FIRConfig parameterizes the FIR filter generator.
+type FIRConfig struct {
+	// Taps is the number of filter taps.
+	Taps int
+	// W is the data path width in bits.
+	W int
+	// Coeffs are the tap coefficients (width W); generated
+	// pseudo-randomly from Seed when nil.
+	Coeffs []uint64
+	// Seed drives coefficient generation when Coeffs is nil.
+	Seed int64
+}
+
+// DefaultFIR is a 16-tap, 8-bit transposed-form filter (~4k gates).
+var DefaultFIR = FIRConfig{Taps: 16, W: 8, Seed: 3}
+
+// FIR generates a transposed-form FIR filter in structural gate-level
+// Verilog: per tap a constant-coefficient multiplier (shift-and-add over
+// the coefficient's set bits) and an accumulator register. The transposed
+// form chains tap modules through registered partial sums — module
+// boundaries carry exactly one registered bus each, making it the cleanest
+// "pipeline of modules" workload in the suite (the opposite connectivity
+// extreme from the Viterbi trellis).
+func FIR(cfg FIRConfig) *Circuit {
+	if cfg.Taps == 0 {
+		cfg = DefaultFIR
+	}
+	if cfg.W == 0 {
+		cfg.W = 8
+	}
+	if cfg.Coeffs == nil {
+		// Small multiplicative generator keeps coefficients varied and
+		// deterministic without math/rand.
+		x := uint64(cfg.Seed)*2654435761 + 12345
+		for i := 0; i < cfg.Taps; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			cfg.Coeffs = append(cfg.Coeffs, (x>>33)&((1<<uint(cfg.W))-1))
+		}
+	}
+	W := cfg.W
+	e := newEmitter()
+	e.printf("// Generated %d-tap %d-bit transposed FIR filter\n", cfg.Taps, W)
+	add := e.adder(W)
+	reg := e.register(W)
+
+	// Per-coefficient constant multiplier modules (one per distinct
+	// coefficient): product = sum over set bits b of (x << b), truncated
+	// to W bits.
+	coefMod := make(map[uint64]string)
+	for _, coef := range cfg.Coeffs {
+		if _, ok := coefMod[coef]; ok {
+			continue
+		}
+		name := fmt.Sprintf("fir_mul_%x", coef)
+		coefMod[coef] = name
+		e.printf("\nmodule %s (input [%d:0] x, output [%d:0] p);\n", name, W-1, W-1)
+		// Collect shifted addends.
+		var terms []string
+		for b := 0; b < W; b++ {
+			if coef>>uint(b)&1 == 0 {
+				continue
+			}
+			t := fmt.Sprintf("t%d", b)
+			e.printf("  wire [%d:0] %s;\n", W-1, t)
+			// x << b, truncated: t[i] = x[i-b] for i >= b else 0.
+			for i := 0; i < W; i++ {
+				if i >= b {
+					e.printf("  buf %s_b%d (%s[%d], x[%d]);\n", t, i, t, i, i-b)
+				} else {
+					e.printf("  buf %s_b%d (%s[%d], 1'b0);\n", t, i, t, i)
+				}
+			}
+			terms = append(terms, t)
+		}
+		switch len(terms) {
+		case 0:
+			for i := 0; i < W; i++ {
+				e.printf("  buf z%d (p[%d], 1'b0);\n", i, i)
+			}
+		case 1:
+			e.printf("  assign p = %s;\n", terms[0])
+		default:
+			acc := terms[0]
+			for i := 1; i < len(terms); i++ {
+				next := fmt.Sprintf("s%d", i)
+				if i == len(terms)-1 {
+					e.printf("  %s a%d (.a(%s), .b(%s), .s(p));\n", add, i, acc, terms[i])
+				} else {
+					e.printf("  wire [%d:0] %s;\n", W-1, next)
+					e.printf("  %s a%d (.a(%s), .b(%s), .s(%s));\n", add, i, acc, terms[i], next)
+					acc = next
+				}
+			}
+		}
+		e.line("endmodule")
+	}
+
+	// Top: transposed chain. Tap i multiplies the CURRENT input by
+	// coeffs[i]; partial sums flow through registers toward the output.
+	e.printf("\nmodule fir (input clk, input [%d:0] x, output [%d:0] y);\n", W-1, W-1)
+	for i := 0; i < cfg.Taps; i++ {
+		e.printf("  wire [%d:0] p%d, s%d, q%d;\n", W-1, i, i, i)
+		e.printf("  %s m%d (.x(x), .p(p%d));\n", coefMod[cfg.Coeffs[i]], i, i)
+		if i == 0 {
+			e.printf("  assign s0 = p0;\n")
+		} else {
+			e.printf("  %s add%d (.a(p%d), .b(q%d), .s(s%d));\n", add, i, i, i-1, i)
+		}
+		e.printf("  %s r%d (.d(s%d), .clk(clk), .q(q%d));\n", reg, i, i, i)
+	}
+	e.printf("  assign y = q%d;\n", cfg.Taps-1)
+	e.line("endmodule")
+
+	return &Circuit{
+		Name:   fmt.Sprintf("fir%d_w%d", cfg.Taps, W),
+		Top:    "fir",
+		Source: e.String(),
+	}
+}

@@ -1,0 +1,304 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hypergraph"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// simNew adapts sim.New for tests in this package.
+func simNew(t *testing.T, nl *netlist.Netlist) (*sim.Simulator, error) {
+	t.Helper()
+	return sim.New(nl)
+}
+
+func TestViterbiDefaultElaborates(t *testing.T) {
+	c := Viterbi(DefaultViterbi)
+	ed, err := c.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ed.Netlist.Stats()
+	t.Logf("viterbi default: %d gates (%d dff), %d nets, %d instances, depth %d",
+		st.Gates, st.DFFs, st.Nets, len(ed.Instances), ed.MaxDepth())
+	if st.Gates < 10000 {
+		t.Errorf("default viterbi too small: %d gates", st.Gates)
+	}
+	if ed.ModuleCount() < 300 {
+		t.Errorf("default viterbi has %d module instances, want several hundred", ed.ModuleCount())
+	}
+	// 64 states: per state W+1 DFFs in the ACS (metric + decision) and
+	// TB in the path unit.
+	if st.DFFs != 64*(8+24+1) {
+		t.Errorf("DFFs: got %d, want %d", st.DFFs, 64*33)
+	}
+	if _, err := ed.Netlist.Levels(); err != nil {
+		t.Errorf("viterbi should be levelizable: %v", err)
+	}
+	// Top-level module instances (the paper's super-gates) should number
+	// in the hundreds: bmu + S acs + S pm regs + S path units.
+	topKids := len(ed.Top.Children)
+	if topKids != 1+2*64 {
+		t.Errorf("top-level instances: got %d, want %d", topKids, 1+2*64)
+	}
+}
+
+func TestViterbiSmallConfig(t *testing.T) {
+	c := Viterbi(ViterbiConfig{K: 3, W: 4, TB: 8})
+	ed, err := c.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ed.Top.Children) != 1+2*4 {
+		t.Errorf("K=3 top instances: got %d, want 9", len(ed.Top.Children))
+	}
+}
+
+func TestViterbiHierarchicalVsFlatHypergraph(t *testing.T) {
+	c := Viterbi(ViterbiConfig{K: 5, W: 6, TB: 16})
+	ed, err := c.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := hypergraph.BuildHierarchical(ed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := hypergraph.BuildFlat(ed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hier.NumVertices() >= flat.NumVertices()/5 {
+		t.Errorf("hierarchical view not much smaller: %d vs %d vertices",
+			hier.NumVertices(), flat.NumVertices())
+	}
+	if hier.TotalWeight != flat.TotalWeight {
+		t.Errorf("weight mismatch: %d vs %d", hier.TotalWeight, flat.TotalWeight)
+	}
+	if err := hier.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := flat.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiplierElaborates(t *testing.T) {
+	for _, n := range []int{4, 8, 16} {
+		c := Multiplier(n)
+		ed, err := c.Elaborate()
+		if err != nil {
+			t.Fatalf("mul%d: %v", n, err)
+		}
+		st := ed.Netlist.Stats()
+		if st.DFFs != 2*n {
+			t.Errorf("mul%d: %d DFFs, want %d", n, st.DFFs, 2*n)
+		}
+		if _, err := ed.Netlist.Levels(); err != nil {
+			t.Errorf("mul%d: %v", n, err)
+		}
+		if len(ed.Netlist.PIs) != 2*n+1 { // a, b, clk
+			t.Errorf("mul%d: %d PIs, want %d", n, len(ed.Netlist.PIs), 2*n+1)
+		}
+		if len(ed.Netlist.POs) != 2*n {
+			t.Errorf("mul%d: %d POs, want %d", n, len(ed.Netlist.POs), 2*n)
+		}
+	}
+}
+
+func TestLFSRElaborates(t *testing.T) {
+	c := LFSR(16, nil)
+	ed, err := c.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ed.Netlist.Stats()
+	if st.DFFs != 16 {
+		t.Errorf("DFFs: got %d, want 16", st.DFFs)
+	}
+	// The LFSR contains a sequential loop; levelization must still work.
+	if _, err := ed.Netlist.Levels(); err != nil {
+		t.Errorf("lfsr should levelize: %v", err)
+	}
+}
+
+func TestRandomHierarchicalDeterministic(t *testing.T) {
+	a := RandomHierarchical(DefaultRandHier)
+	b := RandomHierarchical(DefaultRandHier)
+	if a.Source != b.Source {
+		t.Error("same seed should generate identical source")
+	}
+	cfg := DefaultRandHier
+	cfg.Seed = 2
+	c := RandomHierarchical(cfg)
+	if a.Source == c.Source {
+		t.Error("different seed should generate different source")
+	}
+}
+
+func TestRandomHierarchicalElaborates(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := DefaultRandHier
+		cfg.Seed = seed
+		c := RandomHierarchical(cfg)
+		ed, err := c.Elaborate()
+		if err != nil {
+			t.Fatalf("seed %d: %v\nsource:\n%s", seed, err, firstLines(c.Source, 40))
+		}
+		if _, err := ed.Netlist.Levels(); err != nil {
+			t.Errorf("seed %d: combinational cycle: %v", seed, err)
+		}
+		if ed.Netlist.NumGates() < 100 {
+			t.Errorf("seed %d: only %d gates", seed, ed.Netlist.NumGates())
+		}
+	}
+}
+
+func TestRandomHierarchicalScales(t *testing.T) {
+	cfg := RandHierConfig{
+		ModuleTypes:        20,
+		GatesPerModule:     120,
+		InstancesPerModule: 4,
+		TopInstances:       60,
+		PIs:                32,
+		Seed:               7,
+		DFFFraction:        0.3,
+	}
+	c := RandomHierarchical(cfg)
+	ed, err := c.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ed.Netlist.NumGates() < 5000 {
+		t.Errorf("scaled circuit only has %d gates", ed.Netlist.NumGates())
+	}
+	t.Logf("randhier scaled: %d gates, %d instances", ed.Netlist.NumGates(), len(ed.Instances))
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}
+
+func TestViterbiSoCElaborates(t *testing.T) {
+	c := ViterbiSoC(SoCConfig{
+		Channels:      2,
+		Viterbi:       ViterbiConfig{K: 4, W: 4, TB: 8},
+		ScramblerBits: 16,
+		CRCBits:       8,
+	})
+	ed, err := c.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ed.Top.Children) != 2 {
+		t.Errorf("top should have 2 channel instances, got %d", len(ed.Top.Children))
+	}
+	if ed.MaxDepth() < 3 {
+		t.Errorf("SoC depth %d, want >= 3 (channel/core/unit)", ed.MaxDepth())
+	}
+	if _, err := ed.Netlist.Levels(); err != nil {
+		t.Errorf("SoC should levelize: %v", err)
+	}
+	// Channels should be nearly independent: the hierarchical hypergraph
+	// at channel granularity has almost no cut between the two channels.
+	h, err := hypergraph.BuildHierarchical(ed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertices: 2 channels + a handful of top-level status gates.
+	super := 0
+	for vi := range h.Vertices {
+		if h.Vertices[vi].IsSuper() {
+			super++
+		}
+	}
+	if super != 2 {
+		t.Errorf("expected 2 channel super-gates, got %d", super)
+	}
+}
+
+func TestViterbiSoCDefaultScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large workload")
+	}
+	c := ViterbiSoC(DefaultSoC)
+	ed, err := c.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("soc default: %d gates, %d instances", ed.Netlist.NumGates(), len(ed.Instances))
+	if ed.Netlist.NumGates() < 10000 {
+		t.Errorf("default SoC too small: %d gates", ed.Netlist.NumGates())
+	}
+}
+
+func TestFIRElaboratesAndFilters(t *testing.T) {
+	c := FIR(DefaultFIR)
+	ed, err := c.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ed.Netlist.Stats()
+	if st.DFFs != 16*8 {
+		t.Errorf("DFFs: got %d, want %d", st.DFFs, 16*8)
+	}
+	if _, err := ed.Netlist.Levels(); err != nil {
+		t.Errorf("fir should levelize: %v", err)
+	}
+	t.Logf("fir default: %d gates, %d instances", st.Gates, len(ed.Instances))
+}
+
+func TestFIRImpulseResponse(t *testing.T) {
+	// An impulse of 1 must read out the coefficient sequence (mod 2^W).
+	coeffs := []uint64{3, 5, 7, 11}
+	c := FIR(FIRConfig{Taps: 4, W: 8, Coeffs: coeffs})
+	ed, err := c.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := ed.Netlist
+	s, err := simNew(t, nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vector layout: x[7:0] MSB first.
+	step := func(x uint64) uint64 {
+		vec := make([]bool, s.VectorWidth())
+		for i := 0; i < 8; i++ {
+			vec[i] = x>>(7-uint(i))&1 == 1 // MSB-first ports
+		}
+		if _, err := s.Step(vec); err != nil {
+			t.Fatal(err)
+		}
+		var y uint64
+		for i, po := range nl.POs { // y[7:0], MSB first
+			if s.Value(po) {
+				y |= 1 << (7 - uint(i))
+			}
+		}
+		return y
+	}
+	step(1) // impulse
+	// In the transposed form, tap 0's product appears after one cycle,
+	// then the chain replays the remaining coefficients in REVERSE order
+	// of their distance from the output register. With y = q_{n-1} and
+	// tap i multiplying the current sample, the impulse response is
+	// coeffs[n-1], coeffs[n-2], ..., coeffs[0].
+	var got []uint64
+	for i := 0; i < 4; i++ {
+		got = append(got, step(0))
+	}
+	want := []uint64{11, 7, 5, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("impulse response %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package gen
+
+import "fmt"
+
+// Multiplier generates an N×N unsigned array multiplier with a registered
+// output: a hierarchical combinational workload whose hierarchy is a grid
+// of row modules built from full adders. It is the "regular datapath"
+// counterpoint to the Viterbi decoder in the experiment suite.
+//
+// Structure: partial products are formed by AND gates inside each row
+// module; rows accumulate with ripple carries; the 2N-bit product is
+// registered so the circuit is sequential (one vector per cycle).
+func Multiplier(n int) *Circuit {
+	e := newEmitter()
+	e.printf("// Generated %dx%d array multiplier\n", n, n)
+	fa := e.fullAdder()
+	ha := e.halfAdder()
+	reg := e.register(2 * n)
+
+	// Row module: adds the partial products of one multiplier bit to the
+	// running sum. sin/sout are the n-bit running sums; cin/cout unused —
+	// carries stay inside the row via a ripple chain, with the row's
+	// top carry exported.
+	e.printf(`
+module mul_row%d (input [%d:0] a, input b, input [%d:0] sin, output [%d:0] sout, output carry);
+`, n, n-1, n-1, n-1)
+	e.printf("  wire [%d:0] pp;\n", n-1)
+	e.printf("  wire [%d:0] c;\n", n-1)
+	for i := 0; i < n; i++ {
+		e.printf("  and pa%d (pp[%d], a[%d], b);\n", i, i, i)
+	}
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			e.printf("  %s add0 (.a(pp[0]), .b(sin[0]), .sum(sout[0]), .cout(c[0]));\n", ha)
+		} else {
+			e.printf("  %s add%d (.a(pp[%d]), .b(sin[%d]), .cin(c[%d]), .sum(sout[%d]), .cout(c[%d]));\n",
+				fa, i, i, i, i-1, i, i)
+		}
+	}
+	e.printf("  buf bc (carry, c[%d]);\n", n-1)
+	e.line("endmodule")
+
+	// Top: n rows; row i consumes b[i]. The running sum shifts right one
+	// bit per row: sout[0] of row i is product bit i; the remaining bits
+	// plus the carry feed the next row.
+	e.printf("\nmodule mul%d (input clk, input [%d:0] a, input [%d:0] b, output [%d:0] p);\n",
+		n, n-1, n-1, 2*n-1)
+	e.printf("  wire [%d:0] praw;\n", 2*n-1)
+	for i := 0; i < n; i++ {
+		e.printf("  wire [%d:0] s%d; wire cy%d;\n", n-1, i, i)
+	}
+	for i := 0; i < n; i++ {
+		sin := fmt.Sprintf("{cy%d, s%d[%d:1]}", i-1, i-1, n-1)
+		if i == 0 {
+			zeros := fmt.Sprintf("%d'b0", n)
+			sin = zeros
+		}
+		e.printf("  mul_row%d row%d (.a(a), .b(b[%d]), .sin(%s), .sout(s%d), .carry(cy%d));\n",
+			n, i, i, sin, i, i)
+		e.printf("  buf pb%d (praw[%d], s%d[0]);\n", i, i, i)
+	}
+	// Upper product bits: the final running sum and carry.
+	for i := 1; i < n; i++ {
+		e.printf("  buf pu%d (praw[%d], s%d[%d]);\n", i, n-1+i, n-1, i)
+	}
+	e.printf("  buf pc (praw[%d], cy%d);\n", 2*n-1, n-1)
+	e.printf("  %s outreg (.d(praw), .clk(clk), .q(p));\n", reg)
+	e.line("endmodule")
+
+	return &Circuit{
+		Name:   fmt.Sprintf("mul%d", n),
+		Top:    fmt.Sprintf("mul%d", n),
+		Source: e.String(),
+	}
+}
+
+// LFSR generates an n-bit Fibonacci linear-feedback shift register with
+// XOR taps plus a small combinational output network. It is the smallest
+// sequential workload in the suite and the quickstart example's circuit.
+func LFSR(n int, taps []int) *Circuit {
+	if len(taps) == 0 {
+		taps = []int{n - 1, n - 3} // a simple default pair
+	}
+	e := newEmitter()
+	e.printf("// Generated %d-bit LFSR with taps %v\n", n, taps)
+	e.printf("\nmodule lfsr%d (input clk, input seed_in, output out);\n", n)
+	e.printf("  wire [%d:0] q;\n", n-1)
+	e.line("  wire fb, fbs;")
+	// Feedback: XOR of tap bits.
+	prev := fmt.Sprintf("q[%d]", taps[0])
+	for i, t := range taps[1:] {
+		cur := fmt.Sprintf("fbx%d", i)
+		e.printf("  wire %s;\n", cur)
+		e.printf("  xor fx%d (%s, %s, q[%d]);\n", i, cur, prev, t)
+		prev = cur
+	}
+	e.printf("  buf fbb (fb, %s);\n", prev)
+	// seed_in lets external stimulus perturb the register so the circuit
+	// has input-dependent activity.
+	e.line("  xor fsx (fbs, fb, seed_in);")
+	e.line("  dff f0 (q[0], fbs, clk);")
+	for i := 1; i < n; i++ {
+		e.printf("  dff f%d (q[%d], q[%d], clk);\n", i, i, i-1)
+	}
+	e.printf("  buf ob (out, q[%d]);\n", n-1)
+	e.line("endmodule")
+	return &Circuit{
+		Name:   fmt.Sprintf("lfsr%d", n),
+		Top:    fmt.Sprintf("lfsr%d", n),
+		Source: e.String(),
+	}
+}

@@ -1,0 +1,189 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandHierConfig parameterizes the random hierarchical circuit generator.
+type RandHierConfig struct {
+	// ModuleTypes is the number of distinct module definitions in the
+	// library (excluding the top).
+	ModuleTypes int
+	// GatesPerModule is the approximate number of direct gates per module.
+	GatesPerModule int
+	// InstancesPerModule is the approximate number of child instances per
+	// non-leaf module.
+	InstancesPerModule int
+	// TopInstances is the number of instances in the top module.
+	TopInstances int
+	// PIs is the number of primary inputs (excluding clk).
+	PIs int
+	// Seed makes generation deterministic.
+	Seed int64
+	// DFFFraction in [0,1] is the approximate fraction of module outputs
+	// that are registered.
+	DFFFraction float64
+}
+
+// DefaultRandHier is a mid-sized random hierarchical workload.
+var DefaultRandHier = RandHierConfig{
+	ModuleTypes:        12,
+	GatesPerModule:     40,
+	InstancesPerModule: 3,
+	TopInstances:       24,
+	PIs:                16,
+	Seed:               1,
+	DFFFraction:        0.25,
+}
+
+// RandomHierarchical generates a random but structurally valid hierarchical
+// circuit: a library of module types each containing random combinational
+// gates, optional output registers, and instances of strictly
+// lower-numbered module types (so the hierarchy is a DAG and elaboration
+// terminates). Signals are created in sequence and gates only read earlier
+// signals, so the combinational logic is acyclic by construction.
+//
+// It is the scaling and property-test workload: any (ModuleTypes,
+// GatesPerModule, TopInstances) combination elaborates, simulates and
+// partitions.
+func RandomHierarchical(cfg RandHierConfig) *Circuit {
+	if cfg.ModuleTypes <= 0 {
+		cfg = DefaultRandHier
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	e := newEmitter()
+	e.printf("// Generated random hierarchical circuit (seed %d)\n", cfg.Seed)
+
+	gateKinds := []string{"and", "nand", "or", "nor", "xor", "xnor"}
+
+	type modSig struct {
+		name   string
+		ins    int
+		outs   int
+		hasDFF bool
+	}
+	lib := make([]modSig, cfg.ModuleTypes)
+
+	for m := 0; m < cfg.ModuleTypes; m++ {
+		ins := 2 + rng.Intn(5)
+		outs := 1 + rng.Intn(3)
+		sig := modSig{name: fmt.Sprintf("rh_m%d", m), ins: ins, outs: outs}
+
+		e.printf("\nmodule %s (input clk", sig.name)
+		for i := 0; i < ins; i++ {
+			e.printf(", input i%d", i)
+		}
+		for o := 0; o < outs; o++ {
+			e.printf(", output o%d", o)
+		}
+		e.line(");")
+
+		// avail is the pool of readable signal names, grown as gates and
+		// child instances produce outputs.
+		avail := make([]string, 0, ins+cfg.GatesPerModule)
+		for i := 0; i < ins; i++ {
+			avail = append(avail, fmt.Sprintf("i%d", i))
+		}
+		wireSeq := 0
+		newWire := func() string {
+			w := fmt.Sprintf("w%d", wireSeq)
+			wireSeq++
+			e.printf("  wire %s;\n", w)
+			return w
+		}
+		pick := func() string { return avail[rng.Intn(len(avail))] }
+
+		// Child instances of strictly lower-numbered modules.
+		if m > 0 {
+			nInst := rng.Intn(cfg.InstancesPerModule + 1)
+			for c := 0; c < nInst; c++ {
+				child := lib[rng.Intn(m)]
+				outs := make([]string, child.outs)
+				for o := range outs {
+					outs[o] = newWire()
+				}
+				e.printf("  %s u%d (.clk(clk)", child.name, c)
+				for i := 0; i < child.ins; i++ {
+					e.printf(", .i%d(%s)", i, pick())
+				}
+				for o, w := range outs {
+					e.printf(", .o%d(%s)", o, w)
+				}
+				e.line(");")
+				avail = append(avail, outs...)
+			}
+		}
+
+		// Random combinational gates.
+		nGates := cfg.GatesPerModule/2 + rng.Intn(cfg.GatesPerModule+1)
+		for g := 0; g < nGates; g++ {
+			kind := gateKinds[rng.Intn(len(gateKinds))]
+			fanin := 2 + rng.Intn(3)
+			w := newWire()
+			e.printf("  %s g%d (%s", kind, g, w)
+			for f := 0; f < fanin; f++ {
+				e.printf(", %s", pick())
+			}
+			e.line(");")
+			avail = append(avail, w)
+		}
+
+		// Outputs: registered with probability DFFFraction, else buffered.
+		for o := 0; o < outs; o++ {
+			src := pick()
+			if rng.Float64() < cfg.DFFFraction {
+				e.printf("  dff fo%d (o%d, %s, clk);\n", o, o, src)
+				sig.hasDFF = true
+			} else {
+				e.printf("  buf bo%d (o%d, %s);\n", o, o, src)
+			}
+		}
+		e.line("endmodule")
+		lib[m] = sig
+	}
+
+	// Top module.
+	e.printf("\nmodule rh_top (input clk")
+	for i := 0; i < cfg.PIs; i++ {
+		e.printf(", input pi%d", i)
+	}
+	e.line(", output [7:0] po);")
+	avail := make([]string, 0, cfg.PIs)
+	for i := 0; i < cfg.PIs; i++ {
+		avail = append(avail, fmt.Sprintf("pi%d", i))
+	}
+	wireSeq := 0
+	for c := 0; c < cfg.TopInstances; c++ {
+		child := lib[rng.Intn(len(lib))]
+		// Declare output wires first, then the instance line.
+		outs := make([]string, child.outs)
+		for o := range outs {
+			outs[o] = fmt.Sprintf("tw%d", wireSeq)
+			wireSeq++
+			e.printf("  wire %s;\n", outs[o])
+		}
+		e.printf("  %s t%d (.clk(clk)", child.name, c)
+		for i := 0; i < child.ins; i++ {
+			e.printf(", .i%d(%s)", i, avail[rng.Intn(len(avail))])
+		}
+		for o, w := range outs {
+			e.printf(", .o%d(%s)", o, w)
+		}
+		e.line(");")
+		avail = append(avail, outs...)
+	}
+	// po: XOR-reduce the available pool into 8 observation bits so the
+	// whole circuit is observable.
+	for b := 0; b < 8; b++ {
+		x, y := avail[rng.Intn(len(avail))], avail[rng.Intn(len(avail))]
+		e.printf("  xor po%d (po[%d], %s, %s);\n", b, b, x, y)
+	}
+	e.line("endmodule")
+
+	return &Circuit{
+		Name:   fmt.Sprintf("randhier_s%d", cfg.Seed),
+		Top:    "rh_top",
+		Source: e.String(),
+	}
+}

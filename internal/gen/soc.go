@@ -1,0 +1,116 @@
+package gen
+
+import "fmt"
+
+// SoCConfig parameterizes the decoder SoC generator.
+type SoCConfig struct {
+	// Channels is the number of independent Viterbi decoder channels.
+	Channels int
+	// Viterbi configures each channel's decoder core.
+	Viterbi ViterbiConfig
+	// ScramblerBits sizes the per-channel input scrambler LFSR.
+	ScramblerBits int
+	// CRCBits sizes the per-channel output CRC register.
+	CRCBits int
+}
+
+// DefaultSoC is a two-channel decoder SoC around the default Viterbi core.
+var DefaultSoC = SoCConfig{
+	Channels:      2,
+	Viterbi:       ViterbiConfig{K: 6, W: 8, TB: 24},
+	ScramblerBits: 24,
+	CRCBits:       16,
+}
+
+// ViterbiSoC generates a multi-channel decoder SoC: per channel an input
+// scrambler (a self-running LFSR XOR-mixing the channel's symbol stream),
+// a Viterbi decoder core, and an output CRC accumulator; a top-level
+// status reduction XORs the CRC bits into one observable output.
+//
+// The point of this workload is its two-level structure: channels are
+// almost independent (ideal k=#channels cuts), while within a channel the
+// decoder's trellis is densely connected — so the quality of a k-way
+// partition depends strongly on whether k divides the channel count,
+// reproducing the "design hierarchy is destroyed as k grows" effect the
+// paper discusses for Figure 5.
+func ViterbiSoC(cfg SoCConfig) *Circuit {
+	if cfg.Channels == 0 {
+		cfg = DefaultSoC
+	}
+	cfg.Viterbi.fill()
+	e := newEmitter()
+	e.printf("// Generated %d-channel Viterbi decoder SoC\n", cfg.Channels)
+
+	// The decoder core modules (emitted once, shared by channels). We
+	// re-generate the single-channel Viterbi source and splice in its
+	// module definitions.
+	core := Viterbi(cfg.Viterbi)
+	e.line(core.Source)
+
+	sb := cfg.ScramblerBits
+	// Channel scrambler: free-running LFSR whose low two bits XOR the
+	// channel input symbol.
+	e.printf(`
+module soc_scrambler (input clk, input [1:0] raw, output [1:0] sym);
+  wire [%d:0] q;
+  wire fb;
+  xor fx (fb, q[%d], q[%d]);
+  dff f0 (q[0], fb, clk);
+`, sb-1, sb-1, sb-3)
+	for i := 1; i < sb; i++ {
+		e.printf("  dff f%d (q[%d], q[%d], clk);\n", i, i, i-1)
+	}
+	e.line("  xor s0 (sym[0], raw[0], q[0]);")
+	e.line("  xor s1 (sym[1], raw[1], q[1]);")
+	e.line("endmodule")
+
+	// Channel CRC: shift register with feedback taps XORed with the
+	// decoded bit.
+	cb := cfg.CRCBits
+	e.printf(`
+module soc_crc (input clk, input bit_in, output [%d:0] crc);
+  wire fb, fb2;
+  xor cx (fb, crc[%d], bit_in);
+  xor cx2 (fb2, fb, crc[%d]);
+  dff c0 (crc[0], fb2, clk);
+`, cb-1, cb-1, cb/2)
+	for i := 1; i < cb; i++ {
+		e.printf("  dff c%d (crc[%d], crc[%d], clk);\n", i, i, i-1)
+	}
+	e.line("endmodule")
+
+	// Per-channel wrapper.
+	e.printf(`
+module soc_channel (input clk, input [1:0] raw, output dec, output [%d:0] crc);
+  wire [1:0] sym;
+  soc_scrambler scr (.clk(clk), .raw(raw), .sym(sym));
+  viterbi core (.clk(clk), .sym(sym), .dec_out(dec));
+  soc_crc chk (.clk(clk), .bit_in(dec), .crc(crc));
+endmodule
+`, cb-1)
+
+	// Top: channels plus a status XOR-reduction tree.
+	e.printf("\nmodule soc (input clk")
+	for ch := 0; ch < cfg.Channels; ch++ {
+		e.printf(", input [1:0] raw%d", ch)
+	}
+	e.printf(", output [%d:0] status);\n", cfg.Channels-1)
+	for ch := 0; ch < cfg.Channels; ch++ {
+		e.printf("  wire dec%d; wire [%d:0] crc%d;\n", ch, cb-1, ch)
+		e.printf("  soc_channel ch%d (.clk(clk), .raw(raw%d), .dec(dec%d), .crc(crc%d));\n",
+			ch, ch, ch, ch)
+	}
+	// Status bit per channel: XOR of its CRC's low byte with its decode.
+	for ch := 0; ch < cfg.Channels; ch++ {
+		e.printf("  wire sx%d;\n", ch)
+		e.printf("  xor st%d (sx%d, crc%d[0], crc%d[%d]);\n", ch, ch, ch, ch, cb-1)
+		e.printf("  xor so%d (status[%d], sx%d, dec%d);\n", ch, ch, ch, ch)
+	}
+	e.line("endmodule")
+
+	return &Circuit{
+		Name:   fmt.Sprintf("soc_ch%d_k%d", cfg.Channels, cfg.Viterbi.K),
+		Top:    "soc",
+		Source: e.String(),
+	}
+}

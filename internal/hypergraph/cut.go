@@ -1,0 +1,169 @@
+package hypergraph
+
+import "fmt"
+
+// Assignment maps each vertex to a partition in [0, K). It is the output
+// of every partitioner in this repository.
+type Assignment struct {
+	K     int
+	Parts []int32 // by VertexID; -1 = unassigned
+}
+
+// NewAssignment returns an all-unassigned assignment for h with k parts.
+func NewAssignment(h *H, k int) *Assignment {
+	p := make([]int32, len(h.Vertices))
+	for i := range p {
+		p[i] = -1
+	}
+	return &Assignment{K: k, Parts: p}
+}
+
+// Clone deep-copies the assignment.
+func (a *Assignment) Clone() *Assignment {
+	p := make([]int32, len(a.Parts))
+	copy(p, a.Parts)
+	return &Assignment{K: a.K, Parts: p}
+}
+
+// Complete reports whether every vertex is assigned.
+func (a *Assignment) Complete() bool {
+	for _, p := range a.Parts {
+		if p < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks that the assignment is complete and within [0, K).
+func (a *Assignment) Validate(h *H) error {
+	if len(a.Parts) != len(h.Vertices) {
+		return fmt.Errorf("hypergraph: assignment covers %d vertices, graph has %d",
+			len(a.Parts), len(h.Vertices))
+	}
+	for v, p := range a.Parts {
+		if p < 0 || int(p) >= a.K {
+			return fmt.Errorf("hypergraph: vertex %d assigned to part %d (K=%d)", v, p, a.K)
+		}
+	}
+	return nil
+}
+
+// CutSize returns the hyperedge cut: the number of hyperedges whose pins
+// span more than one partition — the metric of the paper's Tables 1 and 2.
+func CutSize(h *H, a *Assignment) int {
+	cut := 0
+	for ei := range h.Edges {
+		pins := h.Edges[ei].Pins
+		first := a.Parts[pins[0]]
+		for _, p := range pins[1:] {
+			if a.Parts[p] != first {
+				cut++
+				break
+			}
+		}
+	}
+	return cut
+}
+
+// SOED returns the sum-of-external-degrees metric: for each cut hyperedge,
+// the number of distinct partitions it touches. Reported as an auxiliary
+// metric by the experiment harness.
+func SOED(h *H, a *Assignment) int {
+	soed := 0
+	seen := make([]int, a.K)
+	stamp := 0
+	for ei := range h.Edges {
+		stamp++
+		parts := 0
+		for _, p := range h.Edges[ei].Pins {
+			pt := a.Parts[p]
+			if seen[pt] != stamp {
+				seen[pt] = stamp
+				parts++
+			}
+		}
+		if parts > 1 {
+			soed += parts
+		}
+	}
+	return soed
+}
+
+// PartLoads returns the total vertex weight (gate count) per partition.
+func PartLoads(h *H, a *Assignment) []int {
+	loads := make([]int, a.K)
+	for vi := range h.Vertices {
+		if p := a.Parts[vi]; p >= 0 {
+			loads[p] += h.Vertices[vi].Weight
+		}
+	}
+	return loads
+}
+
+// EdgeSpansCut reports whether edge e is cut under a.
+func EdgeSpansCut(h *H, a *Assignment, e EdgeID) bool {
+	pins := h.Edges[e].Pins
+	first := a.Parts[pins[0]]
+	for _, p := range pins[1:] {
+		if a.Parts[p] != first {
+			return true
+		}
+	}
+	return false
+}
+
+// PairCut returns the number of hyperedges with at least one pin in part p
+// and one in part q (the pairing criterion of the paper's cut-based
+// strategy).
+func PairCut(h *H, a *Assignment, p, q int32) int {
+	cut := 0
+	for ei := range h.Edges {
+		hasP, hasQ := false, false
+		for _, pin := range h.Edges[ei].Pins {
+			switch a.Parts[pin] {
+			case p:
+				hasP = true
+			case q:
+				hasQ = true
+			}
+			if hasP && hasQ {
+				cut++
+				break
+			}
+		}
+	}
+	return cut
+}
+
+// PairCutMatrix returns the full k×k symmetric matrix of PairCut values in
+// one pass over the edges.
+func PairCutMatrix(h *H, a *Assignment) [][]int {
+	k := a.K
+	m := make([][]int, k)
+	for i := range m {
+		m[i] = make([]int, k)
+	}
+	seen := make([]int, k)
+	stamp := 0
+	var touched []int32
+	for ei := range h.Edges {
+		stamp++
+		touched = touched[:0]
+		for _, pin := range h.Edges[ei].Pins {
+			pt := a.Parts[pin]
+			if seen[pt] != stamp {
+				seen[pt] = stamp
+				touched = append(touched, pt)
+			}
+		}
+		for i := 0; i < len(touched); i++ {
+			for j := i + 1; j < len(touched); j++ {
+				p, q := touched[i], touched[j]
+				m[p][q]++
+				m[q][p]++
+			}
+		}
+	}
+	return m
+}

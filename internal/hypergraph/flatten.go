@@ -1,0 +1,71 @@
+package hypergraph
+
+import (
+	"fmt"
+
+	"repro/internal/elab"
+)
+
+// TransferAssignment maps a partition assignment from an old hypergraph
+// view onto a new (more flattened) view of the same design. Every gate kept
+// the partition of the vertex that contained it, so the vertices exposed by
+// flattening inherit the flattened super-gate's partition — exactly the
+// paper's "flattening and load redistribution" step before iterative
+// movement resumes.
+func TransferAssignment(oldH *H, oldA *Assignment, newH *H) (*Assignment, error) {
+	if len(oldH.GateVertex) != len(newH.GateVertex) {
+		return nil, fmt.Errorf("hypergraph: old and new views cover different designs")
+	}
+	newA := NewAssignment(newH, oldA.K)
+	for gi := range newH.GateVertex {
+		oldPart := oldA.Parts[oldH.GateVertex[gi]]
+		nv := newH.GateVertex[gi]
+		if cur := newA.Parts[nv]; cur >= 0 && cur != oldPart {
+			return nil, fmt.Errorf("hypergraph: new vertex %s straddles old partitions %d and %d",
+				newH.Vertices[nv].Name, cur, oldPart)
+		}
+		newA.Parts[nv] = oldPart
+	}
+	// Vertices with no gates (empty wrapper instances) inherit from the
+	// nearest ancestor instance that had an old vertex.
+	oldInstVertex := make(map[*elab.Instance]VertexID)
+	for vi := range oldH.Vertices {
+		if inst := oldH.Vertices[vi].Inst; inst != nil {
+			oldInstVertex[inst] = VertexID(vi)
+		}
+	}
+	for vi := range newH.Vertices {
+		if newA.Parts[vi] >= 0 {
+			continue
+		}
+		inst := newH.Vertices[vi].Inst
+		for cur := inst; cur != nil; cur = cur.Parent {
+			if ov, ok := oldInstVertex[cur]; ok {
+				newA.Parts[vi] = oldA.Parts[ov]
+				break
+			}
+		}
+		if newA.Parts[vi] < 0 {
+			return nil, fmt.Errorf("hypergraph: cannot transfer assignment for vertex %s",
+				newH.Vertices[vi].Name)
+		}
+	}
+	return newA, nil
+}
+
+// LargestSuperGate returns the heaviest super-gate vertex in partition p,
+// or NoVertex if partition p contains no super-gates. The paper flattens
+// the largest super-gate of an over-loaded partition when the balance
+// constraint cannot be met.
+func LargestSuperGate(h *H, a *Assignment, p int32) VertexID {
+	best := NoVertex
+	bestW := 0
+	for vi := range h.Vertices {
+		v := &h.Vertices[vi]
+		if a.Parts[vi] == p && v.IsSuper() && v.Weight > bestW {
+			best = VertexID(vi)
+			bestW = v.Weight
+		}
+	}
+	return best
+}

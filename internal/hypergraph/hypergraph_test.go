@@ -1,0 +1,291 @@
+package hypergraph
+
+import (
+	"testing"
+
+	"repro/internal/elab"
+	"repro/internal/verilog"
+)
+
+const adder4Src = `
+module full_adder (a, b, cin, sum, cout);
+  input a, b, cin;
+  output sum, cout;
+  wire ab, t1, t2;
+  xor x1 (ab, a, b);
+  xor x2 (sum, ab, cin);
+  and a1 (t1, ab, cin);
+  and a2 (t2, a, b);
+  or  o1 (cout, t1, t2);
+endmodule
+
+module adder4 (input [3:0] a, input [3:0] b, output [3:0] s, output cout);
+  wire [2:0] c;
+  full_adder fa0 (.a(a[0]), .b(b[0]), .cin(1'b0), .sum(s[0]), .cout(c[0]));
+  full_adder fa1 (.a(a[1]), .b(b[1]), .cin(c[0]), .sum(s[1]), .cout(c[1]));
+  full_adder fa2 (.a(a[2]), .b(b[2]), .cin(c[1]), .sum(s[2]), .cout(c[2]));
+  full_adder fa3 (.a(a[3]), .b(b[3]), .cin(c[2]), .sum(s[3]), .cout(cout));
+endmodule
+
+module top (input [3:0] x, input [3:0] y, output [3:0] s1, output c1, output [3:0] s2, output c2);
+  adder4 u1 (.a(x), .b(y), .s(s1), .cout(c1));
+  adder4 u2 (.a(y), .b(x), .s(s2), .cout(c2));
+endmodule
+`
+
+func buildDesign(t *testing.T, top string) *elab.Design {
+	t.Helper()
+	d, err := verilog.Parse(adder4Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, err := elab.Elaborate(d, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ed
+}
+
+func TestBuildHierarchical(t *testing.T) {
+	ed := buildDesign(t, "top")
+	h, err := BuildHierarchical(ed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Top has no direct gates; two adder4 super-gates.
+	if h.NumVertices() != 2 {
+		t.Fatalf("vertices: got %d, want 2", h.NumVertices())
+	}
+	for vi := range h.Vertices {
+		v := &h.Vertices[vi]
+		if !v.IsSuper() || v.Weight != 20 {
+			t.Errorf("vertex %s: super=%v weight=%d, want super weight 20", v.Name, v.IsSuper(), v.Weight)
+		}
+	}
+	// u1 and u2 share only primary-input nets (x, y feed both). Those nets
+	// have no driver vertex but two sink vertices → hyperedges with 2 pins.
+	if h.NumEdges() != 8 {
+		t.Errorf("edges: got %d, want 8 (x[3:0] and y[3:0] shared)", h.NumEdges())
+	}
+	if h.TotalWeight != 40 {
+		t.Errorf("total weight: got %d, want 40", h.TotalWeight)
+	}
+}
+
+func TestBuildFlat(t *testing.T) {
+	ed := buildDesign(t, "top")
+	h, err := BuildFlat(ed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.NumVertices() != 40 {
+		t.Fatalf("vertices: got %d, want 40 gates", h.NumVertices())
+	}
+	for vi := range h.Vertices {
+		if h.Vertices[vi].IsSuper() {
+			t.Fatalf("flat view has super-gate %s", h.Vertices[vi].Name)
+		}
+	}
+	if h.TotalWeight != 40 {
+		t.Errorf("total weight: got %d, want 40", h.TotalWeight)
+	}
+	// Flat view has many more edges than the hierarchical view.
+	if h.NumEdges() <= 8 {
+		t.Errorf("flat edges: got %d, want many more than 8", h.NumEdges())
+	}
+}
+
+func TestOpenToDepth(t *testing.T) {
+	ed := buildDesign(t, "top")
+	b := NewBuilder(ed)
+	b.OpenToDepth(2) // open top (0) and adder4s (1); FAs at depth 2 stay closed
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 8 full_adder super-gates of weight 5 each.
+	if h.NumVertices() != 8 {
+		t.Fatalf("vertices: got %d, want 8", h.NumVertices())
+	}
+	for vi := range h.Vertices {
+		if h.Vertices[vi].Weight != 5 {
+			t.Errorf("vertex %s weight %d, want 5", h.Vertices[vi].Name, h.Vertices[vi].Weight)
+		}
+	}
+}
+
+func TestOpenImpliesAncestors(t *testing.T) {
+	ed := buildDesign(t, "top")
+	b := NewBuilder(ed)
+	fa0 := ed.Instance("top.u1.fa0")
+	if fa0 == nil {
+		t.Fatal("instance top.u1.fa0 not found")
+	}
+	b.Open(fa0) // must implicitly open u1
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// u1 opened: fa0 opened too → fa0's 5 gates visible; fa1..fa3 are
+	// super-gates; u2 stays one super-gate. 5 + 3 + 1 = 9 vertices.
+	if h.NumVertices() != 9 {
+		t.Fatalf("vertices: got %d, want 9", h.NumVertices())
+	}
+	if h.TotalWeight != 40 {
+		t.Errorf("total weight: got %d, want 40", h.TotalWeight)
+	}
+}
+
+func TestWeightConservedAcrossViews(t *testing.T) {
+	ed := buildDesign(t, "top")
+	// Property: any visibility choice conserves total weight.
+	for depth := 0; depth <= 3; depth++ {
+		b := NewBuilder(ed)
+		b.OpenToDepth(depth)
+		h, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.TotalWeight != 40 {
+			t.Errorf("depth %d: total weight %d, want 40", depth, h.TotalWeight)
+		}
+		if err := h.Validate(); err != nil {
+			t.Errorf("depth %d: %v", depth, err)
+		}
+	}
+}
+
+func TestCutMetrics(t *testing.T) {
+	ed := buildDesign(t, "top")
+	h, err := BuildHierarchical(ed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAssignment(h, 2)
+	if a.Complete() {
+		t.Error("fresh assignment should be incomplete")
+	}
+	a.Parts[0] = 0
+	a.Parts[1] = 1
+	if err := a.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+	// All 8 shared PI edges are cut.
+	if got := CutSize(h, a); got != 8 {
+		t.Errorf("cut: got %d, want 8", got)
+	}
+	if got := SOED(h, a); got != 16 {
+		t.Errorf("SOED: got %d, want 16", got)
+	}
+	loads := PartLoads(h, a)
+	if loads[0] != 20 || loads[1] != 20 {
+		t.Errorf("loads: got %v, want [20 20]", loads)
+	}
+	if got := PairCut(h, a, 0, 1); got != 8 {
+		t.Errorf("PairCut: got %d, want 8", got)
+	}
+	m := PairCutMatrix(h, a)
+	if m[0][1] != 8 || m[1][0] != 8 || m[0][0] != 0 {
+		t.Errorf("PairCutMatrix: %v", m)
+	}
+	// Same part → no cut.
+	a.Parts[1] = 0
+	a.K = 2
+	if got := CutSize(h, a); got != 0 {
+		t.Errorf("same-part cut: got %d, want 0", got)
+	}
+}
+
+func TestTransferAssignment(t *testing.T) {
+	ed := buildDesign(t, "top")
+	oldB := NewBuilder(ed)
+	oldH, err := oldB.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldA := NewAssignment(oldH, 2)
+	// u1 → part 0, u2 → part 1.
+	for vi := range oldH.Vertices {
+		if oldH.Vertices[vi].Name == "top.u1" {
+			oldA.Parts[vi] = 0
+		} else {
+			oldA.Parts[vi] = 1
+		}
+	}
+
+	newB := NewBuilder(ed)
+	newB.Open(ed.Instance("top.u1")) // flatten u1
+	newH, err := newB.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	newA, err := TransferAssignment(oldH, oldA, newH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := newA.Validate(newH); err != nil {
+		t.Fatal(err)
+	}
+	// All of u1's exposed children must be in part 0; u2 in part 1.
+	for vi := range newH.Vertices {
+		v := &newH.Vertices[vi]
+		want := int32(0)
+		if v.Name == "top.u2" {
+			want = 1
+		}
+		if newA.Parts[vi] != want {
+			t.Errorf("vertex %s: part %d, want %d", v.Name, newA.Parts[vi], want)
+		}
+	}
+	// Loads must be conserved by the transfer.
+	oldLoads := PartLoads(oldH, oldA)
+	newLoads := PartLoads(newH, newA)
+	if oldLoads[0] != newLoads[0] || oldLoads[1] != newLoads[1] {
+		t.Errorf("loads changed: %v -> %v", oldLoads, newLoads)
+	}
+}
+
+func TestLargestSuperGate(t *testing.T) {
+	ed := buildDesign(t, "top")
+	b := NewBuilder(ed)
+	b.Open(ed.Instance("top.u1"))
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAssignment(h, 2)
+	for vi := range h.Vertices {
+		a.Parts[vi] = 0
+	}
+	v := LargestSuperGate(h, a, 0)
+	if v == NoVertex || h.Vertices[v].Name != "top.u2" {
+		t.Errorf("largest super-gate: got %v, want top.u2", v)
+	}
+	if got := LargestSuperGate(h, a, 1); got != NoVertex {
+		t.Errorf("empty part should have no super-gate, got %v", got)
+	}
+}
+
+func TestAssignmentClone(t *testing.T) {
+	ed := buildDesign(t, "top")
+	h, _ := BuildHierarchical(ed)
+	a := NewAssignment(h, 2)
+	a.Parts[0] = 1
+	c := a.Clone()
+	c.Parts[0] = 0
+	if a.Parts[0] != 1 {
+		t.Error("Clone did not deep-copy")
+	}
+}

@@ -1,0 +1,163 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/elab"
+	"repro/internal/gen"
+)
+
+// randomDesigns produces elaborated random hierarchical circuits for
+// property tests.
+func randomDesign(t *testing.T, seed int64) *elab.Design {
+	t.Helper()
+	cfg := gen.DefaultRandHier
+	cfg.Seed = seed
+	cfg.TopInstances = 6
+	cfg.GatesPerModule = 15
+	cfg.ModuleTypes = 6
+	ed, err := gen.RandomHierarchical(cfg).Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ed
+}
+
+// Property: for any visibility depth of any random design, the hypergraph
+// validates, conserves total weight, and every gate maps to a vertex that
+// contains it.
+func TestPropertyBuildInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		ed := randomDesign(t, seed)
+		maxDepth := ed.MaxDepth()
+		for depth := 0; depth <= maxDepth+1; depth++ {
+			b := NewBuilder(ed)
+			b.OpenToDepth(depth)
+			h, err := b.Build()
+			if err != nil {
+				t.Fatalf("seed %d depth %d: %v", seed, depth, err)
+			}
+			if err := h.Validate(); err != nil {
+				t.Fatalf("seed %d depth %d: %v", seed, depth, err)
+			}
+			if len(h.GateVertex) != ed.Netlist.NumGates() {
+				t.Fatalf("seed %d depth %d: GateVertex len %d", seed, depth, len(h.GateVertex))
+			}
+			for gi, v := range h.GateVertex {
+				vert := &h.Vertices[v]
+				if vert.Inst == nil {
+					if vert.Gate != ed.Netlist.Gates[gi].ID {
+						t.Fatalf("gate vertex identity mismatch")
+					}
+				} else {
+					// The vertex's instance must be an ancestor of the
+					// gate's owner.
+					owner := ed.Instances[ed.Netlist.Gates[gi].Owner]
+					if !vert.Inst.IsAncestorOf(owner) {
+						t.Fatalf("seed %d: gate %d mapped to non-ancestor %s",
+							seed, gi, vert.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: cut size is between 0 and the edge count, SOED ≥ 2·cut for
+// cut edges, and merging all vertices into one part zeroes the cut.
+func TestPropertyCutBounds(t *testing.T) {
+	ed := randomDesign(t, 3)
+	h, err := BuildHierarchical(ed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%6) + 2
+		rng := rand.New(rand.NewSource(seed))
+		a := NewAssignment(h, k)
+		for i := range a.Parts {
+			a.Parts[i] = int32(rng.Intn(k))
+		}
+		cut := CutSize(h, a)
+		if cut < 0 || cut > h.NumEdges() {
+			return false
+		}
+		soed := SOED(h, a)
+		if soed < 2*cut {
+			return false
+		}
+		loads := PartLoads(h, a)
+		sum := 0
+		for _, l := range loads {
+			sum += l
+		}
+		if sum != h.TotalWeight {
+			return false
+		}
+		// Pair cut matrix row sums bound the total cut.
+		m := PairCutMatrix(h, a)
+		for p := 0; p < k; p++ {
+			for q := 0; q < k; q++ {
+				if m[p][q] != m[q][p] {
+					return false
+				}
+				if p != q && m[p][q] != PairCut(h, a, int32(p), int32(q)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+	// All-in-one-part zero cut.
+	a := NewAssignment(h, 2)
+	for i := range a.Parts {
+		a.Parts[i] = 0
+	}
+	if CutSize(h, a) != 0 {
+		t.Error("single-part assignment should have zero cut")
+	}
+}
+
+// Property: flattening any single instance preserves total weight and any
+// transferred assignment's loads.
+func TestPropertyFlattenPreservesLoads(t *testing.T) {
+	ed := randomDesign(t, 5)
+	base := NewBuilder(ed)
+	oldH, err := base.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	oldA := NewAssignment(oldH, 3)
+	for i := range oldA.Parts {
+		oldA.Parts[i] = int32(rng.Intn(3))
+	}
+	for _, inst := range ed.Instances[1:] {
+		b := NewBuilder(ed)
+		b.Open(inst)
+		newH, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if newH.TotalWeight != oldH.TotalWeight {
+			t.Fatalf("flatten %s changed weight: %d -> %d",
+				inst.Path, oldH.TotalWeight, newH.TotalWeight)
+		}
+		newA, err := TransferAssignment(oldH, oldA, newH)
+		if err != nil {
+			t.Fatalf("flatten %s: %v", inst.Path, err)
+		}
+		ol := PartLoads(oldH, oldA)
+		nl := PartLoads(newH, newA)
+		for p := range ol {
+			if ol[p] != nl[p] {
+				t.Fatalf("flatten %s changed loads: %v -> %v", inst.Path, ol, nl)
+			}
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package multilevel implements a from-scratch multilevel hypergraph
+// partitioner in the style of hMetis (Karypis, Aggarwal, Kumar & Shekhar,
+// DAC 1997 / IEEE TVLSI 1999) — the baseline the paper compares against.
+// As in the paper, it is applied to the FLATTENED netlist, so it cannot
+// exploit the Verilog design hierarchy.
+//
+// The three phases are the classic ones: (1) coarsening by first-choice
+// heavy-edge matching builds a sequence of successively smaller
+// hypergraphs; (2) the coarsest hypergraph is partitioned directly by
+// greedy region growing; (3) the partition is projected back up the
+// hierarchy with pairwise FM refinement at every level.
+package multilevel
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/hypergraph"
+)
+
+// level is one rung of the coarsening hierarchy.
+type level struct {
+	h *hypergraph.H
+	// fineToCoarse maps each vertex of the finer hypergraph below this
+	// level to its cluster in h. For the finest level it is nil.
+	fineToCoarse []hypergraph.VertexID
+}
+
+// coarsen builds the coarsening hierarchy from h down to at most target
+// vertices. Coarsening stops early when a round shrinks the vertex count
+// by less than 10% (diminishing returns, as in hMetis).
+func coarsen(h *hypergraph.H, target int, rng *rand.Rand) []level {
+	levels := []level{{h: h}}
+	cur := h
+	for cur.NumVertices() > target {
+		match := firstChoiceMatch(cur, rng)
+		next, mapping := contract(cur, match)
+		if next.NumVertices() >= cur.NumVertices()*9/10 {
+			break // stalled
+		}
+		levels = append(levels, level{h: next, fineToCoarse: mapping})
+		cur = next
+	}
+	return levels
+}
+
+// coarsenRespecting is the V-cycle variant: coarsening restricted to
+// merges within a partition, so the current assignment projects exactly
+// onto every coarser level and refinement can improve it from a new
+// starting hierarchy (Karypis et al.'s V-cycles).
+func coarsenRespecting(h *hypergraph.H, parts []int32, target int, rng *rand.Rand) []level {
+	levels := []level{{h: h}}
+	cur, curParts := h, parts
+	for cur.NumVertices() > target {
+		match := firstChoiceMatchWithin(cur, curParts, rng)
+		next, mapping := contract(cur, match)
+		if next.NumVertices() >= cur.NumVertices()*9/10 {
+			break
+		}
+		nextParts := make([]int32, next.NumVertices())
+		for vi, cv := range mapping {
+			nextParts[cv] = curParts[vi]
+		}
+		levels = append(levels, level{h: next, fineToCoarse: mapping})
+		cur, curParts = next, nextParts
+	}
+	return levels
+}
+
+// firstChoiceMatchWithin matches only vertices in the same partition.
+func firstChoiceMatchWithin(h *hypergraph.H, parts []int32, rng *rand.Rand) []int32 {
+	return firstChoiceImpl(h, rng, func(v, u hypergraph.VertexID) bool {
+		return parts[v] == parts[u]
+	})
+}
+
+// firstChoiceMatch computes a clustering: each vertex is matched with the
+// unmatched neighbour with which it shares the greatest total
+// heavy-edge score Σ w(e)/(|e|−1); unmatched vertices stay singletons.
+// Returns cluster IDs (dense, 0-based).
+func firstChoiceMatch(h *hypergraph.H, rng *rand.Rand) []int32 {
+	return firstChoiceImpl(h, rng, func(hypergraph.VertexID, hypergraph.VertexID) bool { return true })
+}
+
+func firstChoiceImpl(h *hypergraph.H, rng *rand.Rand, allowed func(v, u hypergraph.VertexID) bool) []int32 {
+	n := h.NumVertices()
+	cluster := make([]int32, n)
+	for i := range cluster {
+		cluster[i] = -1
+	}
+	order := rng.Perm(n)
+
+	score := make(map[hypergraph.VertexID]float64)
+	nextCluster := int32(0)
+	for _, vi := range order {
+		v := hypergraph.VertexID(vi)
+		if cluster[v] >= 0 {
+			continue
+		}
+		// Accumulate connectivity to neighbours.
+		for k := range score {
+			delete(score, k)
+		}
+		for _, e := range h.Vertices[v].Edges {
+			pins := h.Edges[e].Pins
+			if len(pins) < 2 {
+				continue
+			}
+			w := float64(h.Edges[e].Weight) / float64(len(pins)-1)
+			for _, u := range pins {
+				if u != v {
+					score[u] += w
+				}
+			}
+		}
+		var best hypergraph.VertexID = hypergraph.NoVertex
+		bestScore := 0.0
+		for u, s := range score {
+			if cluster[u] >= 0 {
+				continue // already clustered; hMetis FirstChoice would
+				// allow joining, but pairwise matching keeps cluster
+				// weights bounded, which the balance constraint prefers
+			}
+			if !allowed(v, u) {
+				continue
+			}
+			if s > bestScore || (s == bestScore && best != hypergraph.NoVertex && u < best) {
+				best, bestScore = u, s
+			}
+		}
+		if best != hypergraph.NoVertex {
+			cluster[v] = nextCluster
+			cluster[best] = nextCluster
+			nextCluster++
+		} else {
+			cluster[v] = nextCluster
+			nextCluster++
+		}
+	}
+	return cluster
+}
+
+// contract builds the coarser hypergraph from a clustering. Parallel
+// hyperedges (identical pin sets) are merged with summed weight;
+// single-pin edges are dropped.
+func contract(h *hypergraph.H, cluster []int32) (*hypergraph.H, []hypergraph.VertexID) {
+	nClusters := int32(0)
+	for _, c := range cluster {
+		if c+1 > nClusters {
+			nClusters = c + 1
+		}
+	}
+	coarse := &hypergraph.H{}
+	coarse.Vertices = make([]hypergraph.Vertex, nClusters)
+	for i := range coarse.Vertices {
+		coarse.Vertices[i] = hypergraph.Vertex{ID: hypergraph.VertexID(i), Gate: -1}
+	}
+	mapping := make([]hypergraph.VertexID, h.NumVertices())
+	for vi := range h.Vertices {
+		c := cluster[vi]
+		mapping[vi] = hypergraph.VertexID(c)
+		coarse.Vertices[c].Weight += h.Vertices[vi].Weight
+	}
+	coarse.TotalWeight = h.TotalWeight
+
+	// Deduplicate projected edges by their sorted pin set.
+	type edgeKey string
+	edgeIdx := make(map[edgeKey]int)
+	var pinBuf []hypergraph.VertexID
+	for ei := range h.Edges {
+		pinBuf = pinBuf[:0]
+		for _, p := range h.Edges[ei].Pins {
+			pinBuf = append(pinBuf, mapping[p])
+		}
+		sort.Slice(pinBuf, func(i, j int) bool { return pinBuf[i] < pinBuf[j] })
+		// Dedup in place.
+		uniq := pinBuf[:1]
+		for _, p := range pinBuf[1:] {
+			if p != uniq[len(uniq)-1] {
+				uniq = append(uniq, p)
+			}
+		}
+		if len(uniq) < 2 {
+			continue
+		}
+		key := make([]byte, 0, len(uniq)*4)
+		for _, p := range uniq {
+			key = append(key, byte(p), byte(p>>8), byte(p>>16), byte(p>>24))
+		}
+		k := edgeKey(key)
+		if idx, ok := edgeIdx[k]; ok {
+			coarse.Edges[idx].Weight += h.Edges[ei].Weight
+			continue
+		}
+		pins := make([]hypergraph.VertexID, len(uniq))
+		copy(pins, uniq)
+		id := hypergraph.EdgeID(len(coarse.Edges))
+		coarse.Edges = append(coarse.Edges, hypergraph.Edge{
+			ID: id, Net: h.Edges[ei].Net, Pins: pins, Weight: h.Edges[ei].Weight,
+		})
+		edgeIdx[k] = int(id)
+	}
+	for ei := range coarse.Edges {
+		for _, p := range coarse.Edges[ei].Pins {
+			coarse.Vertices[p].Edges = append(coarse.Vertices[p].Edges, hypergraph.EdgeID(ei))
+		}
+	}
+	return coarse, mapping
+}

@@ -1,0 +1,87 @@
+package netlist
+
+// FanInCone returns the set of gates in the transitive fan-in of net
+// `root`, stopping at primary inputs, constants and (optionally) DFF
+// boundaries. The result is a gate set encoded as a []bool indexed by
+// GateID.
+//
+// Cone partitioning (Saucier, Brasen & Hiol 1993) assigns each output cone
+// to a partition; stopping at DFFs keeps cones combinational, which is how
+// the paper's initial partitioner limits cone size on sequential designs.
+func (n *Netlist) FanInCone(root NetID, stopAtDFF bool) []bool {
+	inCone := make([]bool, len(n.Gates))
+	stack := []NetID{root}
+	seenNet := make([]bool, len(n.Nets))
+	for len(stack) > 0 {
+		net := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seenNet[net] {
+			continue
+		}
+		seenNet[net] = true
+		d := n.Nets[net].Driver
+		if d == NoGate || inCone[d] {
+			continue
+		}
+		inCone[d] = true
+		if stopAtDFF && n.Gates[d].Kind.Sequential() {
+			continue
+		}
+		for _, in := range n.Gates[d].Inputs {
+			if !seenNet[in] {
+				stack = append(stack, in)
+			}
+		}
+	}
+	return inCone
+}
+
+// FanOutCone returns the set of gates in the transitive fan-out of net
+// `root`, optionally stopping at DFF boundaries.
+func (n *Netlist) FanOutCone(root NetID, stopAtDFF bool) []bool {
+	inCone := make([]bool, len(n.Gates))
+	stack := []NetID{root}
+	seenNet := make([]bool, len(n.Nets))
+	for len(stack) > 0 {
+		net := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seenNet[net] {
+			continue
+		}
+		seenNet[net] = true
+		for _, s := range n.Nets[net].Sinks {
+			if inCone[s] {
+				continue
+			}
+			inCone[s] = true
+			if stopAtDFF && n.Gates[s].Kind.Sequential() {
+				continue
+			}
+			if !seenNet[n.Gates[s].Output] {
+				stack = append(stack, n.Gates[s].Output)
+			}
+		}
+	}
+	return inCone
+}
+
+// OutputCones returns, for each primary output (and, when includeDFFs is
+// set, each DFF data input, which acts as a pseudo primary output), its
+// combinational fan-in cone. Roots are returned alongside the cones.
+func (n *Netlist) OutputCones(includeDFFs bool) (roots []NetID, cones [][]bool) {
+	for _, po := range n.POs {
+		roots = append(roots, po)
+	}
+	if includeDFFs {
+		for gi := range n.Gates {
+			if n.Gates[gi].Kind.Sequential() && len(n.Gates[gi].Inputs) > 0 {
+				roots = append(roots, n.Gates[gi].Inputs[0]) // d pin
+			}
+		}
+	}
+	cones = make([][]bool, len(roots))
+	for i, r := range roots {
+		cones[i] = n.FanInCone(r, true)
+	}
+	return roots, cones
+}

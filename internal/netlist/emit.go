@@ -1,0 +1,129 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/verilog"
+)
+
+// verilogKeywords are identifiers the emitter must not produce bare.
+var verilogKeywords = map[string]bool{
+	"module": true, "endmodule": true, "input": true, "output": true,
+	"inout": true, "wire": true, "assign": true, "parameter": true,
+	"localparam": true, "supply0": true, "supply1": true,
+}
+
+// EmitVerilog writes the flat netlist back out as a single-module
+// structural Verilog source — the "flattened netlist" artifact a synthesis
+// flow would hand to tools that cannot use hierarchy (and the input the
+// paper gave hMetis). Primary inputs and outputs keep their order, so a
+// round trip through the parser and elaborator simulates identically.
+//
+// Hierarchical names are mangled into flat identifiers; constants are
+// emitted as literal 1'b0 / 1'b1 operands.
+func (n *Netlist) EmitVerilog(moduleName string) string {
+	var b strings.Builder
+	names := n.flatNames()
+
+	fmt.Fprintf(&b, "// Flattened netlist: %d gates, %d nets\n", len(n.Gates), len(n.Nets))
+	fmt.Fprintf(&b, "module %s (", moduleName)
+	first := true
+	port := func(dir string, id NetID) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%s %s", dir, names[id])
+	}
+	for _, pi := range n.PIs {
+		port("input", pi)
+	}
+	for _, po := range n.POs {
+		port("output", po)
+	}
+	b.WriteString(");\n")
+
+	// Internal wires: everything driven or read that is not a port or a
+	// constant.
+	isPort := make(map[NetID]bool, len(n.PIs)+len(n.POs))
+	for _, pi := range n.PIs {
+		isPort[pi] = true
+	}
+	for _, po := range n.POs {
+		isPort[po] = true
+	}
+	for ni := range n.Nets {
+		net := &n.Nets[ni]
+		if isPort[net.ID] || net.Const >= 0 {
+			continue
+		}
+		if net.Driver == NoGate && len(net.Sinks) == 0 {
+			continue // fully dangling
+		}
+		fmt.Fprintf(&b, "  wire %s;\n", names[net.ID])
+	}
+
+	ref := func(id NetID) string {
+		if c := n.Nets[id].Const; c >= 0 {
+			return fmt.Sprintf("1'b%d", c)
+		}
+		return names[id]
+	}
+	for gi := range n.Gates {
+		g := &n.Gates[gi]
+		fmt.Fprintf(&b, "  %s g%d (%s", g.Kind, gi, names[g.Output])
+		for _, in := range g.Inputs {
+			fmt.Fprintf(&b, ", %s", ref(in))
+		}
+		b.WriteString(");\n")
+	}
+	// Primary outputs with no driving gate (tied to a PI or constant).
+	for i, po := range n.POs {
+		if n.Nets[po].Driver == NoGate {
+			src := "1'b0"
+			if n.Nets[po].Const == 1 {
+				src = "1'b1"
+			}
+			fmt.Fprintf(&b, "  buf tie%d (%s, %s);\n", i, names[po], src)
+		}
+	}
+	b.WriteString("endmodule\n")
+	return b.String()
+}
+
+// flatNames assigns a unique flat identifier to every net.
+func (n *Netlist) flatNames() []string {
+	names := make([]string, len(n.Nets))
+	used := make(map[string]bool, len(n.Nets))
+	mangle := func(s string) string {
+		var b strings.Builder
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			switch {
+			case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+				b.WriteByte(c)
+			default:
+				b.WriteByte('_')
+			}
+		}
+		out := b.String()
+		if out == "" || (out[0] >= '0' && out[0] <= '9') {
+			out = "n" + out
+		}
+		if verilogKeywords[out] || verilog.IsPrimitiveName(out) {
+			out = "n_" + out
+		}
+		return out
+	}
+	for ni := range n.Nets {
+		base := mangle(n.Nets[ni].Name)
+		name := base
+		for suffix := 2; used[name]; suffix++ {
+			name = fmt.Sprintf("%s_%d", base, suffix)
+		}
+		used[name] = true
+		names[ni] = name
+	}
+	return names
+}

@@ -1,0 +1,113 @@
+package netlist
+
+import "fmt"
+
+// Levels assigns a combinational level to every gate: level 0 gates read
+// only primary inputs, constants, or DFF outputs; a gate's level is one more
+// than the maximum level of its combinational fan-in. DFFs are sequential
+// boundaries: they are assigned level 0 and their outputs restart the level
+// count (the standard levelization used for cone analysis and oblivious
+// evaluation order).
+//
+// It returns an error if the combinational logic contains a cycle (a loop
+// not broken by a DFF), which this repository's workloads never produce.
+func (n *Netlist) Levels() ([]int32, error) {
+	level := make([]int32, len(n.Gates))
+	indeg := make([]int32, len(n.Gates))
+	// Combinational dependency: gate g depends on driver(d) for each input
+	// net whose driver is a combinational gate.
+	for gi := range n.Gates {
+		g := &n.Gates[gi]
+		if g.Kind.Sequential() {
+			continue // sources
+		}
+		for _, in := range g.Inputs {
+			d := n.Nets[in].Driver
+			if d != NoGate && !n.Gates[d].Kind.Sequential() {
+				indeg[gi]++
+			}
+		}
+	}
+	queue := make([]GateID, 0, len(n.Gates))
+	for gi := range n.Gates {
+		if indeg[gi] == 0 {
+			queue = append(queue, GateID(gi))
+		}
+	}
+	processed := 0
+	for len(queue) > 0 {
+		g := queue[0]
+		queue = queue[1:]
+		processed++
+		if n.Gates[g].Kind.Sequential() {
+			continue // DFF outputs do not propagate levels
+		}
+		out := n.Gates[g].Output
+		for _, s := range n.Nets[out].Sinks {
+			if n.Gates[s].Kind.Sequential() {
+				continue
+			}
+			if lv := level[g] + 1; lv > level[s] {
+				level[s] = lv
+			}
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if processed != len(n.Gates) {
+		return nil, fmt.Errorf("netlist: combinational cycle detected (%d of %d gates levelized)",
+			processed, len(n.Gates))
+	}
+	return level, nil
+}
+
+// Depth returns the maximum combinational level plus one (0 for an empty
+// netlist).
+func (n *Netlist) Depth() (int, error) {
+	levels, err := n.Levels()
+	if err != nil {
+		return 0, err
+	}
+	max := int32(-1)
+	for _, l := range levels {
+		if l > max {
+			max = l
+		}
+	}
+	return int(max + 1), nil
+}
+
+// TopoOrder returns the gates in a valid combinational evaluation order:
+// DFFs first (their outputs are cycle sources), then combinational gates in
+// nondecreasing level order. It returns an error on combinational cycles.
+func (n *Netlist) TopoOrder() ([]GateID, error) {
+	levels, err := n.Levels()
+	if err != nil {
+		return nil, err
+	}
+	order := make([]GateID, 0, len(n.Gates))
+	for gi := range n.Gates {
+		if n.Gates[gi].Kind.Sequential() {
+			order = append(order, GateID(gi))
+		}
+	}
+	// Counting sort by level for the combinational gates.
+	maxLevel := int32(0)
+	for gi := range n.Gates {
+		if !n.Gates[gi].Kind.Sequential() && levels[gi] > maxLevel {
+			maxLevel = levels[gi]
+		}
+	}
+	buckets := make([][]GateID, maxLevel+1)
+	for gi := range n.Gates {
+		if !n.Gates[gi].Kind.Sequential() {
+			buckets[levels[gi]] = append(buckets[levels[gi]], GateID(gi))
+		}
+	}
+	for _, b := range buckets {
+		order = append(order, b...)
+	}
+	return order, nil
+}

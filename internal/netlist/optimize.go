@@ -1,0 +1,214 @@
+package netlist
+
+import (
+	"fmt"
+
+	"repro/internal/verilog"
+)
+
+// OptimizeResult summarizes what an optimization pass removed.
+type OptimizeResult struct {
+	ConstFolded int // gates replaced by constants
+	DeadRemoved int // gates with unobservable outputs removed
+	GatesBefore int
+	GatesAfter  int
+}
+
+func (r OptimizeResult) String() string {
+	return fmt.Sprintf("gates %d -> %d (%d folded to constants, %d dead)",
+		r.GatesBefore, r.GatesAfter, r.ConstFolded, r.DeadRemoved)
+}
+
+// Optimize performs the two standard netlist cleanups a synthesis flow
+// runs before handing a netlist to partitioning or simulation:
+//
+//   - constant propagation: a combinational gate whose output is fixed by
+//     constant inputs (e.g. AND with a 0 input, XOR of two constants) is
+//     removed and its output net becomes that constant;
+//   - dead-gate elimination: gates whose outputs reach no primary output
+//     and no DFF are removed (unobservable logic).
+//
+// It returns a NEW netlist (the receiver is unmodified) plus a mapping
+// from old gate IDs to new ones (-1 for removed gates), so partitions and
+// activity profiles can be projected. Sequential gates are never folded:
+// a DFF with a constant d still toggles once and, more importantly, its
+// output is state.
+func (n *Netlist) Optimize() (*Netlist, []GateID, OptimizeResult, error) {
+	res := OptimizeResult{GatesBefore: len(n.Gates)}
+
+	// --- constant propagation (forward, in topological order) -----------
+	// constVal[net] is -1 (unknown) or 0/1 when the net is provably fixed.
+	constVal := make([]int8, len(n.Nets))
+	for ni := range n.Nets {
+		constVal[ni] = n.Nets[ni].Const
+		if n.Nets[ni].IsPI {
+			constVal[ni] = -1
+		}
+	}
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, nil, res, err
+	}
+	foldedGate := make([]bool, len(n.Gates))
+	for _, gi := range order {
+		g := &n.Gates[gi]
+		if g.Kind.Sequential() {
+			continue
+		}
+		if v := foldGate(g, constVal); v >= 0 {
+			constVal[g.Output] = v
+			foldedGate[gi] = true
+			res.ConstFolded++
+		}
+	}
+
+	// --- observability (backward from POs and DFFs) ---------------------
+	live := make([]bool, len(n.Gates))
+	var stack []GateID
+	mark := func(net NetID) {
+		if d := n.Nets[net].Driver; d != NoGate && !live[d] && !foldedGate[d] {
+			live[d] = true
+			stack = append(stack, d)
+		}
+	}
+	for _, po := range n.POs {
+		mark(po)
+	}
+	for gi := range n.Gates {
+		if n.Gates[gi].Kind.Sequential() {
+			live[gi] = true
+			stack = append(stack, GateID(gi))
+		}
+	}
+	for len(stack) > 0 {
+		g := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, in := range n.Gates[g].Inputs {
+			if constVal[in] < 0 {
+				mark(in)
+			}
+		}
+	}
+	for gi := range n.Gates {
+		if !live[gi] && !foldedGate[gi] {
+			res.DeadRemoved++
+		}
+	}
+
+	// --- rebuild ---------------------------------------------------------
+	out := &Netlist{}
+	gateMap := make([]GateID, len(n.Gates))
+	netMap := make([]NetID, len(n.Nets))
+	for i := range gateMap {
+		gateMap[i] = -1
+	}
+	for i := range netMap {
+		netMap[i] = -1
+	}
+	var const0, const1 NetID = -1, -1
+	getConst := func(v int8) NetID {
+		if v == 0 {
+			if const0 < 0 {
+				const0 = NetID(len(out.Nets))
+				out.Nets = append(out.Nets, Net{ID: const0, Name: "const0", Driver: NoGate, Const: 0})
+			}
+			return const0
+		}
+		if const1 < 0 {
+			const1 = NetID(len(out.Nets))
+			out.Nets = append(out.Nets, Net{ID: const1, Name: "const1", Driver: NoGate, Const: 1})
+		}
+		return const1
+	}
+	getNet := func(old NetID) NetID {
+		if v := constVal[old]; v >= 0 {
+			return getConst(v)
+		}
+		if netMap[old] >= 0 {
+			return netMap[old]
+		}
+		id := NetID(len(out.Nets))
+		src := n.Nets[old]
+		out.Nets = append(out.Nets, Net{
+			ID: id, Name: src.Name, Driver: NoGate, IsPI: src.IsPI, IsPO: src.IsPO, Const: -1,
+		})
+		netMap[old] = id
+		return id
+	}
+	// Preserve PI order first (PIs are never constants).
+	for _, pi := range n.PIs {
+		out.PIs = append(out.PIs, getNet(pi))
+	}
+	for gi := range n.Gates {
+		g := &n.Gates[gi]
+		if foldedGate[gi] || !live[gi] {
+			continue
+		}
+		id := GateID(len(out.Gates))
+		gateMap[gi] = id
+		ng := Gate{ID: id, Kind: g.Kind, Path: g.Path, Owner: g.Owner, Output: getNet(g.Output)}
+		for _, in := range g.Inputs {
+			ng.Inputs = append(ng.Inputs, getNet(in))
+		}
+		out.Gates = append(out.Gates, ng)
+	}
+	for gi := range out.Gates {
+		g := &out.Gates[gi]
+		out.Nets[g.Output].Driver = g.ID
+		for _, in := range g.Inputs {
+			out.Nets[in].Sinks = append(out.Nets[in].Sinks, g.ID)
+		}
+	}
+	for _, po := range n.POs {
+		id := getNet(po)
+		out.Nets[id].IsPO = true
+		out.POs = append(out.POs, id)
+	}
+	res.GatesAfter = len(out.Gates)
+	if err := out.Validate(); err != nil {
+		return nil, nil, res, fmt.Errorf("netlist: optimize produced invalid netlist: %w", err)
+	}
+	return out, gateMap, res, nil
+}
+
+// foldGate returns 0/1 when the gate's output is fixed by the known
+// constant inputs, else -1. It implements the dominance rules (AND with a
+// 0, OR with a 1, …) as well as full evaluation when every input is known.
+func foldGate(g *Gate, constVal []int8) int8 {
+	known := true
+	for _, in := range g.Inputs {
+		v := constVal[in]
+		switch g.Kind {
+		case verilog.GateAnd:
+			if v == 0 {
+				return 0
+			}
+		case verilog.GateNand:
+			if v == 0 {
+				return 1
+			}
+		case verilog.GateOr:
+			if v == 1 {
+				return 1
+			}
+		case verilog.GateNor:
+			if v == 1 {
+				return 0
+			}
+		}
+		if v < 0 {
+			known = false
+		}
+	}
+	if !known {
+		return -1
+	}
+	in := make([]bool, len(g.Inputs))
+	for i, inNet := range g.Inputs {
+		in[i] = constVal[inNet] == 1
+	}
+	if g.Kind.Eval(in) {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,172 @@
+package netlist_test
+
+import (
+	"testing"
+
+	"repro/internal/elab"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/verilog"
+)
+
+func elaborateSrc(t *testing.T, src, top string) *elab.Design {
+	t.Helper()
+	d, err := verilog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, err := elab.Elaborate(d, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ed
+}
+
+func TestOptimizeConstantFolding(t *testing.T) {
+	src := `
+module m (input a, output y);
+  wire t1, t2, t3;
+  and g1 (t1, a, 1'b0);
+  or  g2 (t2, t1, 1'b0);
+  xor g3 (t3, t2, 1'b1);
+  and g4 (y, a, t3);
+endmodule
+`
+	ed := elaborateSrc(t, src, "m")
+	opt, gateMap, res, err := ed.Netlist.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t1=0, t2=0, t3=1 fold away; g4 becomes and(a, 1) — kept (its input
+	// is constant but its output is not fixed).
+	if res.ConstFolded != 3 {
+		t.Errorf("folded %d, want 3 (%s)", res.ConstFolded, res)
+	}
+	if opt.NumGates() != 1 {
+		t.Errorf("gates after: %d, want 1", opt.NumGates())
+	}
+	if gateMap[3] < 0 {
+		t.Error("g4 should survive")
+	}
+	for gi := 0; gi < 3; gi++ {
+		if gateMap[gi] >= 0 {
+			t.Errorf("gate %d should be removed", gi)
+		}
+	}
+}
+
+func TestOptimizeDeadLogic(t *testing.T) {
+	src := `
+module m (input a, input b, output y);
+  wire dead1, dead2;
+  and g1 (y, a, b);
+  or  g2 (dead1, a, b);
+  xor g3 (dead2, dead1, b);
+endmodule
+`
+	ed := elaborateSrc(t, src, "m")
+	opt, _, res, err := ed.Netlist.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadRemoved != 2 {
+		t.Errorf("dead removed %d, want 2", res.DeadRemoved)
+	}
+	if opt.NumGates() != 1 {
+		t.Errorf("gates after: %d, want 1", opt.NumGates())
+	}
+}
+
+func TestOptimizeKeepsDFFs(t *testing.T) {
+	src := `
+module m (input clk, output q);
+  wire nq;
+  dff f (q, nq, clk);
+  not n (nq, q);
+endmodule
+`
+	ed := elaborateSrc(t, src, "m")
+	opt, _, _, err := ed.Netlist.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Stats().DFFs != 1 {
+		t.Error("DFF must survive optimization")
+	}
+	if opt.NumGates() != 2 {
+		t.Errorf("gates after: %d, want 2", opt.NumGates())
+	}
+}
+
+// Property: optimization preserves primary-output waveforms on real
+// circuits.
+func TestOptimizeEquivalence(t *testing.T) {
+	circuits := []*gen.Circuit{
+		gen.Viterbi(gen.ViterbiConfig{K: 4, W: 4, TB: 8}),
+		gen.Multiplier(6),
+		gen.LFSR(12, nil),
+	}
+	for _, c := range circuits {
+		ed, err := c.Elaborate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, _, res, err := ed.Netlist.Optimize()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		t.Logf("%s: %s", c.Name, res)
+		s1, err := sim.New(ed.Netlist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := sim.New(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1.VectorWidth() != s2.VectorWidth() {
+			t.Fatalf("%s: vector width changed", c.Name)
+		}
+		vs := sim.RandomVectors{Seed: 5}
+		buf := make([]bool, s1.VectorWidth())
+		for cyc := uint64(0); cyc < 100; cyc++ {
+			vs.Vector(cyc, buf)
+			if _, err := s1.Step(buf); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s2.Step(buf); err != nil {
+				t.Fatal(err)
+			}
+			for i := range ed.Netlist.POs {
+				if s1.Value(ed.Netlist.POs[i]) != s2.Value(opt.POs[i]) {
+					t.Fatalf("%s: PO %d diverges at cycle %d", c.Name, i, cyc)
+				}
+			}
+		}
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	c := gen.Viterbi(gen.ViterbiConfig{K: 4, W: 4, TB: 8})
+	ed, err := c.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	once, _, _, err := ed.Netlist.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, _, res2, err := once.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ConstFolded != 0 || res2.DeadRemoved != 0 {
+		t.Errorf("second pass still removed logic: %s", res2)
+	}
+	if twice.NumGates() != once.NumGates() {
+		t.Errorf("gate count changed on second pass: %d -> %d",
+			once.NumGates(), twice.NumGates())
+	}
+	var _ netlist.OptimizeResult // keep the package import symmetrical
+}

@@ -1,0 +1,115 @@
+// Package partition implements the paper's contribution: the multiway
+// design-driven partitioning algorithm for parallel gate-level Verilog
+// simulation (Li & Tropper, ICPP 2008).
+//
+// The algorithm (paper fig. 2):
+//
+//  1. cone partitioning generates an initial k-way partition of the
+//     hierarchical hypergraph (gates + module-instance super-gates);
+//  2. pairs of partitions are chosen (random / exhaustive / cut-based /
+//     gain-based) and FM-style vertex moves are run between the pair until
+//     no free vertex or no gain remains;
+//  3. if the load-balancing constraint (load·(1/k − b/100) ≤ load[i] ≤
+//     load·(1/k + b/100)) cannot be met, the largest super-gate of an
+//     over-loaded partition is flattened and iterative movement resumes on
+//     the finer hypergraph;
+//  4. pairing, movement and flattening repeat until no pairing
+//     configuration remains, leaving a minimal cut that meets the balance
+//     constraint.
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/hypergraph"
+)
+
+// Constraint is the paper's load-balancing constraint (formula 1): with k
+// partitions and balance factor b (in percent), every partition load must
+// lie within total·(1/k ± b/100).
+type Constraint struct {
+	K     int
+	B     float64 // balance factor in percent (the paper's b)
+	Total int     // total vertex weight (gate count)
+}
+
+// NewConstraint builds the constraint for hypergraph h.
+func NewConstraint(h *hypergraph.H, k int, b float64) Constraint {
+	return Constraint{K: k, B: b, Total: h.TotalWeight}
+}
+
+// Bounds returns the inclusive [lo, hi] load window for one partition.
+func (c Constraint) Bounds() (lo, hi int) {
+	t := float64(c.Total)
+	loF := t * (1.0/float64(c.K) - c.B/100.0)
+	hiF := t * (1.0/float64(c.K) + c.B/100.0)
+	lo = int(loF + 0.999999) // ceil
+	if lo < 0 {
+		lo = 0
+	}
+	hi = int(hiF) // floor
+	return lo, hi
+}
+
+// Satisfied reports whether all loads meet the constraint.
+func (c Constraint) Satisfied(loads []int) bool {
+	lo, hi := c.Bounds()
+	for _, l := range loads {
+		if l < lo || l > hi {
+			return false
+		}
+	}
+	return true
+}
+
+// Violation returns the total amount by which loads fall outside the
+// window (0 when satisfied) — the quantity iterative movement tries to
+// shrink when the constraint is not yet met.
+func (c Constraint) Violation(loads []int) int {
+	lo, hi := c.Bounds()
+	v := 0
+	for _, l := range loads {
+		if l < lo {
+			v += lo - l
+		} else if l > hi {
+			v += l - hi
+		}
+	}
+	return v
+}
+
+// Feasible returns an fm.Feasible-compatible predicate: a move is allowed
+// if it does not push the destination above hi and does not pull the
+// source below lo — unless the move strictly reduces the total violation
+// (repair moves on unbalanced inputs). loads is the refiner's live
+// per-partition weight.
+func (c Constraint) Feasible(h *hypergraph.H) func(v hypergraph.VertexID, from, to int32, loads []int) bool {
+	lo, hi := c.Bounds()
+	return func(v hypergraph.VertexID, from, to int32, loads []int) bool {
+		w := h.Vertices[v].Weight
+		newFrom := loads[from] - w
+		newTo := loads[to] + w
+		if newFrom >= lo && newTo <= hi {
+			return true
+		}
+		// Allow strict violation-reducing repair moves.
+		before := excess(loads[from], lo, hi) + excess(loads[to], lo, hi)
+		after := excess(newFrom, lo, hi) + excess(newTo, lo, hi)
+		return after < before
+	}
+}
+
+func excess(l, lo, hi int) int {
+	if l < lo {
+		return lo - l
+	}
+	if l > hi {
+		return l - hi
+	}
+	return 0
+}
+
+func (c Constraint) String() string {
+	lo, hi := c.Bounds()
+	return fmt.Sprintf("k=%d b=%.1f%% window=[%d,%d] of %d", c.K, c.B, lo, hi, c.Total)
+}

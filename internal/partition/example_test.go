@@ -1,0 +1,58 @@
+package partition_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/elab"
+	"repro/internal/partition"
+	"repro/internal/verilog"
+)
+
+// ExampleMultiway partitions a tiny hierarchical design into two balanced
+// halves along its module boundaries.
+func ExampleMultiway() {
+	src := `
+module cell (input a, input b, output y);
+  wire t;
+  and g1 (t, a, b);
+  xor g2 (y, t, a);
+endmodule
+module top (input [3:0] in, output [3:0] out);
+  cell c0 (.a(in[0]), .b(in[1]), .y(out[0]));
+  cell c1 (.a(in[1]), .b(in[2]), .y(out[1]));
+  cell c2 (.a(in[2]), .b(in[3]), .y(out[2]));
+  cell c3 (.a(in[3]), .b(in[0]), .y(out[3]));
+endmodule
+`
+	design, err := verilog.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ed, err := elab.Elaborate(design, "top")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := partition.Multiway(ed, partition.Options{K: 2, B: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("balanced:", res.Balanced)
+	fmt.Println("loads:", res.Loads[0]+res.Loads[1])
+	// Output:
+	// balanced: true
+	// loads: 8
+}
+
+// ExampleConstraint shows the paper's formula-1 balance window.
+func ExampleConstraint() {
+	c := partition.Constraint{K: 4, B: 10, Total: 1000}
+	lo, hi := c.Bounds()
+	fmt.Printf("each of 4 partitions must hold between %d and %d gates\n", lo, hi)
+	fmt.Println("ok:", c.Satisfied([]int{200, 260, 270, 270}))
+	fmt.Println("too skewed:", c.Satisfied([]int{100, 300, 300, 300}))
+	// Output:
+	// each of 4 partitions must hold between 150 and 350 gates
+	// ok: true
+	// too skewed: false
+}

@@ -1,0 +1,376 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cone"
+	"repro/internal/elab"
+	"repro/internal/fm"
+	"repro/internal/hypergraph"
+)
+
+// Options configures the multiway design-driven partitioner.
+type Options struct {
+	// K is the number of partitions (processors).
+	K int
+	// B is the load-balancing factor in percent (formula 1).
+	B float64
+	// Strategy selects the pairing criterion (default PairGainBased).
+	Strategy PairingStrategy
+	// Seed drives the random pairing strategy.
+	Seed int64
+	// MaxPasses bounds FM passes per pairing round (0 → default).
+	MaxPasses int
+	// MaxFlattens bounds super-gate flattening steps (0 → unlimited).
+	MaxFlattens int
+	// DisableFlattening turns off the flattening step (used by the
+	// ablation study); balance may then be unachievable.
+	DisableFlattening bool
+	// GateWeights optionally weighs gates by simulation activity
+	// (indexed by netlist.GateID); nil means unit weights. This is the
+	// paper's future-work load metric, fed by pre-simulation event counts.
+	GateWeights []int
+	// Restarts is the number of independent runs of the pipeline; the
+	// first uses the cone initial partition (the paper's choice), the
+	// rest use random initial partitions, and the best balanced result
+	// wins. Pairwise FM is a local search, so restarts buy the
+	// hill-climbing the paper attributes to exhaustive pairing. Default 8.
+	Restarts int
+}
+
+// Result is the outcome of a Multiway run.
+type Result struct {
+	H          *hypergraph.H          // final (possibly partially flattened) view
+	Assignment *hypergraph.Assignment // complete k-way assignment on H
+	Cut        int                    // hyperedge cut of the final assignment
+	Loads      []int                  // per-partition gate loads
+	Balanced   bool                   // whether the constraint was met
+	Constraint Constraint
+	Flattened  int // super-gates flattened during the run
+	Rounds     int // pairing rounds executed
+	// GateParts maps every netlist gate to its partition — the interface
+	// the simulators consume, independent of the hypergraph view.
+	GateParts []int32
+}
+
+// Multiway runs the paper's multiway design-driven partitioning algorithm
+// on the elaborated design: cone initial partitioning, pairwise iterative
+// movement under the balance constraint, and super-gate flattening when
+// balance cannot be met. Restarts > 1 repeats the pipeline from random
+// initial partitions and keeps the best balanced result.
+func Multiway(d *elab.Design, opts Options) (*Result, error) {
+	if opts.K < 2 {
+		return nil, fmt.Errorf("partition: K must be >= 2, got %d", opts.K)
+	}
+	if opts.B <= 0 {
+		return nil, fmt.Errorf("partition: B must be positive, got %g", opts.B)
+	}
+	restarts := opts.Restarts
+	if restarts <= 0 {
+		restarts = 8
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var best *Result
+	for r := 0; r < restarts; r++ {
+		var init initFunc
+		if r == 0 {
+			init = coneInit
+		} else {
+			seed := rng.Int63()
+			init = func(d *elab.Design, h *hypergraph.H, k int) *hypergraph.Assignment {
+				rr := rand.New(rand.NewSource(seed))
+				a := hypergraph.NewAssignment(h, k)
+				for i := range a.Parts {
+					a.Parts[i] = int32(rr.Intn(k))
+				}
+				return a
+			}
+		}
+		res, err := runOnce(d, opts, init)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || betterResult(res, best) {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// betterResult prefers balanced results, then lower cut, then fewer
+// flattened super-gates (more hierarchy preserved).
+func betterResult(cand, best *Result) bool {
+	if cand.Balanced != best.Balanced {
+		return cand.Balanced
+	}
+	if cand.Cut != best.Cut {
+		return cand.Cut < best.Cut
+	}
+	return cand.Flattened < best.Flattened
+}
+
+// maxPreOpenDepth bounds how deep runOnce opens the hierarchy when the
+// top-level view is too coarse for K partitions.
+const maxPreOpenDepth = 16
+
+// initFunc produces the initial k-way assignment for one pipeline run.
+type initFunc func(d *elab.Design, h *hypergraph.H, k int) *hypergraph.Assignment
+
+func coneInit(d *elab.Design, h *hypergraph.H, k int) *hypergraph.Assignment {
+	return cone.Partition(d, h, k)
+}
+
+// runOnce executes the full pipeline (fig. 2) from one initial partition.
+func runOnce(d *elab.Design, opts Options, init initFunc) (*Result, error) {
+	builder := hypergraph.NewBuilder(d)
+	builder.GateWeights = opts.GateWeights
+	h, err := builder.Build()
+	if err != nil {
+		return nil, err
+	}
+	// A very shallow hierarchy (e.g. a top with two channel wrappers) can
+	// expose fewer super-gates than there are partitions; open the
+	// shallowest levels until the hypergraph is divisible at all. Finer
+	// balance repair stays with the flattening loop, as in the paper.
+	for depth := 1; h.NumVertices() < opts.K && depth <= maxPreOpenDepth; depth++ {
+		builder.OpenToDepth(depth + 1)
+		h, err = builder.Build()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if h.NumVertices() < opts.K {
+		return nil, fmt.Errorf("partition: only %d vertices for K=%d", h.NumVertices(), opts.K)
+	}
+
+	// Phase 1: initial k-way partition (cone partitioning by default).
+	a := init(d, h, opts.K)
+	cons := NewConstraint(h, opts.K, opts.B)
+	pr := newPairer(opts.Strategy, opts.K, opts.Seed)
+
+	res := &Result{Constraint: cons}
+	const maxRounds = 10000
+
+	for res.Rounds = 0; res.Rounds < maxRounds; res.Rounds++ {
+		p, q, ok := pr.next(h, a, cons.Feasible(h))
+		if ok {
+			// Phase 2: iterative movement between the paired partitions.
+			r := fm.RefinePair(h, a, p, q, cons.Feasible(h), opts.MaxPasses)
+			if r.GainTotal > 0 {
+				pr.markFresh(p, q)
+			}
+			pr.markStale(p, q)
+			continue
+		}
+
+		// No pairing configuration available: check the constraint.
+		loads := hypergraph.PartLoads(h, a)
+		if cons.Satisfied(loads) {
+			break // terminate (paper fig. 2)
+		}
+
+		// Phase 3: greedy load redistribution, then flattening if the
+		// granularity is still too coarse.
+		if rebalance(h, a, cons) {
+			pr.resetStale()
+			continue
+		}
+		if opts.DisableFlattening || (opts.MaxFlattens > 0 && res.Flattened >= opts.MaxFlattens) {
+			break
+		}
+		target := flattenTarget(h, a, cons)
+		if target == hypergraph.NoVertex {
+			break // nothing left to flatten; best effort
+		}
+		builder.Open(h.Vertices[target].Inst)
+		newH, err := builder.Build()
+		if err != nil {
+			return nil, err
+		}
+		newA, err := hypergraph.TransferAssignment(h, a, newH)
+		if err != nil {
+			return nil, err
+		}
+		h, a = newH, newA
+		res.Flattened++
+		pr.resetStale()
+	}
+
+	res.H = h
+	res.Assignment = a
+	res.Cut = hypergraph.CutSize(h, a)
+	res.Loads = hypergraph.PartLoads(h, a)
+	res.Balanced = cons.Satisfied(res.Loads)
+	res.GateParts = GatePartsOf(h, a)
+	return res, nil
+}
+
+// GatePartsOf projects a vertex assignment down to per-gate partitions.
+func GatePartsOf(h *hypergraph.H, a *hypergraph.Assignment) []int32 {
+	out := make([]int32, len(h.GateVertex))
+	for gi, v := range h.GateVertex {
+		out[gi] = a.Parts[v]
+	}
+	return out
+}
+
+// flattenTarget picks the super-gate to flatten: the largest super-gate of
+// the most over-loaded partition; if that partition holds none, the
+// largest super-gate anywhere (so progress is always possible while
+// super-gates remain).
+func flattenTarget(h *hypergraph.H, a *hypergraph.Assignment, cons Constraint) hypergraph.VertexID {
+	loads := hypergraph.PartLoads(h, a)
+	_, hi := cons.Bounds()
+	worst, worstExcess := int32(-1), 0
+	for p, l := range loads {
+		if l > hi && l-hi > worstExcess {
+			worst, worstExcess = int32(p), l-hi
+		}
+	}
+	if worst >= 0 {
+		if v := hypergraph.LargestSuperGate(h, a, worst); v != hypergraph.NoVertex {
+			return v
+		}
+	}
+	// Fall back to the globally largest super-gate.
+	best, bestW := hypergraph.NoVertex, 0
+	for vi := range h.Vertices {
+		v := &h.Vertices[vi]
+		if v.IsSuper() && v.Weight > bestW {
+			best, bestW = hypergraph.VertexID(vi), v.Weight
+		}
+	}
+	return best
+}
+
+// rebalance performs greedy load redistribution: while some partition is
+// outside the window, move the boundary vertex with the least cut damage
+// from the most over-loaded partition to the most under-loaded one,
+// provided the move does not overshoot. It returns true if the constraint
+// became satisfied.
+func rebalance(h *hypergraph.H, a *hypergraph.Assignment, cons Constraint) bool {
+	lo, hi := cons.Bounds()
+	loads := hypergraph.PartLoads(h, a)
+	for iter := 0; iter < h.NumVertices(); iter++ {
+		over, under := int32(-1), int32(-1)
+		overBy, underBy := 0, 0
+		for p, l := range loads {
+			if l > hi && l-hi > overBy {
+				over, overBy = int32(p), l-hi
+			}
+			if l < lo && lo-l > underBy {
+				under, underBy = int32(p), lo-l
+			}
+		}
+		if over < 0 && under < 0 {
+			return true
+		}
+		// Choose source and destination: prefer draining the most
+		// over-loaded into the most under-loaded; fall back to the
+		// lightest/heaviest partner.
+		src, dst := over, under
+		if src < 0 { // only an under-loaded part exists
+			src = heaviest(loads)
+		}
+		if dst < 0 {
+			dst = lightest(loads)
+		}
+		if src == dst {
+			return false
+		}
+		v := bestMove(h, a, src, dst, loads, hi)
+		if v == hypergraph.NoVertex {
+			return false
+		}
+		w := h.Vertices[v].Weight
+		a.Parts[v] = dst
+		loads[src] -= w
+		loads[dst] += w
+	}
+	return cons.Satisfied(loads)
+}
+
+func heaviest(loads []int) int32 {
+	best := 0
+	for p := 1; p < len(loads); p++ {
+		if loads[p] > loads[best] {
+			best = p
+		}
+	}
+	return int32(best)
+}
+
+func lightest(loads []int) int32 {
+	best := 0
+	for p := 1; p < len(loads); p++ {
+		if loads[p] < loads[best] {
+			best = p
+		}
+	}
+	return int32(best)
+}
+
+// bestMove finds the vertex in src whose move to dst damages the cut
+// least (ties broken toward smaller weight overshoot), or NoVertex if no
+// vertex fits under the hi bound.
+func bestMove(h *hypergraph.H, a *hypergraph.Assignment, src, dst int32, loads []int, hi int) hypergraph.VertexID {
+	best := hypergraph.NoVertex
+	bestScore := 0
+	for vi := range h.Vertices {
+		if a.Parts[vi] != src {
+			continue
+		}
+		w := h.Vertices[vi].Weight
+		if loads[dst]+w > hi {
+			continue
+		}
+		gain := moveGain(h, a, hypergraph.VertexID(vi), dst)
+		// Score: cut gain dominates; prefer heavier vertices to converge
+		// faster when gains tie.
+		score := gain*1_000_000 + w
+		if best == hypergraph.NoVertex || score > bestScore {
+			best = hypergraph.VertexID(vi)
+			bestScore = score
+		}
+	}
+	return best
+}
+
+// moveGain computes the hyperedge-cut reduction of moving v to part dst.
+func moveGain(h *hypergraph.H, a *hypergraph.Assignment, v hypergraph.VertexID, dst int32) int {
+	from := a.Parts[v]
+	gain := 0
+	for _, e := range h.Vertices[v].Edges {
+		pins := h.Edges[e].Pins
+		cFrom, cDst, distinct := 0, 0, 0
+		seen := make(map[int32]bool, 4)
+		for _, pin := range pins {
+			pt := a.Parts[pin]
+			if pt == from {
+				cFrom++
+			}
+			if pt == dst {
+				cDst++
+			}
+			if !seen[pt] {
+				seen[pt] = true
+				distinct++
+			}
+		}
+		dAfter := distinct
+		if cFrom == 1 {
+			dAfter--
+		}
+		if cDst == 0 {
+			dAfter++
+		}
+		if distinct > 1 {
+			gain++
+		}
+		if dAfter > 1 {
+			gain--
+		}
+	}
+	return gain
+}

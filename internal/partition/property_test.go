@@ -1,0 +1,109 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/elab"
+	"repro/internal/gen"
+	"repro/internal/hypergraph"
+)
+
+// Property: for random hierarchical circuits and random (k, b), Multiway
+// always returns a structurally valid result: complete assignment, gate
+// parts in range, loads summing to the total, cut consistent with the
+// assignment, and balance honestly reported.
+func TestPropertyMultiwayAlwaysValid(t *testing.T) {
+	designs := make(map[int64]*elab.Design)
+	getDesign := func(seed int64) *elab.Design {
+		if d, ok := designs[seed]; ok {
+			return d
+		}
+		cfg := gen.DefaultRandHier
+		cfg.Seed = seed
+		cfg.TopInstances = 6
+		cfg.GatesPerModule = 15
+		cfg.ModuleTypes = 6
+		ed, err := gen.RandomHierarchical(cfg).Elaborate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		designs[seed] = ed
+		return ed
+	}
+
+	f := func(seedRaw uint8, kRaw uint8, bRaw uint8) bool {
+		seed := int64(seedRaw%4) + 1
+		k := int(kRaw%5) + 2        // 2..6
+		b := float64(bRaw%26) + 2.5 // 2.5..28.5
+		ed := getDesign(seed)
+		res, err := Multiway(ed, Options{K: k, B: b, Seed: seed, Restarts: 2})
+		if err != nil {
+			t.Logf("seed=%d k=%d b=%g: %v", seed, k, b, err)
+			return false
+		}
+		if err := res.Assignment.Validate(res.H); err != nil {
+			t.Logf("invalid assignment: %v", err)
+			return false
+		}
+		if res.Cut != hypergraph.CutSize(res.H, res.Assignment) {
+			return false
+		}
+		sum := 0
+		for _, l := range res.Loads {
+			sum += l
+		}
+		if sum != res.H.TotalWeight {
+			return false
+		}
+		if res.Balanced != res.Constraint.Satisfied(res.Loads) {
+			return false
+		}
+		if len(res.GateParts) != ed.Netlist.NumGates() {
+			return false
+		}
+		for _, p := range res.GateParts {
+			if p < 0 || int(p) >= k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the constraint window is symmetric around total/k and widens
+// monotonically with b; Satisfied agrees with Bounds.
+func TestPropertyConstraintWindow(t *testing.T) {
+	f := func(totalRaw uint16, kRaw uint8, bRaw uint8) bool {
+		total := int(totalRaw%10000) + 100
+		k := int(kRaw%7) + 2
+		b := float64(bRaw%30) + 1
+		c := Constraint{K: k, B: b, Total: total}
+		lo, hi := c.Bounds()
+		if lo < 0 || hi < lo {
+			return false
+		}
+		wider := Constraint{K: k, B: b + 5, Total: total}
+		lo2, hi2 := wider.Bounds()
+		if lo2 > lo || hi2 < hi {
+			return false
+		}
+		// Perfectly equal loads always satisfy any b ≥ tiny threshold
+		// (integer division keeps each part within 1 of total/k; with
+		// b ≥ 1% of a 100+ total the window is at least ±1).
+		loads := make([]int, k)
+		for i := 0; i < total; i++ {
+			loads[i%k]++
+		}
+		if c.Violation(loads) > 0 && b >= 2 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,60 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/hypergraph"
+)
+
+func TestRecursiveBasic(t *testing.T) {
+	ed := viterbiDesign(t)
+	for _, k := range []int{2, 3, 4, 5, 7} {
+		res, err := Recursive(ed, Options{K: k, B: 10, Seed: 1})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := res.Assignment.Validate(res.H); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if res.Cut != hypergraph.CutSize(res.H, res.Assignment) {
+			t.Errorf("k=%d: cut mismatch", k)
+		}
+		// Every part must be populated.
+		for p, l := range res.Loads {
+			if l == 0 {
+				t.Errorf("k=%d: part %d empty", k, p)
+			}
+		}
+		t.Logf("k=%d: cut=%d loads=%v balanced=%v", k, res.Cut, res.Loads, res.Balanced)
+	}
+}
+
+func TestRecursiveVsDirectPairwise(t *testing.T) {
+	// The paper chose direct pairwise over recursive bisection; the
+	// recursive variant must not be dramatically better (it usually
+	// loses, but heuristics are noisy — assert a sane bound only).
+	ed := viterbiDesign(t)
+	dd, err := Multiway(ed, Options{K: 4, B: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recursive(ed, Options{K: 4, B: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("direct pairwise cut=%d (balanced=%v), recursive cut=%d (balanced=%v)",
+		dd.Cut, dd.Balanced, rec.Cut, rec.Balanced)
+	if rec.Cut*3 < dd.Cut {
+		t.Errorf("recursive (%d) should not beat direct (%d) by 3x", rec.Cut, dd.Cut)
+	}
+}
+
+func TestRecursiveErrors(t *testing.T) {
+	ed := viterbiDesign(t)
+	if _, err := Recursive(ed, Options{K: 1, B: 10}); err == nil {
+		t.Error("K=1 should error")
+	}
+	if _, err := Recursive(ed, Options{K: 2, B: 0}); err == nil {
+		t.Error("B=0 should error")
+	}
+}

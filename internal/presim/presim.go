@@ -1,0 +1,147 @@
+// Package presim implements pre-simulation (paper §3.4, after Chamberlain
+// & Henderson 1994): short simulation runs evaluate the trade-off between
+// load balance and communication for each candidate (k, b) pair, and the
+// partition with the best pre-simulation speedup is used for the full run.
+//
+// Both the brute-force sweep (all k×b combinations, paper Table 3) and the
+// heuristic search (paper fig. 3: start from the maximum machine count,
+// grow b until the speedup first drops) are provided.
+package presim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/clustersim"
+	"repro/internal/elab"
+	"repro/internal/partition"
+	"repro/internal/sim"
+)
+
+// Config drives a pre-simulation campaign.
+type Config struct {
+	Design *elab.Design
+	// Ks are the candidate machine counts (descending order is used by
+	// the heuristic, mirroring "start with the maximum number of
+	// processors").
+	Ks []int
+	// Bs are the candidate balance factors in percent, ascending.
+	Bs []float64
+	// Cycles is the pre-simulation length (the paper uses 10,000 random
+	// vectors against 1,000,000 for the full run).
+	Cycles uint64
+	// Seed selects the random vector stream.
+	Seed int64
+	// Costs is the cluster cost model.
+	Costs clustersim.Costs
+	// Partition options forwarded to the multiway partitioner.
+	Strategy partition.PairingStrategy
+	Restarts int
+}
+
+// Point is the outcome of one (k, b) pre-simulation.
+type Point struct {
+	K         int
+	B         float64
+	Cut       int
+	Balanced  bool
+	SimTime   float64 // modeled parallel time
+	SeqTime   float64 // modeled sequential time
+	Speedup   float64
+	Messages  uint64
+	Rollbacks uint64
+	GateParts []int32 // the partition evaluated (for reuse in full runs)
+}
+
+// Evaluate partitions the design for (k, b) and pre-simulates it.
+func Evaluate(cfg *Config, k int, b float64) (*Point, error) {
+	pr, err := partition.Multiway(cfg.Design, partition.Options{
+		K: k, B: b, Strategy: cfg.Strategy, Restarts: cfg.Restarts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := clustersim.Run(clustersim.Config{
+		NL:        cfg.Design.Netlist,
+		GateParts: pr.GateParts,
+		K:         k,
+		Vectors:   sim.RandomVectors{Seed: cfg.Seed},
+		Cycles:    cfg.Cycles,
+		Costs:     cfg.Costs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Point{
+		K: k, B: b, Cut: pr.Cut, Balanced: pr.Balanced,
+		SimTime: res.ParTime, SeqTime: res.SeqTime, Speedup: res.Speedup,
+		Messages: res.Messages, Rollbacks: res.Rollbacks,
+		GateParts: pr.GateParts,
+	}, nil
+}
+
+// BruteForce evaluates every (k, b) combination — the paper's Table 3 —
+// and returns all points plus the best one (largest speedup; ties to
+// smaller k, then smaller b).
+func BruteForce(cfg *Config) (points []*Point, best *Point, err error) {
+	for _, k := range cfg.Ks {
+		for _, b := range cfg.Bs {
+			p, err := Evaluate(cfg, k, b)
+			if err != nil {
+				return nil, nil, err
+			}
+			points = append(points, p)
+			if best == nil || p.Speedup > best.Speedup {
+				best = p
+			}
+		}
+	}
+	return points, best, nil
+}
+
+// BestPerK returns, for each k, the point with the best speedup — the
+// paper's Table 4.
+func BestPerK(points []*Point) map[int]*Point {
+	best := make(map[int]*Point)
+	for _, p := range points {
+		if cur, ok := best[p.K]; !ok || p.Speedup > cur.Speedup {
+			best[p.K] = p
+		}
+	}
+	return best
+}
+
+// Heuristic is the paper's fig. 3 search: for each k from the maximum
+// down, sweep b upward from the smallest candidate and stop as soon as the
+// speedup decreases; track the best point seen. It visits far fewer
+// combinations than the brute force at the risk of a local minimum, which
+// the paper acknowledges.
+func Heuristic(cfg *Config) (best *Point, visited []*Point, err error) {
+	if len(cfg.Ks) == 0 || len(cfg.Bs) == 0 {
+		return nil, nil, fmt.Errorf("presim: empty candidate sets")
+	}
+	// Descending k: "start with the maximum number of processors".
+	ks := append([]int(nil), cfg.Ks...)
+	sort.Sort(sort.Reverse(sort.IntSlice(ks)))
+	bs := append([]float64(nil), cfg.Bs...)
+	sort.Float64s(bs)
+	for _, k := range ks {
+		maxSpeedup := 0.0
+		for _, b := range bs {
+			p, err := Evaluate(cfg, k, b)
+			if err != nil {
+				return nil, nil, err
+			}
+			visited = append(visited, p)
+			if best == nil || p.Speedup > best.Speedup {
+				best = p
+			}
+			if p.Speedup > maxSpeedup {
+				maxSpeedup = p.Speedup
+			} else {
+				break // speedup decreased for the first time: stop this k
+			}
+		}
+	}
+	return best, visited, nil
+}

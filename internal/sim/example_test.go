@@ -1,0 +1,52 @@
+package sim_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/elab"
+	"repro/internal/sim"
+	"repro/internal/verilog"
+)
+
+// ExampleSimulator runs a half adder through its truth table.
+func ExampleSimulator() {
+	src := `
+module ha (input a, input b, output sum, output carry);
+  xor x (sum, a, b);
+  and c (carry, a, b);
+endmodule
+`
+	design, err := verilog.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ed, err := elab.Elaborate(design, "ha")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := sim.New(ed.Netlist)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for v := 0; v < 4; v++ {
+		a, b := v&1 == 1, v&2 == 2
+		if _, err := s.Step([]bool{a, b}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%v+%v: sum=%v carry=%v\n",
+			b2i(a), b2i(b), b2i(s.Value(ed.Netlist.POs[0])), b2i(s.Value(ed.Netlist.POs[1])))
+	}
+	// Output:
+	// 0+0: sum=0 carry=0
+	// 1+0: sum=1 carry=0
+	// 0+1: sum=1 carry=0
+	// 1+1: sum=0 carry=1
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

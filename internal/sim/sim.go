@@ -1,0 +1,293 @@
+// Package sim is the sequential event-driven gate-level simulator: the
+// correctness oracle for the Time Warp kernel, the sequential-time
+// baseline for speedup measurements, and the producer of the event traces
+// that drive the deterministic cluster model.
+//
+// Timing model (as in the paper's experiments): unit gate delay, zero wire
+// delay. Each input vector is one clock cycle:
+//
+//   - at delta 0 the vector is applied to the non-clock primary inputs;
+//   - value changes propagate through combinational logic, one delta per
+//     gate level;
+//   - when the combinational logic settles, every DFF samples its d input
+//     (the synchronous clock tick — clock nets carry no events);
+//   - new q values propagate at delta 0 of the next cycle.
+//
+// Virtual time is cycle*DeltaRange + delta, shared verbatim with the Time
+// Warp kernel so the two simulators are step-for-step comparable.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/verilog"
+)
+
+// VTime is a virtual timestamp: cycle*DeltaRange + delta.
+type VTime = uint64
+
+// Simulator is a sequential event-driven simulator over a flat netlist.
+type Simulator struct {
+	NL *netlist.Netlist
+	// DeltaRange is the number of delta slots per cycle (combinational
+	// depth + margin); the DFF latch fires at delta DeltaRange-2.
+	DeltaRange uint64
+
+	values []bool // current value per net
+	// vectorPIs are the primary inputs that receive stimulus (clock PIs
+	// excluded).
+	vectorPIs []netlist.NetID
+
+	cycle uint64
+
+	// Per-delta batching state.
+	changedNets []netlist.NetID
+	dirtyGates  []netlist.GateID
+	gateMark    []uint64
+	markStamp   uint64
+	topoOrder   []netlist.GateID // for the power-on settle
+	latchBuf    []netlist.NetID  // q nets toggling at the current latch
+
+	// Trace hooks (nil when not tracing).
+	OnGateEval  func(g netlist.GateID, t VTime)
+	OnNetChange func(n netlist.NetID, t VTime, v bool)
+
+	// Stats accumulated across cycles.
+	Events    uint64   // gate evaluations
+	Toggles   uint64   // net value changes
+	EvalCount []uint64 // per-gate evaluation counts (activity profile)
+}
+
+// New builds a simulator. It fails on combinational cycles.
+func New(nl *netlist.Netlist) (*Simulator, error) {
+	depth, err := nl.Depth()
+	if err != nil {
+		return nil, err
+	}
+	order, err := nl.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		NL:         nl,
+		DeltaRange: uint64(depth) + 4,
+		values:     make([]bool, len(nl.Nets)),
+		gateMark:   make([]uint64, len(nl.Gates)),
+		EvalCount:  make([]uint64, len(nl.Gates)),
+		topoOrder:  order,
+	}
+	for _, pi := range nl.PIs {
+		if !nl.IsClockNet(pi) {
+			s.vectorPIs = append(s.vectorPIs, pi)
+		}
+	}
+	s.Reset()
+	return s, nil
+}
+
+// InitialValues returns a copy of the consistent power-on net state: all
+// PIs and DFF outputs at 0, constants at their value, and every
+// combinational gate's output consistent with its inputs. The Time Warp
+// kernel starts each cluster from this same state.
+func (s *Simulator) InitialValues() []bool {
+	init := make([]bool, len(s.NL.Nets))
+	for i := range init {
+		init[i] = s.NL.Nets[i].Const == 1
+	}
+	settle(s.NL, s.topoOrder, init)
+	return init
+}
+
+// settle makes `values` combinationally consistent by evaluating every
+// non-sequential gate once in topological order.
+func settle(nl *netlist.Netlist, order []netlist.GateID, values []bool) {
+	for _, gi := range order {
+		g := &nl.Gates[gi]
+		if g.Kind.Sequential() {
+			continue
+		}
+		values[g.Output] = evalGate(g, values)
+	}
+}
+
+// LatchDelta returns the delta slot at which DFFs sample their inputs.
+func (s *Simulator) LatchDelta() uint64 { return s.DeltaRange - 2 }
+
+// VectorPIs returns the stimulus inputs in top-module port order (clock
+// nets excluded).
+func (s *Simulator) VectorPIs() []netlist.NetID { return s.vectorPIs }
+
+// VectorWidth returns the bits expected per input vector.
+func (s *Simulator) VectorWidth() int { return len(s.vectorPIs) }
+
+// Reset restores the consistent power-on state (see InitialValues) and
+// rewinds time.
+func (s *Simulator) Reset() {
+	for i := range s.values {
+		s.values[i] = s.NL.Nets[i].Const == 1
+	}
+	settle(s.NL, s.topoOrder, s.values)
+	s.cycle = 0
+	s.Events = 0
+	s.Toggles = 0
+	s.changedNets = s.changedNets[:0]
+	for i := range s.EvalCount {
+		s.EvalCount[i] = 0
+	}
+}
+
+// Value returns the current value of a net.
+func (s *Simulator) Value(n netlist.NetID) bool { return s.values[n] }
+
+// Cycle returns the number of completed cycles.
+func (s *Simulator) Cycle() uint64 { return s.cycle }
+
+// Step simulates one clock cycle with the given input vector (one bool
+// per VectorPIs entry). It returns the number of gate evaluations
+// performed during the cycle.
+func (s *Simulator) Step(vector []bool) (uint64, error) {
+	if len(vector) != len(s.vectorPIs) {
+		return 0, fmt.Errorf("sim: vector has %d bits, want %d", len(vector), len(s.vectorPIs))
+	}
+	start := s.Events
+	base := s.cycle * s.DeltaRange
+
+	// Delta 0: apply the vector. changedNets already holds the q-output
+	// changes latched at the end of the previous cycle, which also take
+	// effect at this cycle's delta 0.
+	for i, pi := range s.vectorPIs {
+		if s.values[pi] != vector[i] {
+			s.setNet(pi, vector[i], base)
+		}
+	}
+
+	// Combinational settling, one delta per gate delay.
+	delta := uint64(0)
+	for len(s.changedNets) > 0 {
+		if delta >= s.LatchDelta() {
+			return 0, fmt.Errorf("sim: cycle %d did not settle within %d deltas (oscillation?)",
+				s.cycle, s.LatchDelta())
+		}
+		s.propagateDelta(base + delta)
+		delta++
+	}
+
+	// Latch: every DFF samples d simultaneously (sample all inputs
+	// first, then apply — a DFF chain must shift one stage per cycle,
+	// not ripple through). q changes appear at the next cycle's delta 0
+	// (they stay in changedNets for the next Step).
+	latchT := base + s.LatchDelta()
+	nextBase := (s.cycle + 1) * s.DeltaRange
+	s.latchBuf = s.latchBuf[:0]
+	for gi := range s.NL.Gates {
+		g := &s.NL.Gates[gi]
+		if !g.Kind.Sequential() {
+			continue
+		}
+		d := s.values[g.Inputs[0]]
+		s.Events++
+		s.EvalCount[gi]++
+		if s.OnGateEval != nil {
+			s.OnGateEval(netlist.GateID(gi), latchT)
+		}
+		if s.values[g.Output] != d {
+			s.latchBuf = append(s.latchBuf, g.Output)
+		}
+	}
+	for _, q := range s.latchBuf {
+		s.setNet(q, !s.values[q], nextBase)
+	}
+
+	s.cycle++
+	return s.Events - start, nil
+}
+
+// propagateDelta processes all net changes batched at time t: every gate
+// reading a changed net is evaluated once; outputs that differ are applied
+// at t+1 (batched for the next delta).
+func (s *Simulator) propagateDelta(t VTime) {
+	s.markStamp++
+	s.dirtyGates = s.dirtyGates[:0]
+	for _, n := range s.changedNets {
+		for _, g := range s.NL.Nets[n].Sinks {
+			if s.NL.Gates[g].Kind.Sequential() {
+				continue // DFFs evaluate only at the latch
+			}
+			if s.gateMark[g] != s.markStamp {
+				s.gateMark[g] = s.markStamp
+				s.dirtyGates = append(s.dirtyGates, g)
+			}
+		}
+	}
+	s.changedNets = s.changedNets[:0]
+	for _, gi := range s.dirtyGates {
+		g := &s.NL.Gates[gi]
+		s.Events++
+		s.EvalCount[gi]++
+		if s.OnGateEval != nil {
+			s.OnGateEval(gi, t)
+		}
+		out := evalGate(g, s.values)
+		if s.values[g.Output] != out {
+			s.setNet(g.Output, out, t+1)
+		}
+	}
+}
+
+// setNet applies a net change at time t and records it for the next delta.
+func (s *Simulator) setNet(n netlist.NetID, v bool, t VTime) {
+	s.values[n] = v
+	s.Toggles++
+	if s.OnNetChange != nil {
+		s.OnNetChange(n, t, v)
+	}
+	s.changedNets = append(s.changedNets, n)
+}
+
+// evalGate computes a combinational gate's output from current net values.
+func evalGate(g *netlist.Gate, values []bool) bool {
+	switch g.Kind {
+	case verilog.GateNot:
+		return !values[g.Inputs[0]]
+	case verilog.GateBuf:
+		return values[g.Inputs[0]]
+	}
+	// Variadic gates.
+	var acc bool
+	switch g.Kind {
+	case verilog.GateAnd, verilog.GateNand:
+		acc = true
+		for _, in := range g.Inputs {
+			if !values[in] {
+				acc = false
+				break
+			}
+		}
+		if g.Kind == verilog.GateNand {
+			acc = !acc
+		}
+	case verilog.GateOr, verilog.GateNor:
+		acc = false
+		for _, in := range g.Inputs {
+			if values[in] {
+				acc = true
+				break
+			}
+		}
+		if g.Kind == verilog.GateNor {
+			acc = !acc
+		}
+	case verilog.GateXor, verilog.GateXnor:
+		acc = false
+		for _, in := range g.Inputs {
+			acc = acc != values[in]
+		}
+		if g.Kind == verilog.GateXnor {
+			acc = !acc
+		}
+	default:
+		panic(fmt.Sprintf("sim: cannot evaluate gate kind %v", g.Kind))
+	}
+	return acc
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/netlist"
+)
+
+func TestVCDWriterBasics(t *testing.T) {
+	c := gen.LFSR(8, nil)
+	ed, err := c.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(ed.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	vcd, err := NewVCDWriter(&buf, s, ed.Netlist.POs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(RandomVectors{Seed: 9}, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := vcd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"$timescale", "$var wire 1 ", "$enddefinitions", "$dumpvars"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q", want)
+		}
+	}
+	// The LFSR output toggles, so there must be timestamped changes.
+	if !strings.Contains(out, "#") {
+		t.Error("no timestamps in VCD")
+	}
+	lines := strings.Split(out, "\n")
+	changes := 0
+	for _, l := range lines {
+		if len(l) >= 2 && (l[0] == '0' || l[0] == '1') {
+			changes++
+		}
+	}
+	if changes < 5 {
+		t.Errorf("only %d value changes recorded", changes)
+	}
+}
+
+func TestVCDChainsExistingHook(t *testing.T) {
+	c := gen.LFSR(8, nil)
+	ed, err := c.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(ed.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prior int
+	s.OnNetChange = func(n netlist.NetID, t VTime, v bool) { prior++ }
+	var buf bytes.Buffer
+	vcd, err := NewVCDWriter(&buf, s, ed.Netlist.POs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(RandomVectors{Seed: 9}, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := vcd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if prior == 0 {
+		t.Error("prior hook was not chained")
+	}
+	// After Close, the original hook is restored.
+	before := prior
+	if _, err := s.Run(RandomVectors{Seed: 10}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if prior == before {
+		t.Error("hook not restored after Close")
+	}
+}
+
+func TestVCDIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 10000; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+		for j := 0; j < len(id); j++ {
+			if id[j] < '!' || id[j] > '~' {
+				t.Fatalf("id %q has non-printable byte", id)
+			}
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package sim
+
+import "math/rand"
+
+// VectorSource produces input vectors, one per cycle.
+type VectorSource interface {
+	// Vector fills buf with the stimulus for the given cycle.
+	Vector(cycle uint64, buf []bool)
+}
+
+// RandomVectors is the paper's stimulus: independent uniformly random bits
+// each cycle, deterministic per seed. The same (seed, cycle) always yields
+// the same vector, so the sequential simulator and the Time Warp kernel
+// see identical stimuli.
+type RandomVectors struct {
+	Seed int64
+}
+
+// Vector fills buf with the random vector for `cycle`.
+func (r RandomVectors) Vector(cycle uint64, buf []bool) {
+	// A dedicated PRNG per cycle keeps vectors independent of how many
+	// bits earlier cycles consumed (random access by cycle).
+	rng := rand.New(rand.NewSource(r.Seed ^ int64(cycle*0x9E3779B97F4A7C15)))
+	for i := range buf {
+		buf[i] = rng.Int63()&1 == 1
+	}
+}
+
+// Run drives the simulator with cycles vectors from src and returns the
+// total number of gate evaluations.
+func (s *Simulator) Run(src VectorSource, cycles uint64) (uint64, error) {
+	buf := make([]bool, s.VectorWidth())
+	start := s.Events
+	for c := uint64(0); c < cycles; c++ {
+		src.Vector(s.Cycle(), buf)
+		if _, err := s.Step(buf); err != nil {
+			return s.Events - start, err
+		}
+	}
+	return s.Events - start, nil
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty series should be all zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("mean = %f", s.Mean())
+	}
+	if d := s.Std(); d < 2.13 || d > 2.15 {
+		t.Errorf("std = %f, want ~2.14", d)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %f/%f", s.Min(), s.Max())
+	}
+}
+
+func TestSeriesMeanBounds(t *testing.T) {
+	f := func(xs []float32) bool {
+		// float32 inputs keep the float64 accumulation overflow-free.
+		var s Series
+		for _, x := range xs {
+			if x != x { // skip NaN
+				return true
+			}
+			s.Add(float64(x))
+		}
+		if len(xs) == 0 {
+			return s.Mean() == 0
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9*abs(s.Min())-1e-9 && m <= s.Max()+1e-9*abs(s.Max())+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("k", "b", "cut")
+	tb.AddRow(2, 2.5, 2428)
+	tb.AddRow(2, 12.5, 598)
+	out := tb.String()
+	if !strings.Contains(out, "k") || !strings.Contains(out, "2428") {
+		t.Errorf("table output wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Errorf("got %d lines", len(lines))
+	}
+	if !strings.Contains(out, "2.5") || strings.Contains(out, "2.50") {
+		t.Errorf("float trimming wrong:\n%s", out)
+	}
+}
+
+func TestTableSort(t *testing.T) {
+	tb := NewTable("k", "b")
+	tb.AddRow(3, 10.0)
+	tb.AddRow(2, 15.0)
+	tb.AddRow(2, 5.0)
+	tb.SortRowsBy(0, 1)
+	var got []string
+	for _, row := range tb.rows {
+		got = append(got, row[0]+","+row[1])
+	}
+	want := []string{"2,5", "2,15", "3,10"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sort order wrong: %v, want %v", got, want)
+		}
+	}
+}

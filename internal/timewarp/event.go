@@ -1,0 +1,71 @@
+// Package timewarp is an optimistic parallel discrete-event simulation
+// kernel for gate-level netlists — the role OOCTW (object-oriented
+// Clustered Time Warp) plays under DVS in the paper. Each partition of the
+// netlist becomes a cluster of logic owned by one goroutine ("machine");
+// clusters exchange net-change events through the comm network, execute
+// optimistically ahead of their peers, and repair causality violations by
+// rolling back to a saved checkpoint, cancelling already-sent events with
+// anti-messages, and replaying.
+//
+// Virtual time is shared verbatim with the sequential simulator
+// (cycle*DeltaRange + delta), so a Time Warp run over any partitioning
+// commits exactly the same per-cycle waveforms as sim.Simulator — the
+// correctness property the tests assert.
+package timewarp
+
+import (
+	"container/heap"
+
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// event is a net value change at a virtual time, sent between clusters.
+type event struct {
+	T    sim.VTime
+	Net  netlist.NetID
+	Val  bool
+	Anti bool
+	Src  int32
+	Seq  uint64 // per-source sequence number; anti-messages repeat it
+}
+
+// eventHeap is a min-heap of events ordered by (T, Src, Seq) so replay
+// order is deterministic.
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].T != h[j].T {
+		return h[i].T < h[j].T
+	}
+	if h[i].Src != h[j].Src {
+		return h[i].Src < h[j].Src
+	}
+	return h[i].Seq < h[j].Seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+func (h *eventHeap) popEvent() event { return heap.Pop(h).(event) }
+
+// removeMatching deletes the first event with the given (src, seq),
+// returning whether one was found.
+func (h *eventHeap) removeMatching(src int32, seq uint64) bool {
+	for i := range *h {
+		if (*h)[i].Src == src && (*h)[i].Seq == seq && !(*h)[i].Anti {
+			heap.Remove(h, i)
+			return true
+		}
+	}
+	return false
+}

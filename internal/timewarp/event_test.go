@@ -1,0 +1,71 @@
+package timewarp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEventHeapOrdering(t *testing.T) {
+	var h eventHeap
+	rng := rand.New(rand.NewSource(1))
+	const n = 500
+	for i := 0; i < n; i++ {
+		h.pushEvent(event{
+			T:   uint64(rng.Intn(50)),
+			Src: int32(rng.Intn(4)),
+			Seq: uint64(rng.Intn(1000)),
+		})
+	}
+	var prev event
+	for i := 0; i < n; i++ {
+		e := h.popEvent()
+		if i > 0 {
+			if e.T < prev.T {
+				t.Fatalf("heap order violated: T %d after %d", e.T, prev.T)
+			}
+			if e.T == prev.T && e.Src < prev.Src {
+				t.Fatalf("tie-break by Src violated")
+			}
+			if e.T == prev.T && e.Src == prev.Src && e.Seq < prev.Seq {
+				t.Fatalf("tie-break by Seq violated")
+			}
+		}
+		prev = e
+	}
+	if h.Len() != 0 {
+		t.Errorf("heap not drained: %d left", h.Len())
+	}
+}
+
+func TestEventHeapRemoveMatching(t *testing.T) {
+	var h eventHeap
+	h.pushEvent(event{T: 5, Src: 1, Seq: 10})
+	h.pushEvent(event{T: 3, Src: 2, Seq: 10})
+	h.pushEvent(event{T: 7, Src: 1, Seq: 11})
+
+	if !h.removeMatching(1, 10) {
+		t.Fatal("should find (1, 10)")
+	}
+	if h.removeMatching(1, 10) {
+		t.Fatal("(1, 10) should be gone")
+	}
+	if h.Len() != 2 {
+		t.Fatalf("len = %d", h.Len())
+	}
+	// Anti-marked events are never matched (only positives annihilate).
+	h.pushEvent(event{T: 9, Src: 3, Seq: 1, Anti: true})
+	if h.removeMatching(3, 1) {
+		t.Fatal("anti events must not match")
+	}
+	// Heap invariant survives removals.
+	if e := h.popEvent(); e.T != 3 {
+		t.Fatalf("min after removal: %d, want 3", e.T)
+	}
+	if !h.removeMatching(1, 11) {
+		t.Fatal("should find (1, 11)")
+	}
+	// Only the anti remains.
+	if h.Len() != 1 || !h[0].Anti {
+		t.Fatalf("unexpected heap tail: %+v", h)
+	}
+}

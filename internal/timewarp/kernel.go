@@ -1,0 +1,217 @@
+package timewarp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Config describes one Time Warp run.
+type Config struct {
+	NL *netlist.Netlist
+	// GateParts maps every gate to its cluster ("machine"), as produced
+	// by the partitioners.
+	GateParts []int32
+	// K is the number of clusters.
+	K int
+	// Vectors is the stimulus, shared deterministically by all clusters.
+	Vectors sim.VectorSource
+	// Cycles is the number of input vectors to simulate.
+	Cycles uint64
+	// Window bounds optimism: a cluster may run at most Window cycles
+	// ahead of the slowest cluster (also bounds rollback depth and wasted
+	// speculative work). Default 8.
+	Window uint64
+	// CheckpointEvery is the state-saving interval in cycles (default 1:
+	// checkpoint every cycle). Sparse checkpointing trades rollback cost
+	// (the kernel coasts forward from the nearest earlier checkpoint,
+	// re-executing silently) for much lower state-saving overhead —
+	// the classic Time Warp trade-off.
+	CheckpointEvery uint64
+	// Observe lists nets whose committed per-cycle (post-latch) values
+	// are recorded; defaults to the primary outputs.
+	Observe []netlist.NetID
+}
+
+// Stats aggregates kernel activity over a run.
+type Stats struct {
+	Messages         uint64 // positive inter-cluster events sent
+	AntiMessages     uint64 // cancellations sent
+	Rollbacks        uint64 // rollback occurrences
+	Events           uint64 // gate evaluations executed (incl. re-execution)
+	RolledBackEvents uint64 // evaluations undone by rollbacks
+	Checkpoints      uint64 // state checkpoints taken
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Observed holds, for each observed net, its committed value after
+	// every cycle (index = cycle).
+	Observed map[netlist.NetID][]bool
+	Stats    Stats
+	// PerCluster breaks the statistics down by machine, the view the
+	// paper's per-processor plots use.
+	PerCluster []Stats
+}
+
+// Run executes the optimistic parallel simulation and returns the
+// committed waveforms plus kernel statistics.
+func Run(cfg Config) (*Result, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("timewarp: K must be >= 1")
+	}
+	if len(cfg.GateParts) != len(cfg.NL.Gates) {
+		return nil, fmt.Errorf("timewarp: GateParts covers %d gates, netlist has %d",
+			len(cfg.GateParts), len(cfg.NL.Gates))
+	}
+	for gi, p := range cfg.GateParts {
+		if p < 0 || int(p) >= cfg.K {
+			return nil, fmt.Errorf("timewarp: gate %d assigned to cluster %d (K=%d)", gi, p, cfg.K)
+		}
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 8
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 1
+	}
+	depth, err := cfg.NL.Depth()
+	if err != nil {
+		return nil, err
+	}
+	deltaRange := uint64(depth) + 4
+	observe := cfg.Observe
+	if observe == nil {
+		observe = cfg.NL.POs
+	}
+
+	net := comm.NewNetwork(cfg.K)
+	progress := make([]atomic.Uint64, cfg.K) // published cycle per cluster
+	var absorbed atomic.Uint64               // messages fully absorbed
+	var cancelled atomic.Bool                // any-cluster failure flag
+	var gvt atomic.Uint64                    // quiescent GVT in cycles
+
+	clusters := make([]*cluster, cfg.K)
+	for c := 0; c < cfg.K; c++ {
+		clusters[c] = newCluster(int32(c), &cfg, deltaRange, net.Endpoint(c), progress, &absorbed, &cancelled, &gvt, observe)
+	}
+
+	// Watcher: termination when every cluster has published Cycles and
+	// every sent message has been fully absorbed (absorbing includes any
+	// rollback it caused, so progress would have dropped first). Stable
+	// across two polls to ride out transients, then close the endpoints
+	// so blocked clusters exit.
+	stop := make(chan struct{})
+	var watcher sync.WaitGroup
+	watcher.Add(1)
+	go func() {
+		defer watcher.Done()
+		// Quiescent-GVT detection: if across two polls (a) no message was
+		// sent, (b) every sent message was absorbed, and (c) no cluster's
+		// published cycle changed, then no absorption (hence no rollback)
+		// occurred in the window either — absorbed is capped by sent and
+		// already equal to it. The progress minimum therefore held at a
+		// provably quiescent instant, and since any future rollback chain
+		// starts from a message sent at or above its sender's LVT, no
+		// rollback can ever target a cycle below that minimum: it is a
+		// safe fossil-collection line, and "all finished + quiescent" is
+		// safe termination.
+		prevSent := uint64(0)
+		prevProg := make([]uint64, cfg.K)
+		curProg := make([]uint64, cfg.K)
+		prevValid := false
+		doneStreak := 0
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(200 * time.Microsecond):
+			}
+			sent := net.TotalSent()
+			allAbsorbed := absorbed.Load() == sent
+			allDone := true
+			minProg := uint64(1<<63 - 1)
+			for c := range progress {
+				curProg[c] = progress[c].Load()
+				if curProg[c] < minProg {
+					minProg = curProg[c]
+				}
+				if curProg[c] < cfg.Cycles {
+					allDone = false
+				}
+			}
+			stable := prevValid && sent == prevSent && allAbsorbed
+			if stable {
+				for c := range curProg {
+					if curProg[c] != prevProg[c] {
+						stable = false
+						break
+					}
+				}
+			}
+			if stable && minProg > gvt.Load() {
+				gvt.Store(minProg)
+			}
+			if stable && allDone {
+				doneStreak++
+				if doneStreak >= 2 {
+					for c := 0; c < cfg.K; c++ {
+						net.Endpoint(c).Close()
+					}
+					return
+				}
+			} else {
+				doneStreak = 0
+			}
+			prevSent = sent
+			copy(prevProg, curProg)
+			prevValid = allAbsorbed
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.K)
+	for c := 0; c < cfg.K; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			errs[c] = clusters[c].run()
+			if errs[c] != nil {
+				// Abort the whole run: wake and stop every peer.
+				cancelled.Store(true)
+				for i := 0; i < cfg.K; i++ {
+					net.Endpoint(i).Close()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	watcher.Wait()
+
+	res := &Result{
+		Observed:   make(map[netlist.NetID][]bool, len(observe)),
+		PerCluster: make([]Stats, cfg.K),
+	}
+	for _, cl := range clusters {
+		if err := errs[cl.id]; err != nil {
+			return nil, err
+		}
+		res.PerCluster[cl.id] = cl.stats
+		res.Stats.Messages += cl.stats.Messages
+		res.Stats.AntiMessages += cl.stats.AntiMessages
+		res.Stats.Rollbacks += cl.stats.Rollbacks
+		res.Stats.Events += cl.stats.Events
+		res.Stats.RolledBackEvents += cl.stats.RolledBackEvents
+		res.Stats.Checkpoints += cl.stats.Checkpoints
+		for n, vals := range cl.obsLog {
+			res.Observed[n] = vals
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,49 @@
+package verilog
+
+import "testing"
+
+// FuzzParse asserts the parser's crash-freedom contract: any input either
+// parses or returns an error — it must never panic. `go test` runs the
+// seed corpus; `go test -fuzz=FuzzParse` explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"module m; endmodule",
+		"module m (a, b); input a; output b; buf g (b, a); endmodule",
+		"module m (input [3:0] a, output y); assign y = a[3] & ~a[0]; endmodule",
+		"module m; wire w; and (w, w, w); endmodule",
+		"module m (input a); dff f (a, a, a); endmodule",
+		"module \\weird!name ; endmodule",
+		"module m; // comment\n/* block */ endmodule",
+		"module m (input a, output y); not #1 n (y, a); endmodule",
+		"module m; assign x = {a, 2'b01, b[3:1]}; endmodule",
+		"module m (((",
+		"endmodule module",
+		"module m; wire [7:0 w; endmodule",
+		"module m; assign y = (a | b) ^ ~(c & d); endmodule",
+		"1'bx 8'hZZ 'o777",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Must not panic; errors are fine.
+		d, err := Parse(src)
+		if err == nil && d != nil {
+			// A successful parse must also print and re-parse.
+			if _, err2 := Parse(d.Print()); err2 != nil {
+				t.Errorf("printed form of valid input fails to parse: %v", err2)
+			}
+		}
+	})
+}
+
+// FuzzParseNumber asserts numeric literal decoding never panics.
+func FuzzParseNumber(f *testing.F) {
+	for _, s := range []string{"0", "42", "1'b0", "8'hFF", "4'bxz01", "'", "9'", "3'b", "_", "16'd65535"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		_, _, _ = ParseNumber(text)
+	})
+}

@@ -1,0 +1,328 @@
+package verilog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer turns Verilog source text into a stream of tokens. It skips
+// whitespace, line comments (// ...), block comments (/* ... */) and
+// compiler directives (`timescale etc., to end of line).
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// LexError describes a lexical error with position information.
+type LexError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *LexError) Error() string {
+	return fmt.Sprintf("lex error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (l *Lexer) errorf(format string, args ...any) error {
+	return &LexError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// isNumCont reports whether c can continue a Verilog numeric literal after
+// the first digit or after a base marker ('): hex digits, x/z bits,
+// underscores and the base letters themselves.
+func isNumCont(c byte) bool {
+	switch {
+	case isDigit(c):
+		return true
+	case c >= 'a' && c <= 'f', c >= 'A' && c <= 'F':
+		return true
+	case c == 'x', c == 'X', c == 'z', c == 'Z', c == '_', c == '\'':
+		return true
+	case c == 'h', c == 'H', c == 'b', c == 'B', c == 'o', c == 'O', c == 'd', c == 'D':
+		return true
+	}
+	return false
+}
+
+// skipIgnorable consumes whitespace, comments and compiler directives.
+func (l *Lexer) skipIgnorable() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case isSpace(c):
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return &LexError{Line: startLine, Col: startCol, Msg: "unterminated block comment"}
+			}
+		case c == '`':
+			// Compiler directive: ignore to end of line.
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token, or an error on malformed input. At end of
+// input it returns a TokEOF token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipIgnorable(); err != nil {
+		return Token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Line: l.line, Col: l.col}, nil
+	}
+	line, col := l.line, l.col
+	c := l.peek()
+
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		if kind, ok := keywords[text]; ok {
+			return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+		}
+		if primitives[text] {
+			return Token{Kind: TokPrimitive, Text: text, Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Line: line, Col: col}, nil
+
+	case c == '\\':
+		// Escaped identifier: backslash to next whitespace.
+		l.advance()
+		start := l.pos
+		for l.pos < len(l.src) && !isSpace(l.peek()) {
+			l.advance()
+		}
+		if start == l.pos {
+			return Token{}, &LexError{Line: line, Col: col, Msg: "empty escaped identifier"}
+		}
+		return Token{Kind: TokIdent, Text: l.src[start:l.pos], Line: line, Col: col}, nil
+
+	case isDigit(c) || c == '\'':
+		start := l.pos
+		for l.pos < len(l.src) && isNumCont(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		if text == "'" {
+			return Token{}, &LexError{Line: line, Col: col, Msg: "stray apostrophe"}
+		}
+		return Token{Kind: TokNumber, Text: text, Line: line, Col: col}, nil
+
+	case c == '"':
+		l.advance()
+		start := l.pos
+		for l.pos < len(l.src) && l.peek() != '"' {
+			if l.peek() == '\n' {
+				return Token{}, &LexError{Line: line, Col: col, Msg: "newline in string literal"}
+			}
+			l.advance()
+		}
+		if l.pos >= len(l.src) {
+			return Token{}, &LexError{Line: line, Col: col, Msg: "unterminated string literal"}
+		}
+		text := l.src[start:l.pos]
+		l.advance() // closing quote
+		return Token{Kind: TokString, Text: text, Line: line, Col: col}, nil
+	}
+
+	// Single-character punctuation.
+	var kind TokenKind
+	switch c {
+	case '(':
+		kind = TokLParen
+	case ')':
+		kind = TokRParen
+	case '[':
+		kind = TokLBracket
+	case ']':
+		kind = TokRBracket
+	case '{':
+		kind = TokLBrace
+	case '}':
+		kind = TokRBrace
+	case ',':
+		kind = TokComma
+	case ';':
+		kind = TokSemi
+	case ':':
+		kind = TokColon
+	case '.':
+		kind = TokDot
+	case '=':
+		kind = TokEquals
+	case '#':
+		kind = TokHash
+	case '&':
+		kind = TokAmp
+	case '|':
+		kind = TokPipe
+	case '^':
+		kind = TokCaret
+	case '~':
+		kind = TokTilde
+	default:
+		return Token{}, l.errorf("unexpected character %q", string(rune(c)))
+	}
+	l.advance()
+	return Token{Kind: kind, Text: string(rune(c)), Line: line, Col: col}, nil
+}
+
+// LexAll tokenizes the whole of src, excluding the final EOF token. It is a
+// convenience for tests.
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}
+
+// ParseNumber decodes a Verilog numeric literal into (width, value). Width
+// is -1 when the literal is unsized. x/z bits are treated as 0. Underscores
+// are ignored. Supported bases: 'b, 'o, 'd, 'h; a bare decimal integer is
+// unsized decimal.
+func ParseNumber(text string) (width int, value uint64, err error) {
+	text = strings.ReplaceAll(text, "_", "")
+	apos := strings.IndexByte(text, '\'')
+	if apos < 0 {
+		var v uint64
+		for i := 0; i < len(text); i++ {
+			if !isDigit(text[i]) {
+				return 0, 0, fmt.Errorf("verilog: bad decimal literal %q", text)
+			}
+			v = v*10 + uint64(text[i]-'0')
+		}
+		return -1, v, nil
+	}
+	width = -1
+	if apos > 0 {
+		w, _, err := ParseNumber(text[:apos])
+		if err != nil || w != -1 {
+			return 0, 0, fmt.Errorf("verilog: bad width in literal %q", text)
+		}
+		_ = w
+		width = 0
+		for i := 0; i < apos; i++ {
+			width = width*10 + int(text[i]-'0')
+		}
+	}
+	rest := text[apos+1:]
+	if rest == "" {
+		return 0, 0, fmt.Errorf("verilog: missing base in literal %q", text)
+	}
+	base := rest[0]
+	digits := rest[1:]
+	var radix uint64
+	switch base {
+	case 'b', 'B':
+		radix = 2
+	case 'o', 'O':
+		radix = 8
+	case 'd', 'D':
+		radix = 10
+	case 'h', 'H':
+		radix = 16
+	default:
+		return 0, 0, fmt.Errorf("verilog: bad base %q in literal %q", string(base), text)
+	}
+	if digits == "" {
+		return 0, 0, fmt.Errorf("verilog: missing digits in literal %q", text)
+	}
+	for i := 0; i < len(digits); i++ {
+		d := digits[i]
+		var dv uint64
+		switch {
+		case d >= '0' && d <= '9':
+			dv = uint64(d - '0')
+		case d >= 'a' && d <= 'f':
+			dv = uint64(d-'a') + 10
+		case d >= 'A' && d <= 'F':
+			dv = uint64(d-'A') + 10
+		case d == 'x' || d == 'X' || d == 'z' || d == 'Z':
+			dv = 0 // unknown/high-impedance treated as 0 for simulation
+		default:
+			return 0, 0, fmt.Errorf("verilog: bad digit %q in literal %q", string(d), text)
+		}
+		if dv >= radix && !(d == 'x' || d == 'X' || d == 'z' || d == 'Z') {
+			return 0, 0, fmt.Errorf("verilog: digit %q out of range for base in %q", string(d), text)
+		}
+		value = value*radix + dv
+	}
+	return width, value, nil
+}

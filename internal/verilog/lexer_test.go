@@ -1,0 +1,180 @@
+package verilog
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := LexAll("module m (a, b); endmodule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{TokModule, TokIdent, TokLParen, TokIdent, TokComma, TokIdent, TokRParen, TokSemi, TokEndModule}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `// line comment
+/* block
+comment */ wire w; ` + "`timescale 1ns/1ps\n" + `and g (o, a);`
+	toks, err := LexAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{TokWire, TokIdent, TokSemi, TokPrimitive, TokIdent, TokLParen, TokIdent, TokComma, TokIdent, TokRParen, TokSemi}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(toks), toks, len(want))
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexUnterminatedBlockComment(t *testing.T) {
+	if _, err := LexAll("wire /* oops"); err == nil {
+		t.Fatal("expected error for unterminated block comment")
+	}
+}
+
+func TestLexLineColTracking(t *testing.T) {
+	toks, err := LexAll("wire a;\n  and g (o, i);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "and" is the 4th token, on line 2 col 3.
+	and := toks[3]
+	if and.Kind != TokPrimitive || and.Line != 2 || and.Col != 3 {
+		t.Errorf("got %v, want primitive at 2:3", and)
+	}
+}
+
+func TestLexEscapedIdentifier(t *testing.T) {
+	toks, err := LexAll(`wire \bus[0] ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[1].Kind != TokIdent || toks[1].Text != "bus[0]" {
+		t.Fatalf("escaped identifier mislexed: %v", toks)
+	}
+}
+
+func TestLexPrimitiveNames(t *testing.T) {
+	for _, name := range []string{"and", "nand", "or", "nor", "xor", "xnor", "not", "buf"} {
+		toks, err := LexAll(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(toks) != 1 || toks[0].Kind != TokPrimitive || toks[0].Text != name {
+			t.Errorf("%s: got %v", name, toks)
+		}
+		if !IsPrimitiveName(name) {
+			t.Errorf("IsPrimitiveName(%q) = false", name)
+		}
+	}
+	if IsPrimitiveName("mux") {
+		t.Error("IsPrimitiveName(mux) = true")
+	}
+}
+
+func TestLexStrayCharacter(t *testing.T) {
+	if _, err := LexAll("wire a @ b;"); err == nil {
+		t.Fatal("expected error for stray character")
+	}
+}
+
+func TestParseNumber(t *testing.T) {
+	cases := []struct {
+		text  string
+		width int
+		value uint64
+		ok    bool
+	}{
+		{"42", -1, 42, true},
+		{"1'b0", 1, 0, true},
+		{"1'b1", 1, 1, true},
+		{"4'b1010", 4, 10, true},
+		{"8'hFF", 8, 255, true},
+		{"8'hff", 8, 255, true},
+		{"12'o777", 12, 511, true},
+		{"16'd1000", 16, 1000, true},
+		{"4'b1_01_0", 4, 10, true},
+		{"4'bxz10", 4, 2, true}, // x/z read as 0
+		{"'hA", -1, 10, true},
+		{"4'", 0, 0, false},
+		{"4'q1", 0, 0, false},
+		{"4'b2", 0, 0, false},
+		{"ab", 0, 0, false},
+	}
+	for _, c := range cases {
+		w, v, err := ParseNumber(c.text)
+		if c.ok && err != nil {
+			t.Errorf("%q: unexpected error %v", c.text, err)
+			continue
+		}
+		if !c.ok {
+			if err == nil {
+				t.Errorf("%q: expected error", c.text)
+			}
+			continue
+		}
+		if w != c.width || v != c.value {
+			t.Errorf("%q: got (%d, %d), want (%d, %d)", c.text, w, v, c.width, c.value)
+		}
+	}
+}
+
+// Property: every decimal uint32 round-trips through ParseNumber unsized.
+func TestParseNumberDecimalRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		w, got, err := ParseNumber(formatUint(uint64(v)))
+		return err == nil && w == -1 && got == uint64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func formatUint(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Property: lexing never loops forever and either errors or consumes all
+// input for arbitrary printable strings.
+func TestLexTerminates(t *testing.T) {
+	f := func(s string) bool {
+		l := NewLexer(s)
+		for i := 0; i < len(s)+10; i++ {
+			tok, err := l.Next()
+			if err != nil {
+				return true
+			}
+			if tok.Kind == TokEOF {
+				return true
+			}
+		}
+		return false // did not terminate within bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,680 @@
+package verilog
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser builds a Design from tokens. It is a hand-written recursive
+// descent parser over the structural subset described in the package
+// comment.
+type Parser struct {
+	lex  *Lexer
+	tok  Token // current token
+	next Token // one token of lookahead
+	// gateSeq numbers anonymous gate instances so every gate has a name.
+	gateSeq int
+}
+
+// ParseError describes a syntax error with position information.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("parse error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parse parses a complete source text into a Design.
+func Parse(src string) (*Design, error) {
+	p := &Parser{lex: NewLexer(src)}
+	if err := p.advance(); err != nil { // fill tok
+		return nil, err
+	}
+	if err := p.advance(); err != nil { // fill next
+		return nil, err
+	}
+	design := &Design{}
+	for p.tok.Kind != TokEOF {
+		m, err := p.parseModule()
+		if err != nil {
+			return nil, err
+		}
+		if err := design.AddModule(m); err != nil {
+			return nil, err
+		}
+	}
+	return design, nil
+}
+
+// advance shifts the lookahead window by one token.
+func (p *Parser) advance() error {
+	p.tok = p.next
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.next = t
+	return nil
+}
+
+func (p *Parser) errorf(format string, args ...any) error {
+	return &ParseError{Line: p.tok.Line, Col: p.tok.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// expect consumes a token of the given kind or reports an error.
+func (p *Parser) expect(kind TokenKind) (Token, error) {
+	if p.tok.Kind != kind {
+		return Token{}, p.errorf("expected %s, found %s", kind, p.tok)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return Token{}, err
+	}
+	return t, nil
+}
+
+// accept consumes a token of the given kind if present.
+func (p *Parser) accept(kind TokenKind) (bool, error) {
+	if p.tok.Kind != kind {
+		return false, nil
+	}
+	return true, p.advance()
+}
+
+// parseInt parses the current token as a plain (or sized) integer.
+func (p *Parser) parseInt() (int, error) {
+	t, err := p.expect(TokNumber)
+	if err != nil {
+		return 0, err
+	}
+	_, v, err := ParseNumber(t.Text)
+	if err != nil {
+		return 0, &ParseError{Line: t.Line, Col: t.Col, Msg: err.Error()}
+	}
+	return int(v), nil
+}
+
+// parseRange parses an optional [msb:lsb] range.
+func (p *Parser) parseRange() (Range, error) {
+	if p.tok.Kind != TokLBracket {
+		return Range{Scalar: true}, nil
+	}
+	if err := p.advance(); err != nil {
+		return Range{}, err
+	}
+	msb, err := p.parseInt()
+	if err != nil {
+		return Range{}, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return Range{}, err
+	}
+	lsb, err := p.parseInt()
+	if err != nil {
+		return Range{}, err
+	}
+	if _, err := p.expect(TokRBracket); err != nil {
+		return Range{}, err
+	}
+	return Range{MSB: msb, LSB: lsb}, nil
+}
+
+// parseModule parses one `module ... endmodule` definition.
+func (p *Parser) parseModule() (*Module, error) {
+	start, err := p.expect(TokModule)
+	if err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Name: nameTok.Text, Line: start.Line}
+
+	// Header port list: either classic `(a, b, c)` or ANSI
+	// `(input a, output [3:0] b, ...)`. Both optional.
+	if ok, err := p.accept(TokLParen); err != nil {
+		return nil, err
+	} else if ok {
+		if p.tok.Kind != TokRParen {
+			if err := p.parseHeaderPorts(m); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+
+	// Body items.
+	for {
+		switch p.tok.Kind {
+		case TokEndModule:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return m, p.finishModule(m)
+		case TokInput, TokOutput, TokInout:
+			if err := p.parsePortDecl(m); err != nil {
+				return nil, err
+			}
+		case TokWire, TokSupply0, TokSupply1:
+			if err := p.parseNetDecl(m); err != nil {
+				return nil, err
+			}
+		case TokAssign:
+			if err := p.parseAssign(m); err != nil {
+				return nil, err
+			}
+		case TokPrimitive:
+			if err := p.parseGateInst(m); err != nil {
+				return nil, err
+			}
+		case TokIdent:
+			if err := p.parseModuleInst(m); err != nil {
+				return nil, err
+			}
+		case TokParameter, TokLocalparam:
+			return nil, p.errorf("parameters are outside the supported structural subset")
+		case TokEOF:
+			return nil, p.errorf("unexpected end of input inside module %q", m.Name)
+		default:
+			return nil, p.errorf("unexpected %s in module body", p.tok)
+		}
+	}
+}
+
+// parseHeaderPorts handles both classic and ANSI port headers.
+func (p *Parser) parseHeaderPorts(m *Module) error {
+	ansi := p.tok.Kind == TokInput || p.tok.Kind == TokOutput || p.tok.Kind == TokInout
+	if !ansi {
+		// Classic: just names; directions come from body declarations.
+		for {
+			t, err := p.expect(TokIdent)
+			if err != nil {
+				return err
+			}
+			// Record order; direction/range patched by parsePortDecl.
+			if err := m.addPort(&Port{Name: t.Text, Range: Range{Scalar: true}}); err != nil {
+				return err
+			}
+			if ok, err := p.accept(TokComma); err != nil {
+				return err
+			} else if !ok {
+				return nil
+			}
+		}
+	}
+	// ANSI: direction [range] name {, [direction [range]] name}
+	dir := DirInput
+	rng := Range{Scalar: true}
+	for {
+		switch p.tok.Kind {
+		case TokInput, TokOutput, TokInout:
+			switch p.tok.Kind {
+			case TokInput:
+				dir = DirInput
+			case TokOutput:
+				dir = DirOutput
+			case TokInout:
+				dir = DirInout
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+			// Optional `wire` after direction.
+			if _, err := p.accept(TokWire); err != nil {
+				return err
+			}
+			var err error
+			rng, err = p.parseRange()
+			if err != nil {
+				return err
+			}
+		}
+		t, err := p.expect(TokIdent)
+		if err != nil {
+			return err
+		}
+		port := &Port{Name: t.Text, Dir: dir, Range: rng}
+		if err := m.addPort(port); err != nil {
+			return err
+		}
+		if err := m.addNet(&Net{Name: t.Text, Range: rng}); err != nil {
+			return err
+		}
+		if ok, err := p.accept(TokComma); err != nil {
+			return err
+		} else if !ok {
+			return nil
+		}
+	}
+}
+
+// parsePortDecl parses body-style `input [3:0] a, b;` declarations, which
+// patch direction/range onto header-declared ports (classic style) or
+// declare new ports (tolerated even without a header entry).
+func (p *Parser) parsePortDecl(m *Module) error {
+	var dir PortDir
+	switch p.tok.Kind {
+	case TokInput:
+		dir = DirInput
+	case TokOutput:
+		dir = DirOutput
+	case TokInout:
+		dir = DirInout
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if _, err := p.accept(TokWire); err != nil {
+		return err
+	}
+	rng, err := p.parseRange()
+	if err != nil {
+		return err
+	}
+	for {
+		t, err := p.expect(TokIdent)
+		if err != nil {
+			return err
+		}
+		if existing := m.Port(t.Text); existing != nil {
+			existing.Dir = dir
+			existing.Range = rng
+		} else {
+			if err := m.addPort(&Port{Name: t.Text, Dir: dir, Range: rng}); err != nil {
+				return err
+			}
+		}
+		if err := m.addNet(&Net{Name: t.Text, Range: rng}); err != nil {
+			return err
+		}
+		if ok, err := p.accept(TokComma); err != nil {
+			return err
+		} else if !ok {
+			break
+		}
+	}
+	_, err = p.expect(TokSemi)
+	return err
+}
+
+// parseNetDecl parses `wire [3:0] a, b;` (supply0/supply1 treated as wires;
+// the elaborator ties them to constants by name convention).
+func (p *Parser) parseNetDecl(m *Module) error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	rng, err := p.parseRange()
+	if err != nil {
+		return err
+	}
+	for {
+		t, err := p.expect(TokIdent)
+		if err != nil {
+			return err
+		}
+		if err := m.addNet(&Net{Name: t.Text, Range: rng}); err != nil {
+			return err
+		}
+		if ok, err := p.accept(TokComma); err != nil {
+			return err
+		} else if !ok {
+			break
+		}
+	}
+	_, err = p.expect(TokSemi)
+	return err
+}
+
+// parseAssign parses `assign lhs = rhs;` where rhs may use the bitwise
+// operators ~, &, ^, | with Verilog precedence.
+func (p *Parser) parseAssign(m *Module) error {
+	line := p.tok.Line
+	if err := p.advance(); err != nil {
+		return err
+	}
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(TokEquals); err != nil {
+		return err
+	}
+	rhs, err := p.parseOpExpr()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return err
+	}
+	m.Assigns = append(m.Assigns, &Assign{LHS: lhs, RHS: rhs, Line: line})
+	return nil
+}
+
+// parseGateInst parses `and g1 (o, a, b);` possibly with a delay `#1`
+// (ignored — the simulators impose unit delay) and multiple instances
+// separated by commas: `and g1 (o,a,b), g2 (p,c,d);`.
+func (p *Parser) parseGateInst(m *Module) error {
+	kind, ok := GateKindFromName(p.tok.Text)
+	if !ok {
+		return p.errorf("unknown primitive %q", p.tok.Text)
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	// Optional delay: #N or #(N) — parsed and discarded.
+	if ok, err := p.accept(TokHash); err != nil {
+		return err
+	} else if ok {
+		if parens, err := p.accept(TokLParen); err != nil {
+			return err
+		} else if parens {
+			if _, err := p.parseInt(); err != nil {
+				return err
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return err
+			}
+		} else {
+			if _, err := p.parseInt(); err != nil {
+				return err
+			}
+		}
+	}
+	for {
+		name := ""
+		if p.tok.Kind == TokIdent {
+			name = p.tok.Text
+			if err := p.advance(); err != nil {
+				return err
+			}
+		} else {
+			p.gateSeq++
+			name = "_g" + strconv.Itoa(p.gateSeq)
+		}
+		line := p.tok.Line
+		if _, err := p.expect(TokLParen); err != nil {
+			return err
+		}
+		var conns []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			conns = append(conns, e)
+			if ok, err := p.accept(TokComma); err != nil {
+				return err
+			} else if !ok {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return err
+		}
+		if len(conns) < 2 {
+			return p.errorf("gate %s %s needs an output and at least one input", kind, name)
+		}
+		m.Gates = append(m.Gates, &GateInst{Kind: kind, Name: name, Conns: conns, Line: line})
+		if ok, err := p.accept(TokComma); err != nil {
+			return err
+		} else if !ok {
+			break
+		}
+	}
+	_, err := p.expect(TokSemi)
+	return err
+}
+
+// parseModuleInst parses `modname inst (.a(x), .b(y));` or positional form.
+func (p *Parser) parseModuleInst(m *Module) error {
+	modTok, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	for {
+		nameTok, err := p.expect(TokIdent)
+		if err != nil {
+			return err
+		}
+		inst := &ModuleInst{ModuleName: modTok.Text, Name: nameTok.Text, Line: nameTok.Line}
+		if _, err := p.expect(TokLParen); err != nil {
+			return err
+		}
+		if p.tok.Kind == TokDot {
+			// Named connections.
+			for {
+				if _, err := p.expect(TokDot); err != nil {
+					return err
+				}
+				portTok, err := p.expect(TokIdent)
+				if err != nil {
+					return err
+				}
+				if _, err := p.expect(TokLParen); err != nil {
+					return err
+				}
+				var e Expr
+				if p.tok.Kind != TokRParen {
+					e, err = p.parseExpr()
+					if err != nil {
+						return err
+					}
+				}
+				if _, err := p.expect(TokRParen); err != nil {
+					return err
+				}
+				inst.Named = append(inst.Named, NamedConn{Port: portTok.Text, Expr: e})
+				if ok, err := p.accept(TokComma); err != nil {
+					return err
+				} else if !ok {
+					break
+				}
+			}
+		} else if p.tok.Kind != TokRParen {
+			// Positional connections.
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return err
+				}
+				inst.Positional = append(inst.Positional, e)
+				if ok, err := p.accept(TokComma); err != nil {
+					return err
+				} else if !ok {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return err
+		}
+		m.Instances = append(m.Instances, inst)
+		if ok, err := p.accept(TokComma); err != nil {
+			return err
+		} else if !ok {
+			break
+		}
+	}
+	_, err = p.expect(TokSemi)
+	return err
+}
+
+// parseOpExpr parses an operator expression for assign right-hand sides,
+// with Verilog's bitwise precedence: ~ binds tightest, then &, ^, | —
+// implemented as one level of recursive descent per precedence tier.
+func (p *Parser) parseOpExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	x, err := p.parseXor()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokPipe {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		y, err := p.parseXor()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Op: '|', X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseXor() (Expr, error) {
+	x, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokCaret {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		y, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Op: '^', X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokAmp {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		y, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Op: '&', X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.tok.Kind {
+	case TokTilde:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: '~', X: x}, nil
+	case TokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseOpExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return p.parseExpr()
+}
+
+// parseExpr parses a restricted structural expression: reference, bit
+// select, part select, concatenation or constant.
+func (p *Parser) parseExpr() (Expr, error) {
+	switch p.tok.Kind {
+	case TokIdent:
+		name := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind != TokLBracket {
+			return &Ref{Name: name}, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		first, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		if ok, err := p.accept(TokColon); err != nil {
+			return nil, err
+		} else if ok {
+			second, err := p.parseInt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			return &PartSelect{Name: name, MSB: first, LSB: second}, nil
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		return &BitSelect{Name: name, Bit: first}, nil
+
+	case TokNumber:
+		text := p.tok.Text
+		line, col := p.tok.Line, p.tok.Col
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		w, v, err := ParseNumber(text)
+		if err != nil {
+			return nil, &ParseError{Line: line, Col: col, Msg: err.Error()}
+		}
+		return &Const{Width: w, Value: v, Text: text}, nil
+
+	case TokLBrace:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var parts []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, e)
+			if ok, err := p.accept(TokComma); err != nil {
+				return nil, err
+			} else if !ok {
+				break
+			}
+		}
+		if _, err := p.expect(TokRBrace); err != nil {
+			return nil, err
+		}
+		return &Concat{Parts: parts}, nil
+	}
+	return nil, p.errorf("expected expression, found %s", p.tok)
+}
+
+// finishModule validates the module after parsing: every port must have a
+// net; classic-style header ports must have received a direction.
+func (p *Parser) finishModule(m *Module) error {
+	for _, port := range m.Ports {
+		if m.Net(port.Name) == nil {
+			if err := m.addNet(&Net{Name: port.Name, Range: port.Range}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+const fullAdderSrc = `
+// One-bit full adder built from primitives.
+module full_adder (a, b, cin, sum, cout);
+  input a, b, cin;
+  output sum, cout;
+  wire ab, t1, t2;
+
+  xor x1 (ab, a, b);
+  xor x2 (sum, ab, cin);
+  and a1 (t1, ab, cin);
+  and a2 (t2, a, b);
+  or  o1 (cout, t1, t2);
+endmodule
+`
+
+func TestParseFullAdder(t *testing.T) {
+	d, err := Parse(fullAdderSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Module("full_adder")
+	if m == nil {
+		t.Fatal("module full_adder not found")
+	}
+	if len(m.Ports) != 5 {
+		t.Fatalf("got %d ports, want 5", len(m.Ports))
+	}
+	if m.Port("cout").Dir != DirOutput {
+		t.Error("cout should be an output")
+	}
+	if m.Port("cin").Dir != DirInput {
+		t.Error("cin should be an input")
+	}
+	if len(m.Gates) != 5 {
+		t.Fatalf("got %d gates, want 5", len(m.Gates))
+	}
+	if m.Gates[0].Kind != GateXor || m.Gates[0].Name != "x1" {
+		t.Errorf("first gate wrong: %+v", m.Gates[0])
+	}
+	if got := m.Gates[4].Conns[0].String(); got != "cout" {
+		t.Errorf("or output: got %s, want cout", got)
+	}
+}
+
+func TestParseANSIPortsAndVectors(t *testing.T) {
+	src := `
+module regfile (input [7:0] din, input clk, output [7:0] dout);
+  wire [7:0] q;
+  buf b0 (dout[0], q[0]);
+  buf b1 (dout[7], q[7]);
+endmodule
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Module("regfile")
+	if m == nil {
+		t.Fatal("module not found")
+	}
+	din := m.Port("din")
+	if din == nil || din.Range.Width() != 8 || din.Dir != DirInput {
+		t.Fatalf("din port wrong: %+v", din)
+	}
+	if m.Port("clk").Range.Width() != 1 {
+		t.Error("clk should be scalar")
+	}
+	bs, ok := m.Gates[0].Conns[0].(*BitSelect)
+	if !ok || bs.Name != "dout" || bs.Bit != 0 {
+		t.Errorf("bit select wrong: %v", m.Gates[0].Conns[0])
+	}
+}
+
+func TestParseHierarchyNamedAndPositional(t *testing.T) {
+	src := fullAdderSrc + `
+module adder2 (input [1:0] a, input [1:0] b, input cin, output [1:0] s, output cout);
+  wire c0;
+  full_adder fa0 (.a(a[0]), .b(b[0]), .cin(cin), .sum(s[0]), .cout(c0));
+  full_adder fa1 (a[1], b[1], c0, s[1], cout);
+endmodule
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Module("adder2")
+	if len(m.Instances) != 2 {
+		t.Fatalf("got %d instances, want 2", len(m.Instances))
+	}
+	fa0 := m.Instances[0]
+	if fa0.ModuleName != "full_adder" || fa0.Name != "fa0" {
+		t.Errorf("fa0 wrong: %+v", fa0)
+	}
+	if len(fa0.Named) != 5 || fa0.Named[0].Port != "a" {
+		t.Errorf("named conns wrong: %+v", fa0.Named)
+	}
+	fa1 := m.Instances[1]
+	if len(fa1.Positional) != 5 {
+		t.Errorf("positional conns wrong: %+v", fa1.Positional)
+	}
+}
+
+func TestParseAssignAndConcat(t *testing.T) {
+	src := `
+module m (input [3:0] a, output [3:0] y, output z);
+  assign y = {a[2:1], 1'b0, a[0]};
+  assign z = a[3];
+endmodule
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Module("m")
+	if len(m.Assigns) != 2 {
+		t.Fatalf("got %d assigns, want 2", len(m.Assigns))
+	}
+	cc, ok := m.Assigns[0].RHS.(*Concat)
+	if !ok || len(cc.Parts) != 3 {
+		t.Fatalf("concat wrong: %v", m.Assigns[0].RHS)
+	}
+	if _, ok := cc.Parts[1].(*Const); !ok {
+		t.Errorf("expected const in concat, got %T", cc.Parts[1])
+	}
+}
+
+func TestParseAnonymousGatesAndLists(t *testing.T) {
+	src := `
+module m (input a, input b, output y, output w);
+  and (y, a, b), g2 (w, a, b);
+endmodule
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Module("m")
+	if len(m.Gates) != 2 {
+		t.Fatalf("got %d gates, want 2", len(m.Gates))
+	}
+	if m.Gates[0].Name == "" {
+		t.Error("anonymous gate should have a synthesized name")
+	}
+	if m.Gates[1].Name != "g2" {
+		t.Errorf("second gate name: got %q", m.Gates[1].Name)
+	}
+}
+
+func TestParseGateDelayIgnored(t *testing.T) {
+	src := `
+module m (input a, output y);
+  not #1 n1 (y, a);
+endmodule
+module m2 (input a, output y);
+  not #(2) n1 (y, a);
+endmodule
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Modules) != 2 {
+		t.Fatalf("want 2 modules, got %d", len(d.Modules))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing endmodule":  "module m (a); input a;",
+		"duplicate module":   "module m; endmodule module m; endmodule",
+		"gate with one conn": "module m (input a); and g (a); endmodule",
+		"parameter rejected": "module m; parameter W = 4; endmodule",
+		"bad body token":     "module m; ( endmodule",
+		"duplicate port":     "module m (a, a); input a; endmodule",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("module m;\n  parameter X = 1;\nendmodule")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("expected *ParseError, got %T: %v", err, err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("error line: got %d, want 2", pe.Line)
+	}
+	if !strings.Contains(err.Error(), "parse error") {
+		t.Errorf("error text: %v", err)
+	}
+}
+
+func TestRangeBits(t *testing.T) {
+	r := Range{MSB: 3, LSB: 0}
+	bits := r.Bits()
+	want := []int{3, 2, 1, 0}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("bits = %v, want %v", bits, want)
+		}
+	}
+	rev := Range{MSB: 0, LSB: 3}
+	if rev.Width() != 4 || rev.Bits()[0] != 0 {
+		t.Errorf("reversed range wrong: %v", rev.Bits())
+	}
+	scalar := Range{Scalar: true}
+	if scalar.Width() != 1 || !scalar.Contains(0) || scalar.Contains(1) {
+		t.Error("scalar range semantics wrong")
+	}
+	if !r.Contains(2) || r.Contains(4) {
+		t.Error("Contains wrong for [3:0]")
+	}
+}
+
+func TestGateKindEval(t *testing.T) {
+	tt := []struct {
+		kind GateKind
+		in   []bool
+		out  bool
+	}{
+		{GateAnd, []bool{true, true}, true},
+		{GateAnd, []bool{true, false}, false},
+		{GateNand, []bool{true, true}, false},
+		{GateOr, []bool{false, false}, false},
+		{GateOr, []bool{false, true}, true},
+		{GateNor, []bool{false, false}, true},
+		{GateXor, []bool{true, true, true}, true},
+		{GateXor, []bool{true, true}, false},
+		{GateXnor, []bool{true, false}, false},
+		{GateNot, []bool{true}, false},
+		{GateBuf, []bool{true}, true},
+		{GateAnd, []bool{true, true, true, false}, false},
+	}
+	for _, c := range tt {
+		if got := c.kind.Eval(c.in); got != c.out {
+			t.Errorf("%s%v = %v, want %v", c.kind, c.in, got, c.out)
+		}
+	}
+}
+
+func TestGateKindFromName(t *testing.T) {
+	for _, name := range []string{"and", "nand", "or", "nor", "xor", "xnor", "not", "buf"} {
+		k, ok := GateKindFromName(name)
+		if !ok || k.String() != name {
+			t.Errorf("%s: got %v, %v", name, k, ok)
+		}
+	}
+	if _, ok := GateKindFromName("bogus"); ok {
+		t.Error("bogus should not resolve")
+	}
+}

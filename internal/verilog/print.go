@@ -1,0 +1,90 @@
+package verilog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the design back to Verilog source. The output is
+// normalized (ANSI port headers, one declaration per line) and re-parses
+// to an equivalent design — the round-trip property the tests enforce.
+func (d *Design) Print() string {
+	var b strings.Builder
+	for i, m := range d.Modules {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		printModule(&b, m)
+	}
+	return b.String()
+}
+
+func printModule(b *strings.Builder, m *Module) {
+	fmt.Fprintf(b, "module %s (", EscapeIdent(m.Name))
+	for i, p := range m.Ports {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s %s%s", p.Dir, rangePrefix(p.Range), EscapeIdent(p.Name))
+	}
+	b.WriteString(");\n")
+
+	declared := make(map[string]bool, len(m.Ports))
+	for _, p := range m.Ports {
+		declared[p.Name] = true
+	}
+	for _, n := range m.Nets {
+		if declared[n.Name] {
+			continue
+		}
+		fmt.Fprintf(b, "  wire %s%s;\n", rangePrefix(n.Range), EscapeIdent(n.Name))
+	}
+	for _, g := range m.Gates {
+		fmt.Fprintf(b, "  %s %s (", g.Kind, EscapeIdent(g.Name))
+		for i, c := range g.Conns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+		b.WriteString(");\n")
+	}
+	for _, a := range m.Assigns {
+		fmt.Fprintf(b, "  assign %s = %s;\n", a.LHS, printExpr(a.RHS))
+	}
+	for _, inst := range m.Instances {
+		fmt.Fprintf(b, "  %s %s (", EscapeIdent(inst.ModuleName), EscapeIdent(inst.Name))
+		if inst.Positional != nil {
+			for i, c := range inst.Positional {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(c.String())
+			}
+		} else {
+			for i, nc := range inst.Named {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(b, ".%s(", EscapeIdent(nc.Port))
+				if nc.Expr != nil {
+					b.WriteString(nc.Expr.String())
+				}
+				b.WriteString(")")
+			}
+		}
+		b.WriteString(");\n")
+	}
+	b.WriteString("endmodule\n")
+}
+
+func rangePrefix(r Range) string {
+	if r.Scalar {
+		return ""
+	}
+	return fmt.Sprintf("[%d:%d] ", r.MSB, r.LSB)
+}
+
+// printExpr renders an expression; Binary.String already parenthesizes,
+// which keeps re-parsing faithful regardless of precedence.
+func printExpr(e Expr) string { return e.String() }

@@ -1,0 +1,132 @@
+package verilog
+
+import (
+	"reflect"
+	"testing"
+)
+
+const printSrc = `
+module fa (a, b, cin, sum, cout);
+  input a, b, cin;
+  output sum, cout;
+  wire ab, t1, t2;
+  xor x1 (ab, a, b);
+  xor x2 (sum, ab, cin);
+  and a1 (t1, ab, cin);
+  and a2 (t2, a, b);
+  or  o1 (cout, t1, t2);
+endmodule
+
+module top (input [3:0] a, input [3:0] b, output [3:0] y, output z);
+  wire [3:0] w;
+  assign w = a & ~b | {a[1], b[2], 2'b01};
+  fa u0 (.a(a[0]), .b(b[0]), .cin(1'b0), .sum(y[0]), .cout(z));
+  assign y[3:1] = w[3:1];
+endmodule
+`
+
+// TestPrintRoundTrip: print(parse(src)) re-parses to a structurally
+// identical design (same modules, ports, gates, instances, assigns).
+func TestPrintRoundTrip(t *testing.T) {
+	d1, err := Parse(printSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := d1.Print()
+	d2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("printed source does not parse: %v\n%s", err, printed)
+	}
+	if len(d1.Modules) != len(d2.Modules) {
+		t.Fatalf("module count %d -> %d", len(d1.Modules), len(d2.Modules))
+	}
+	for i := range d1.Modules {
+		m1, m2 := d1.Modules[i], d2.Modules[i]
+		if m1.Name != m2.Name {
+			t.Fatalf("module name %s -> %s", m1.Name, m2.Name)
+		}
+		if len(m1.Ports) != len(m2.Ports) {
+			t.Fatalf("%s: port count %d -> %d", m1.Name, len(m1.Ports), len(m2.Ports))
+		}
+		for p := range m1.Ports {
+			if m1.Ports[p].Name != m2.Ports[p].Name ||
+				m1.Ports[p].Dir != m2.Ports[p].Dir ||
+				m1.Ports[p].Range != m2.Ports[p].Range {
+				t.Fatalf("%s: port %d differs: %+v vs %+v",
+					m1.Name, p, m1.Ports[p], m2.Ports[p])
+			}
+		}
+		if len(m1.Gates) != len(m2.Gates) {
+			t.Fatalf("%s: gate count %d -> %d", m1.Name, len(m1.Gates), len(m2.Gates))
+		}
+		for g := range m1.Gates {
+			if m1.Gates[g].Kind != m2.Gates[g].Kind || m1.Gates[g].Name != m2.Gates[g].Name {
+				t.Fatalf("%s: gate %d differs", m1.Name, g)
+			}
+			if len(m1.Gates[g].Conns) != len(m2.Gates[g].Conns) {
+				t.Fatalf("%s: gate %d conns differ", m1.Name, g)
+			}
+			for c := range m1.Gates[g].Conns {
+				if m1.Gates[g].Conns[c].String() != m2.Gates[g].Conns[c].String() {
+					t.Fatalf("%s: gate %d conn %d: %s vs %s", m1.Name, g, c,
+						m1.Gates[g].Conns[c], m2.Gates[g].Conns[c])
+				}
+			}
+		}
+		if len(m1.Assigns) != len(m2.Assigns) {
+			t.Fatalf("%s: assign count %d -> %d", m1.Name, len(m1.Assigns), len(m2.Assigns))
+		}
+		if len(m1.Instances) != len(m2.Instances) {
+			t.Fatalf("%s: instance count differs", m1.Name)
+		}
+	}
+	// Printing the reparsed design again is a fixpoint.
+	if d2.Print() != printed {
+		t.Error("Print is not a fixpoint after one round trip")
+	}
+}
+
+func TestPrintOperatorPrecedencePreserved(t *testing.T) {
+	src := `
+module m (input a, input b, input c, output y);
+  assign y = a & b | c;
+endmodule
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.Modules[0].Assigns[0]
+	// a & b | c must parse as (a & b) | c.
+	bin, ok := a.RHS.(*Binary)
+	if !ok || bin.Op != '|' {
+		t.Fatalf("top operator: %v", a.RHS)
+	}
+	inner, ok := bin.X.(*Binary)
+	if !ok || inner.Op != '&' {
+		t.Fatalf("left operand should be &: %v", bin.X)
+	}
+	// Re-parse the printed form and check the tree survives.
+	d2, err := Parse(d.Print())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(exprShape(d.Modules[0].Assigns[0].RHS),
+		exprShape(d2.Modules[0].Assigns[0].RHS)) {
+		t.Error("operator tree changed across round trip")
+	}
+}
+
+// exprShape summarizes an expression tree for structural comparison.
+func exprShape(e Expr) string { return e.String() }
+
+func TestParseParensAndTilde(t *testing.T) {
+	src := `
+module m (input a, input b, output y);
+  assign y = ~(a ^ b) & (a | ~b);
+endmodule
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}

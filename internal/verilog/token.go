@@ -1,0 +1,154 @@
+// Package verilog implements a lexer, parser and AST for the structural
+// gate-level subset of Verilog used by this repository.
+//
+// The subset covers everything the partitioning paper's workloads need:
+//
+//   - module declarations with port lists (ANSI or classic style)
+//   - input / output / inout / wire declarations, with optional bus ranges
+//   - gate primitive instantiations (and, nand, or, nor, xor, xnor, not, buf)
+//   - hierarchical module instantiations with positional or named
+//     connections
+//   - continuous assignments (assign lhs = rhs;) whose right-hand sides
+//     may use the bitwise operators ~ & ^ | with Verilog precedence;
+//     plain net-to-net assigns become buffers downstream
+//   - bit selects (a[3]), part selects (a[7:4]), concatenations ({a, b})
+//     and sized binary/decimal/hex constants in port connections
+//
+// Behavioural constructs (always, initial, functions, parameters used in
+// expressions) are out of scope; the parser reports a descriptive error when
+// it meets one.
+package verilog
+
+import "fmt"
+
+// TokenKind identifies the lexical class of a token.
+type TokenKind int
+
+// Token kinds. Keywords get their own kinds so the parser can switch on
+// them directly.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber // any numeric literal, sized or not: 8'hFF, 1'b0, 42
+	TokString
+
+	// Punctuation.
+	TokLParen   // (
+	TokRParen   // )
+	TokLBracket // [
+	TokRBracket // ]
+	TokLBrace   // {
+	TokRBrace   // }
+	TokComma    // ,
+	TokSemi     // ;
+	TokColon    // :
+	TokDot      // .
+	TokEquals   // =
+	TokHash     // #
+	TokAmp      // &
+	TokPipe     // |
+	TokCaret    // ^
+	TokTilde    // ~
+
+	// Keywords.
+	TokModule
+	TokEndModule
+	TokInput
+	TokOutput
+	TokInout
+	TokWire
+	TokAssign
+	TokPrimitive // and/or/nand/nor/xor/xnor/not/buf — Text holds which
+	TokParameter
+	TokLocalparam
+	TokSupply0
+	TokSupply1
+)
+
+var kindNames = map[TokenKind]string{
+	TokEOF:        "EOF",
+	TokIdent:      "identifier",
+	TokNumber:     "number",
+	TokString:     "string",
+	TokLParen:     "'('",
+	TokRParen:     "')'",
+	TokLBracket:   "'['",
+	TokRBracket:   "']'",
+	TokLBrace:     "'{'",
+	TokRBrace:     "'}'",
+	TokComma:      "','",
+	TokSemi:       "';'",
+	TokColon:      "':'",
+	TokDot:        "'.'",
+	TokEquals:     "'='",
+	TokHash:       "'#'",
+	TokAmp:        "'&'",
+	TokPipe:       "'|'",
+	TokCaret:      "'^'",
+	TokTilde:      "'~'",
+	TokModule:     "'module'",
+	TokEndModule:  "'endmodule'",
+	TokInput:      "'input'",
+	TokOutput:     "'output'",
+	TokInout:      "'inout'",
+	TokWire:       "'wire'",
+	TokAssign:     "'assign'",
+	TokPrimitive:  "gate primitive",
+	TokParameter:  "'parameter'",
+	TokLocalparam: "'localparam'",
+	TokSupply0:    "'supply0'",
+	TokSupply1:    "'supply1'",
+}
+
+// String returns a human-readable name for the token kind.
+func (k TokenKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // raw text (identifier name, number literal, primitive name)
+	Line int    // 1-based
+	Col  int    // 1-based, in bytes
+}
+
+func (t Token) String() string {
+	if t.Text != "" {
+		return fmt.Sprintf("%s %q at %d:%d", t.Kind, t.Text, t.Line, t.Col)
+	}
+	return fmt.Sprintf("%s at %d:%d", t.Kind, t.Line, t.Col)
+}
+
+// keywords maps identifier text to keyword token kinds.
+var keywords = map[string]TokenKind{
+	"module":     TokModule,
+	"endmodule":  TokEndModule,
+	"input":      TokInput,
+	"output":     TokOutput,
+	"inout":      TokInout,
+	"wire":       TokWire,
+	"assign":     TokAssign,
+	"parameter":  TokParameter,
+	"localparam": TokLocalparam,
+	"supply0":    TokSupply0,
+	"supply1":    TokSupply1,
+}
+
+// primitives is the set of gate-level primitive names recognised as
+// TokPrimitive. The token Text preserves which primitive it was.
+//
+// "dff" is not a standard Verilog primitive; it is the leaf sequential cell
+// used by synthesized netlists in this repository (ports: q, d, clk), the
+// role a standard-cell DFF plays in a real synthesis flow.
+var primitives = map[string]bool{
+	"and": true, "nand": true, "or": true, "nor": true,
+	"xor": true, "xnor": true, "not": true, "buf": true,
+	"dff": true,
+}
+
+// IsPrimitiveName reports whether name is a recognised gate primitive.
+func IsPrimitiveName(name string) bool { return primitives[name] }
