@@ -1,0 +1,24 @@
+# Developer entry points. `make check` is what CI runs: build + tier-1
+# tests, vet, and the race detector over the concurrent packages, so the
+# campaign engine's parallelism stays race-free.
+
+GO ?= go
+
+.PHONY: check build test vet race bench
+
+check: build test vet race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .

@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -431,4 +432,81 @@ func BenchmarkAblationActivityWeights(b *testing.B) {
 		cut = res.Cut
 	}
 	b.ReportMetric(float64(cut), "cut-activity")
+}
+
+// ---- campaign engine benches (parallel pre-simulation) ---------------------
+
+// campaignConfig builds a ≥ 4×4 (k, b) grid at pre-simulation scale, the
+// workload of the paper's §3.4 selection loop.
+func campaignConfig(b *testing.B, workers int) *presim.Config {
+	return &presim.Config{
+		Design:   workload(b),
+		Ks:       []int{2, 3, 4, 5},
+		Bs:       []float64{5, 7.5, 10, 12.5},
+		Cycles:   200,
+		Seed:     1,
+		Restarts: 2,
+		Workers:  workers,
+	}
+}
+
+func benchBruteForce(b *testing.B, workers int) {
+	cfg := campaignConfig(b, workers)
+	b.ResetTimer()
+	var best *presim.Point
+	for i := 0; i < b.N; i++ {
+		_, p, err := presim.BruteForce(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = p
+	}
+	b.ReportMetric(best.Speedup, "best-speedup")
+	b.ReportMetric(float64(workers), "workers")
+}
+
+// BenchmarkCampaignBruteForceSequential is the Workers=1 baseline of the
+// acceptance comparison; BenchmarkCampaignBruteForceParallel must beat it
+// ≥ 2× wall-clock on a multi-core runner while returning identical points.
+func BenchmarkCampaignBruteForceSequential(b *testing.B) {
+	benchBruteForce(b, 1)
+}
+
+func BenchmarkCampaignBruteForceParallel(b *testing.B) {
+	benchBruteForce(b, runtime.GOMAXPROCS(0))
+}
+
+func BenchmarkCampaignHeuristicSpeculative(b *testing.B) {
+	cfg := campaignConfig(b, runtime.GOMAXPROCS(0))
+	b.ResetTimer()
+	var visits int
+	for i := 0; i < b.N; i++ {
+		_, visited, err := presim.Heuristic(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		visits = len(visited)
+	}
+	b.ReportMetric(float64(visits), "presim-runs")
+}
+
+func benchMultiwayRestarts(b *testing.B, workers int) {
+	ed := workload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.Multiway(ed, partition.Options{
+			K: 4, B: 7.5, Seed: 1, Restarts: 8, Workers: workers,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(workers), "workers")
+}
+
+func BenchmarkMultiwayRestartsSequential(b *testing.B) {
+	benchMultiwayRestarts(b, 1)
+}
+
+func BenchmarkMultiwayRestartsParallel(b *testing.B) {
+	benchMultiwayRestarts(b, runtime.GOMAXPROCS(0))
 }

@@ -16,9 +16,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -32,6 +32,7 @@ func main() {
 		presimC   = flag.Uint64("presim", 10000, "pre-simulation vectors (paper: 10,000)")
 		fullC     = flag.Uint64("full", 100000, "full-run vectors (paper: 1,000,000)")
 		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "grid worker pool size (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 	)
 	flag.Parse()
 
@@ -40,6 +41,7 @@ func main() {
 	ctx.PresimCycles = *presimC
 	ctx.FullCycles = *fullC
 	ctx.Seed = *seed
+	ctx.Workers = *workers
 	st := ctx.ED.Netlist.Stats()
 	fmt.Printf("workload: generated Viterbi decoder — %d gates (%d DFF), %d module instances\n",
 		st.Gates, st.DFFs, len(ctx.ED.Instances)-1)
@@ -49,10 +51,10 @@ func main() {
 	needGrid := *all || *table >= 3 || *fig >= 5
 	var points []*experiments.GridPoint
 	if needGrid {
-		start := time.Now()
+		ctx.Campaign = stats.NewCampaign(min(ctx.GridWorkers(), len(ctx.Ks)))
 		points, err = ctx.PresimGrid()
 		fatal(err)
-		fmt.Printf("(pre-simulation grid computed in %v)\n\n", time.Since(start).Round(time.Second))
+		fmt.Printf("(%s)\n\n", ctx.Campaign.Finish())
 	}
 
 	run := func(want int, sel *int) bool { return *all || *sel == want }

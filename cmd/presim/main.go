@@ -30,6 +30,7 @@ func main() {
 		cycles    = flag.Uint64("cycles", 10000, "pre-simulation vectors")
 		seed      = flag.Int64("seed", 1, "vector seed")
 		heuristic = flag.Bool("heuristic", false, "use the heuristic search instead of brute force")
+		workers   = flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 	)
 	flag.Parse()
 	if *in == "" || *top == "" {
@@ -45,12 +46,14 @@ func main() {
 	fatal(err)
 
 	cfg := &presim.Config{
-		Design: ed,
-		Ks:     parseInts(*ksFlag),
-		Bs:     parseFloats(*bsFlag),
-		Cycles: *cycles,
-		Seed:   *seed,
+		Design:  ed,
+		Ks:      parseInts(*ksFlag),
+		Bs:      parseFloats(*bsFlag),
+		Cycles:  *cycles,
+		Seed:    *seed,
+		Workers: *workers,
 	}
+	cfg.Campaign = stats.NewCampaign(cfg.WorkerCount())
 
 	if *heuristic {
 		best, visited, err := presim.Heuristic(cfg)
@@ -59,6 +62,7 @@ func main() {
 		fmt.Printf("\nheuristic visited %d of %d combinations\n",
 			len(visited), len(cfg.Ks)*len(cfg.Bs))
 		fmt.Printf("best: k=%d b=%g speedup=%.2f cut=%d\n", best.K, best.B, best.Speedup, best.Cut)
+		fmt.Println(cfg.Campaign.Finish())
 		return
 	}
 
@@ -75,6 +79,7 @@ func main() {
 	}
 	fmt.Print(tbl.String())
 	fmt.Printf("\noverall best: k=%d b=%g speedup=%.2f\n", best.K, best.B, best.Speedup)
+	fmt.Println(cfg.Campaign.Finish())
 }
 
 func printPoints(points []*presim.Point) {

@@ -12,6 +12,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"time"
 
 	"repro/internal/clustersim"
 	"repro/internal/elab"
@@ -40,7 +43,15 @@ type Context struct {
 	// paper ran hMetis with its default UBfactor regardless of b (its
 	// Table 2 cut barely varies with b), reproduced here by a fixed 5%.
 	MLBalance float64
+	// Workers bounds the pre-simulation grid worker pool (0 → GOMAXPROCS,
+	// 1 → sequential). The k-rows of the grid evaluate concurrently —
+	// partitions at one k only carry over from tighter b at the same k, so
+	// rows are independent — and the output is identical for any Workers.
+	Workers int
+	// Campaign optionally collects grid timing and pool utilization.
+	Campaign *stats.Campaign
 
+	mu    sync.Mutex // guards parts (rows touch disjoint keys, the map races)
 	parts map[partKey]*partRec
 }
 
@@ -105,7 +116,9 @@ func (c *Context) PartitionParts(k int, b float64) ([]int32, error) {
 // looser b does not beat it (a real flow reuses partitions the same way,
 // and it removes restart noise from the grid).
 func (c *Context) Partition(k int, b float64) (*partRec, error) {
+	c.mu.Lock()
 	if rec, ok := c.parts[partKey{k, b}]; ok {
+		c.mu.Unlock()
 		return rec, nil
 	}
 	var prev *partRec
@@ -117,11 +130,15 @@ func (c *Context) Partition(k int, b float64) (*partRec, error) {
 			prev = rec
 		}
 	}
+	c.mu.Unlock()
 	res, err := partition.Multiway(c.ED, partition.Options{
 		K: k, B: b, Seed: c.Seed,
 		// The grid is the headline result; spend extra restarts to keep
 		// heuristic noise out of the tables.
 		Restarts: 16,
+		// One restart pipeline per grid worker; with a single worker (or
+		// outside PresimGrid) Multiway parallelizes the restarts itself.
+		Workers: c.innerWorkers(),
 	})
 	if err != nil {
 		return nil, err
@@ -132,8 +149,30 @@ func (c *Context) Partition(k int, b float64) (*partRec, error) {
 		// identical partitions (and identical modeled times) across b.
 		rec = prev
 	}
+	c.mu.Lock()
 	c.parts[partKey{k, b}] = rec
+	c.mu.Unlock()
 	return rec, nil
+}
+
+// GridWorkers resolves the effective grid pool size (Workers, or
+// GOMAXPROCS when unset) — what cmd/experiments passes to
+// stats.NewCampaign.
+func (c *Context) GridWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// innerWorkers decides how much restart parallelism each Multiway call
+// gets: all of it when the grid itself is sequential, none when the grid
+// rows already occupy the pool.
+func (c *Context) innerWorkers() int {
+	if c.GridWorkers() > 1 {
+		return 1
+	}
+	return 0 // GOMAXPROCS
 }
 
 // Table1 regenerates the paper's Table 1: hyperedge cut of the
@@ -185,32 +224,72 @@ type GridPoint struct {
 }
 
 // PresimGrid runs the modeled pre-simulation over the whole grid — the
-// data behind Table 3 and Figures 6 and 7.
+// data behind Table 3 and Figures 6 and 7. The k-rows evaluate on a
+// worker pool (see Workers); within a row the b sweep stays sequential so
+// the partition carry-over across b is preserved, and the returned point
+// order and values are identical to the sequential sweep.
 func (c *Context) PresimGrid() ([]*GridPoint, error) {
-	var out []*GridPoint
-	for _, k := range c.Ks {
-		for _, b := range c.Bs {
-			p, err := c.evalPoint(k, b, c.PresimCycles)
+	out := make([]*GridPoint, len(c.Ks)*len(c.Bs))
+	row := func(ki int) error {
+		for bi, b := range c.Bs {
+			p, err := c.evalPoint(c.Ks[ki], b, c.PresimCycles)
 			if err != nil {
+				return err
+			}
+			out[ki*len(c.Bs)+bi] = p
+		}
+		return nil
+	}
+	workers := c.GridWorkers()
+	if workers > len(c.Ks) {
+		workers = len(c.Ks)
+	}
+	if workers <= 1 {
+		for ki := range c.Ks {
+			if err := row(ki); err != nil {
 				return nil, err
 			}
-			out = append(out, p)
+		}
+		return out, nil
+	}
+	errs := make([]error, len(c.Ks))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for ki := range c.Ks {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(ki int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[ki] = row(ki)
+		}(ki)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return out, nil
 }
 
 func (c *Context) evalPoint(k int, b float64, cycles uint64) (*GridPoint, error) {
+	t0 := time.Now()
 	rec, err := c.Partition(k, b)
 	if err != nil {
 		return nil, err
 	}
+	partWall := time.Since(t0)
+	t1 := time.Now()
 	res, err := clustersim.Run(clustersim.Config{
 		NL: c.ED.Netlist, GateParts: rec.gateParts, K: k,
 		Vectors: sim.RandomVectors{Seed: c.Seed}, Cycles: cycles, Costs: c.Costs,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if c.Campaign != nil {
+		c.Campaign.Record(partWall, time.Since(t1))
 	}
 	return &GridPoint{
 		K: k, B: b, Cut: rec.cut,

@@ -198,3 +198,31 @@ func TestClusteringStudy(t *testing.T) {
 		t.Errorf("clustering study malformed:\n%s", out)
 	}
 }
+
+// TestPresimGridParallelDeterminism: the grid with concurrent k-rows must
+// reproduce the sequential grid point-for-point (the carry-over across b
+// only ever looks at the same k, so rows are independent).
+func TestPresimGridParallelDeterminism(t *testing.T) {
+	seq := smallContext(t)
+	seq.Workers = 1
+	seqPts, err := seq.PresimGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := smallContext(t)
+	par.ED = seq.ED
+	par.Workers = len(par.Ks)
+	parPts, err := par.PresimGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqPts) != len(parPts) {
+		t.Fatalf("point counts differ: %d vs %d", len(seqPts), len(parPts))
+	}
+	for i := range seqPts {
+		p, q := seqPts[i], parPts[i]
+		if *p != *q {
+			t.Errorf("grid point %d differs: %+v vs %+v", i, p, q)
+		}
+	}
+}

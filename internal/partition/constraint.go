@@ -20,6 +20,7 @@ package partition
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/hypergraph"
 )
@@ -39,16 +40,32 @@ func NewConstraint(h *hypergraph.H, k int, b float64) Constraint {
 }
 
 // Bounds returns the inclusive [lo, hi] load window for one partition.
+// The window endpoints are real numbers but loads are integer gate
+// counts, so the lower bound rounds up and the upper bound rounds down —
+// with an epsilon guard so that windows whose endpoints are mathematically
+// integral are not narrowed by float noise in t·(1/k ± b/100).
 func (c Constraint) Bounds() (lo, hi int) {
 	t := float64(c.Total)
-	loF := t * (1.0/float64(c.K) - c.B/100.0)
-	hiF := t * (1.0/float64(c.K) + c.B/100.0)
-	lo = int(loF + 0.999999) // ceil
+	lo = ceilEps(t * (1.0/float64(c.K) - c.B/100.0))
 	if lo < 0 {
 		lo = 0
 	}
-	hi = int(hiF) // floor
+	hi = floorEps(t * (1.0/float64(c.K) + c.B/100.0))
 	return lo, hi
+}
+
+// boundsEps is the relative slack treated as float noise when rounding
+// window endpoints: a few orders of magnitude above the error of the two
+// multiplications that produce them, and far below any meaningful load
+// fraction.
+const boundsEps = 1e-9
+
+func ceilEps(x float64) int {
+	return int(math.Ceil(x - boundsEps*math.Max(1, math.Abs(x))))
+}
+
+func floorEps(x float64) int {
+	return int(math.Floor(x + boundsEps*math.Max(1, math.Abs(x))))
 }
 
 // Satisfied reports whether all loads meet the constraint.

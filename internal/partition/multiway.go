@@ -1,8 +1,11 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"repro/internal/cone"
 	"repro/internal/elab"
@@ -37,6 +40,11 @@ type Options struct {
 	// wins. Pairwise FM is a local search, so restarts buy the
 	// hill-climbing the paper attributes to exhaustive pairing. Default 8.
 	Restarts int
+	// Workers bounds how many restarts run concurrently (0 → GOMAXPROCS,
+	// 1 → sequential). The result is identical for every Workers value:
+	// restart seeds are derived up front from Seed and the best restart is
+	// selected in restart-index order.
+	Workers int
 }
 
 // Result is the outcome of a Multiway run.
@@ -60,6 +68,46 @@ type Result struct {
 // balance cannot be met. Restarts > 1 repeats the pipeline from random
 // initial partitions and keeps the best balanced result.
 func Multiway(d *elab.Design, opts Options) (*Result, error) {
+	return MultiwayCtx(context.Background(), d, opts)
+}
+
+// restartSeed carries the two independent random streams of one restart:
+// the initial random assignment and the pairer's pair selection.
+type restartSeed struct {
+	init, pair int64
+}
+
+// restartSeeds derives one distinct seed pair per restart from the master
+// seed. Pre-drawing the whole sequence (rather than drawing inside the
+// restart loop) makes the seeds independent of execution order, so
+// concurrent restarts reproduce the sequential ones bit-for-bit; distinct
+// pair seeds also mean PairRandom restarts explore different pairing
+// sequences instead of replaying one (they all used opts.Seed before).
+func restartSeeds(seed int64, n int) []restartSeed {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]restartSeed, n)
+	for r := range out {
+		out[r] = restartSeed{init: rng.Int63(), pair: rng.Int63()}
+	}
+	return out
+}
+
+func randomInit(seed int64) initFunc {
+	return func(d *elab.Design, h *hypergraph.H, k int) *hypergraph.Assignment {
+		rr := rand.New(rand.NewSource(seed))
+		a := hypergraph.NewAssignment(h, k)
+		for i := range a.Parts {
+			a.Parts[i] = int32(rr.Intn(k))
+		}
+		return a
+	}
+}
+
+// MultiwayCtx is Multiway with cancellation: when ctx is cancelled,
+// in-flight restarts abort at their next pairing round and the context
+// error is returned. The pre-simulation campaign engine uses this to stop
+// speculative partitioning work once its search rule has fired.
+func MultiwayCtx(ctx context.Context, d *elab.Design, opts Options) (*Result, error) {
 	if opts.K < 2 {
 		return nil, fmt.Errorf("partition: K must be >= 2, got %d", opts.K)
 	}
@@ -70,29 +118,52 @@ func Multiway(d *elab.Design, opts Options) (*Result, error) {
 	if restarts <= 0 {
 		restarts = 8
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > restarts {
+		workers = restarts
+	}
+
+	seeds := restartSeeds(opts.Seed, restarts)
+	results := make([]*Result, restarts)
+	errs := make([]error, restarts)
+	run := func(r int) {
+		init := coneInit
+		if r > 0 {
+			init = randomInit(seeds[r].init)
+		}
+		results[r], errs[r] = runOnce(ctx, d, opts, init, seeds[r].pair)
+	}
+	if workers == 1 {
+		for r := 0; r < restarts; r++ {
+			run(r)
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for r := 0; r < restarts; r++ {
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				run(r)
+			}(r)
+		}
+		wg.Wait()
+	}
+
+	// Deterministic selection: walk restarts in index order, so ties (and
+	// errors) resolve to the lowest restart index regardless of workers.
 	var best *Result
 	for r := 0; r < restarts; r++ {
-		var init initFunc
-		if r == 0 {
-			init = coneInit
-		} else {
-			seed := rng.Int63()
-			init = func(d *elab.Design, h *hypergraph.H, k int) *hypergraph.Assignment {
-				rr := rand.New(rand.NewSource(seed))
-				a := hypergraph.NewAssignment(h, k)
-				for i := range a.Parts {
-					a.Parts[i] = int32(rr.Intn(k))
-				}
-				return a
-			}
+		if errs[r] != nil {
+			return nil, errs[r]
 		}
-		res, err := runOnce(d, opts, init)
-		if err != nil {
-			return nil, err
-		}
-		if best == nil || betterResult(res, best) {
-			best = res
+		if best == nil || betterResult(results[r], best) {
+			best = results[r]
 		}
 	}
 	return best, nil
@@ -122,7 +193,8 @@ func coneInit(d *elab.Design, h *hypergraph.H, k int) *hypergraph.Assignment {
 }
 
 // runOnce executes the full pipeline (fig. 2) from one initial partition.
-func runOnce(d *elab.Design, opts Options, init initFunc) (*Result, error) {
+// pairSeed drives this restart's pairer (distinct per restart).
+func runOnce(ctx context.Context, d *elab.Design, opts Options, init initFunc, pairSeed int64) (*Result, error) {
 	builder := hypergraph.NewBuilder(d)
 	builder.GateWeights = opts.GateWeights
 	h, err := builder.Build()
@@ -147,12 +219,15 @@ func runOnce(d *elab.Design, opts Options, init initFunc) (*Result, error) {
 	// Phase 1: initial k-way partition (cone partitioning by default).
 	a := init(d, h, opts.K)
 	cons := NewConstraint(h, opts.K, opts.B)
-	pr := newPairer(opts.Strategy, opts.K, opts.Seed)
+	pr := newPairer(opts.Strategy, opts.K, pairSeed)
 
 	res := &Result{Constraint: cons}
 	const maxRounds = 10000
 
 	for res.Rounds = 0; res.Rounds < maxRounds; res.Rounds++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p, q, ok := pr.next(h, a, cons.Feasible(h))
 		if ok {
 			// Phase 2: iterative movement between the paired partitions.

@@ -1,0 +1,264 @@
+package presim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// fakeConfig builds a Config whose evaluator returns synthetic speedups
+// from the given (k, b) table — no partitioning or simulation — so search
+// semantics can be pinned exactly.
+func fakeConfig(ks []int, bs []float64, speedup map[[2]float64]float64) *Config {
+	cfg := &Config{Ks: ks, Bs: bs}
+	cfg.evalFn = func(ctx context.Context, k int, b float64) (*Point, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s, ok := speedup[[2]float64{float64(k), b}]
+		if !ok {
+			return nil, fmt.Errorf("unexpected point k=%d b=%g", k, b)
+		}
+		return &Point{K: k, B: b, Speedup: s}, nil
+	}
+	return cfg
+}
+
+// TestHeuristicPlateauContinues: the paper stops a k-row when the speedup
+// first *drops*; a plateau of equal speedups must keep going. The old
+// `>` continuation broke the row on the first equal point.
+func TestHeuristicPlateauContinues(t *testing.T) {
+	cfg := fakeConfig([]int{2}, []float64{1, 2, 3, 4, 5},
+		map[[2]float64]float64{
+			{2, 1}: 1.0,
+			{2, 2}: 1.0, // plateau: must continue
+			{2, 3}: 1.2,
+			{2, 4}: 0.9, // first drop: stop here
+			{2, 5}: 9.9, // must never be visited
+		})
+	best, visited, err := Heuristic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visited) != 4 {
+		t.Fatalf("visited %d points, want 4 (plateau continues, drop stops)", len(visited))
+	}
+	if best.K != 2 || best.B != 3 {
+		t.Errorf("best = (k=%d, b=%g), want (2, 3)", best.K, best.B)
+	}
+}
+
+// TestHeuristicZeroSpeedupFirstPoint: maxSpeedup used to start at 0, so a
+// first point with speedup 0 terminated the row immediately.
+func TestHeuristicZeroSpeedupFirstPoint(t *testing.T) {
+	cfg := fakeConfig([]int{2}, []float64{1, 2},
+		map[[2]float64]float64{
+			{2, 1}: 0.0,
+			{2, 2}: 0.5,
+		})
+	_, visited, err := Heuristic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visited) != 2 {
+		t.Fatalf("visited %d points, want 2: a zero first point must not stop the row", len(visited))
+	}
+}
+
+// TestBruteForceTieBreak: the documented tie-break (equal speedup →
+// smaller k, then smaller b) must hold regardless of the order the
+// candidate lists are given in.
+func TestBruteForceTieBreak(t *testing.T) {
+	speedup := map[[2]float64]float64{}
+	for _, k := range []int{2, 3, 4} {
+		for _, b := range []float64{5, 10} {
+			speedup[[2]float64{float64(k), b}] = 1.5 // all tied
+		}
+	}
+	for _, order := range [][]int{{2, 3, 4}, {4, 3, 2}, {3, 4, 2}} {
+		for _, bs := range [][]float64{{5, 10}, {10, 5}} {
+			cfg := fakeConfig(order, bs, speedup)
+			_, best, err := BruteForce(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if best.K != 2 || best.B != 5 {
+				t.Errorf("ks=%v bs=%v: best = (k=%d, b=%g), want (2, 5)",
+					order, bs, best.K, best.B)
+			}
+		}
+	}
+}
+
+// TestBruteForcePointOrder: the points list always comes back in
+// cfg.Ks × cfg.Bs order, workers or not.
+func TestBruteForcePointOrder(t *testing.T) {
+	ks, bs := []int{3, 2}, []float64{10, 5}
+	speedup := map[[2]float64]float64{
+		{3, 10}: 1, {3, 5}: 2, {2, 10}: 3, {2, 5}: 4,
+	}
+	for _, workers := range []int{1, 4} {
+		cfg := fakeConfig(ks, bs, speedup)
+		cfg.Workers = workers
+		points, _, err := BruteForce(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := 0
+		for _, k := range ks {
+			for _, b := range bs {
+				if points[i].K != k || points[i].B != b {
+					t.Fatalf("workers=%d: point %d is (k=%d,b=%g), want (%d,%g)",
+						workers, i, points[i].K, points[i].B, k, b)
+				}
+				i++
+			}
+		}
+	}
+}
+
+// pointsDiff explains the first difference between two point lists
+// (every reported field, including the partition itself), or "".
+func pointsDiff(a, b []*Point) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("%d points vs %d", len(a), len(b))
+	}
+	for i := range a {
+		p, q := a[i], b[i]
+		if p.K != q.K || p.B != q.B || p.Cut != q.Cut || p.Speedup != q.Speedup ||
+			p.SimTime != q.SimTime || p.Messages != q.Messages || p.Rollbacks != q.Rollbacks {
+			return fmt.Sprintf("point %d differs: (k=%d b=%g cut=%d s=%v) vs (k=%d b=%g cut=%d s=%v)",
+				i, p.K, p.B, p.Cut, p.Speedup, q.K, q.B, q.Cut, q.Speedup)
+		}
+		if len(p.GateParts) != len(q.GateParts) {
+			return fmt.Sprintf("point %d GateParts length differs", i)
+		}
+		for g := range p.GateParts {
+			if p.GateParts[g] != q.GateParts[g] {
+				return fmt.Sprintf("point %d GateParts differ at gate %d", i, g)
+			}
+		}
+	}
+	return ""
+}
+
+func comparePoints(t *testing.T, label string, a, b []*Point) {
+	t.Helper()
+	if d := pointsDiff(a, b); d != "" {
+		t.Fatalf("%s: %s", label, d)
+	}
+}
+
+// TestBruteForceParallelDeterminism: the full pipeline on a real design
+// must return the identical point list and best for Workers=1 and
+// Workers=GOMAXPROCS.
+func TestBruteForceParallelDeterminism(t *testing.T) {
+	seqCfg := testConfig(t)
+	seqCfg.Workers = 1
+	seqPoints, seqBest, err := BruteForce(seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCfg := testConfig(t)
+	parCfg.Design = seqCfg.Design
+	parCfg.Workers = runtime.GOMAXPROCS(0)
+	if parCfg.Workers < 2 {
+		parCfg.Workers = 2
+	}
+	parPoints, parBest, err := BruteForce(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comparePoints(t, "brute-force", seqPoints, parPoints)
+	if seqBest.K != parBest.K || seqBest.B != parBest.B {
+		t.Errorf("best differs: (%d,%g) vs (%d,%g)", seqBest.K, seqBest.B, parBest.K, parBest.B)
+	}
+}
+
+// TestHeuristicParallelDeterminism: the speculative search must visit the
+// exact sequence the sequential search visits and pick the same best.
+func TestHeuristicParallelDeterminism(t *testing.T) {
+	seqCfg := testConfig(t)
+	seqCfg.Workers = 1
+	seqBest, seqVisited, err := Heuristic(seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCfg := testConfig(t)
+	parCfg.Design = seqCfg.Design
+	parCfg.Workers = 4
+	parBest, parVisited, err := Heuristic(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comparePoints(t, "heuristic", seqVisited, parVisited)
+	if seqBest.K != parBest.K || seqBest.B != parBest.B {
+		t.Errorf("best differs: (%d,%g) vs (%d,%g)", seqBest.K, seqBest.B, parBest.K, parBest.B)
+	}
+}
+
+// TestConcurrentCampaigns: several campaigns over one shared elaborated
+// design must be race-free (run under -race) and each deterministic.
+func TestConcurrentCampaigns(t *testing.T) {
+	base := testConfig(t)
+	refPoints, refBest, err := BruteForce(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfg := testConfig(t)
+			cfg.Design = base.Design // shared read-only design
+			cfg.Workers = 2
+			points, best, err := BruteForce(cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if d := pointsDiff(refPoints, points); d != "" {
+				t.Errorf("concurrent campaign: %s", d)
+			}
+			if best.K != refBest.K || best.B != refBest.B {
+				t.Errorf("concurrent campaign best differs")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCampaignCounters: the campaign collector sees every evaluated point
+// with non-zero busy time, and the summary stays self-consistent.
+func TestCampaignCounters(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Workers = 2
+	cfg.Campaign = stats.NewCampaign(cfg.WorkerCount())
+	points, _, err := BruteForce(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cfg.Campaign.Finish()
+	if s.Points != len(points) {
+		t.Errorf("campaign recorded %d points, want %d", s.Points, len(points))
+	}
+	if s.PartBusy <= 0 || s.SimBusy <= 0 {
+		t.Errorf("busy times not recorded: part=%v sim=%v", s.PartBusy, s.SimBusy)
+	}
+	if s.PointsPerSec() <= 0 {
+		t.Error("points/sec should be positive")
+	}
+	if u := s.Utilization(); u <= 0 {
+		t.Errorf("utilization %v should be positive", u)
+	}
+	for _, p := range points {
+		if p.PartWall <= 0 {
+			t.Fatalf("point k=%d b=%g has no partition timing", p.K, p.B)
+		}
+	}
+}

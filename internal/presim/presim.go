@@ -5,17 +5,22 @@
 //
 // Both the brute-force sweep (all k×b combinations, paper Table 3) and the
 // heuristic search (paper fig. 3: start from the maximum machine count,
-// grow b until the speedup first drops) are provided.
+// grow b until the speedup first drops) are provided. Either search can
+// run on a bounded worker pool (Config.Workers); the campaign engine in
+// campaign.go guarantees that the parallel paths return results identical
+// to the sequential ones.
 package presim
 
 import (
-	"fmt"
-	"sort"
+	"context"
+	"runtime"
+	"time"
 
 	"repro/internal/clustersim"
 	"repro/internal/elab"
 	"repro/internal/partition"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // Config drives a pre-simulation campaign.
@@ -37,6 +42,25 @@ type Config struct {
 	// Partition options forwarded to the multiway partitioner.
 	Strategy partition.PairingStrategy
 	Restarts int
+	// Workers bounds the campaign worker pool (0 → GOMAXPROCS, 1 →
+	// sequential). BruteForce and Heuristic return identical points and
+	// best for every Workers value; see campaign.go.
+	Workers int
+	// Campaign optionally collects per-point timing and pool utilization
+	// (stats.NewCampaign); nil disables collection.
+	Campaign *stats.Campaign
+
+	// evalFn substitutes the evaluator in tests (nil → real pipeline).
+	evalFn func(ctx context.Context, k int, b float64) (*Point, error)
+}
+
+// WorkerCount resolves the effective pool size (Workers, or GOMAXPROCS
+// when unset) — what the CLIs pass to stats.NewCampaign.
+func (cfg *Config) WorkerCount() int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Point is the outcome of one (k, b) pre-simulation.
@@ -51,16 +75,52 @@ type Point struct {
 	Messages  uint64
 	Rollbacks uint64
 	GateParts []int32 // the partition evaluated (for reuse in full runs)
+	// PartWall and SimWall are the wall-clock durations this point spent
+	// in the partitioner and in the cluster model.
+	PartWall time.Duration
+	SimWall  time.Duration
 }
 
 // Evaluate partitions the design for (k, b) and pre-simulates it.
 func Evaluate(cfg *Config, k int, b float64) (*Point, error) {
-	pr, err := partition.Multiway(cfg.Design, partition.Options{
+	return evaluateCtx(context.Background(), cfg, k, b)
+}
+
+// eval dispatches to the test stub or the real pipeline and records the
+// point into the campaign collector.
+func (cfg *Config) eval(ctx context.Context, k int, b float64) (*Point, error) {
+	f := cfg.evalFn
+	if f == nil {
+		f = func(ctx context.Context, k int, b float64) (*Point, error) {
+			return evaluateCtx(ctx, cfg, k, b)
+		}
+	}
+	p, err := f(ctx, k, b)
+	if err == nil && cfg.Campaign != nil {
+		cfg.Campaign.Record(p.PartWall, p.SimWall)
+	}
+	return p, err
+}
+
+func evaluateCtx(ctx context.Context, cfg *Config, k int, b float64) (*Point, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	pr, err := partition.MultiwayCtx(ctx, cfg.Design, partition.Options{
 		K: k, B: b, Strategy: cfg.Strategy, Restarts: cfg.Restarts,
+		// The campaign already fans out across (k, b) points; nested
+		// restart parallelism would only oversubscribe the pool.
+		Workers: 1,
 	})
 	if err != nil {
 		return nil, err
 	}
+	partWall := time.Since(t0)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t1 := time.Now()
 	res, err := clustersim.Run(clustersim.Config{
 		NL:        cfg.Design.Netlist,
 		GateParts: pr.GateParts,
@@ -77,71 +137,31 @@ func Evaluate(cfg *Config, k int, b float64) (*Point, error) {
 		SimTime: res.ParTime, SeqTime: res.SeqTime, Speedup: res.Speedup,
 		Messages: res.Messages, Rollbacks: res.Rollbacks,
 		GateParts: pr.GateParts,
+		PartWall:  partWall, SimWall: time.Since(t1),
 	}, nil
 }
 
-// BruteForce evaluates every (k, b) combination — the paper's Table 3 —
-// and returns all points plus the best one (largest speedup; ties to
-// smaller k, then smaller b).
-func BruteForce(cfg *Config) (points []*Point, best *Point, err error) {
-	for _, k := range cfg.Ks {
-		for _, b := range cfg.Bs {
-			p, err := Evaluate(cfg, k, b)
-			if err != nil {
-				return nil, nil, err
-			}
-			points = append(points, p)
-			if best == nil || p.Speedup > best.Speedup {
-				best = p
-			}
-		}
+// betterPoint is the documented best-point ordering: larger speedup wins;
+// on equal speedup, smaller k, then smaller b — so the chosen best never
+// depends on the order the candidate lists were given in.
+func betterPoint(p, best *Point) bool {
+	if p.Speedup != best.Speedup {
+		return p.Speedup > best.Speedup
 	}
-	return points, best, nil
+	if p.K != best.K {
+		return p.K < best.K
+	}
+	return p.B < best.B
 }
 
 // BestPerK returns, for each k, the point with the best speedup — the
-// paper's Table 4.
+// paper's Table 4 (ties to smaller b).
 func BestPerK(points []*Point) map[int]*Point {
 	best := make(map[int]*Point)
 	for _, p := range points {
-		if cur, ok := best[p.K]; !ok || p.Speedup > cur.Speedup {
+		if cur, ok := best[p.K]; !ok || betterPoint(p, cur) {
 			best[p.K] = p
 		}
 	}
 	return best
-}
-
-// Heuristic is the paper's fig. 3 search: for each k from the maximum
-// down, sweep b upward from the smallest candidate and stop as soon as the
-// speedup decreases; track the best point seen. It visits far fewer
-// combinations than the brute force at the risk of a local minimum, which
-// the paper acknowledges.
-func Heuristic(cfg *Config) (best *Point, visited []*Point, err error) {
-	if len(cfg.Ks) == 0 || len(cfg.Bs) == 0 {
-		return nil, nil, fmt.Errorf("presim: empty candidate sets")
-	}
-	// Descending k: "start with the maximum number of processors".
-	ks := append([]int(nil), cfg.Ks...)
-	sort.Sort(sort.Reverse(sort.IntSlice(ks)))
-	bs := append([]float64(nil), cfg.Bs...)
-	sort.Float64s(bs)
-	for _, k := range ks {
-		maxSpeedup := 0.0
-		for _, b := range bs {
-			p, err := Evaluate(cfg, k, b)
-			if err != nil {
-				return nil, nil, err
-			}
-			visited = append(visited, p)
-			if best == nil || p.Speedup > best.Speedup {
-				best = p
-			}
-			if p.Speedup > maxSpeedup {
-				maxSpeedup = p.Speedup
-			} else {
-				break // speedup decreased for the first time: stop this k
-			}
-		}
-	}
-	return best, visited, nil
 }

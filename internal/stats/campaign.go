@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Campaign collects per-point timing for a pre-simulation sweep: how much
+// worker time each point spent in the partitioner vs. the cluster model,
+// and how many points were evaluated. It is safe for concurrent use, so a
+// parallel campaign's workers record into one shared Campaign.
+type Campaign struct {
+	workers int
+	started time.Time
+
+	mu       sync.Mutex
+	points   int
+	partBusy time.Duration // summed across workers
+	simBusy  time.Duration
+	done     bool
+	summary  CampaignSummary
+}
+
+// NewCampaign starts a campaign clock for a pool of the given size
+// (workers <= 0 is recorded as 1).
+func NewCampaign(workers int) *Campaign {
+	if workers <= 0 {
+		workers = 1
+	}
+	return &Campaign{workers: workers, started: time.Now()}
+}
+
+// Record adds one evaluated point with its partition and simulation wall
+// durations (as seen by the worker that ran it).
+func (c *Campaign) Record(part, sim time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.points++
+	c.partBusy += part
+	c.simBusy += sim
+}
+
+// Finish stops the campaign clock and returns the summary. Further calls
+// return the same summary; Record after Finish is ignored by the summary.
+func (c *Campaign) Finish() CampaignSummary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.done {
+		c.summary = CampaignSummary{
+			Workers:  c.workers,
+			Points:   c.points,
+			Wall:     time.Since(c.started),
+			PartBusy: c.partBusy,
+			SimBusy:  c.simBusy,
+		}
+		c.done = true
+	}
+	return c.summary
+}
+
+// CampaignSummary is the aggregate outcome of a campaign.
+type CampaignSummary struct {
+	Workers  int
+	Points   int
+	Wall     time.Duration // campaign start to Finish
+	PartBusy time.Duration // worker time spent partitioning
+	SimBusy  time.Duration // worker time spent pre-simulating
+}
+
+// PointsPerSec is the evaluated-point throughput over the campaign wall.
+func (s CampaignSummary) PointsPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Points) / s.Wall.Seconds()
+}
+
+// Utilization is the fraction of the pool's wall capacity spent doing
+// point work (1.0 = every worker busy the whole campaign). It can exceed
+// 1 slightly when timers straddle the Finish call.
+func (s CampaignSummary) Utilization() float64 {
+	cap := s.Wall.Seconds() * float64(s.Workers)
+	if cap <= 0 {
+		return 0
+	}
+	return (s.PartBusy + s.SimBusy).Seconds() / cap
+}
+
+func (s CampaignSummary) String() string {
+	return fmt.Sprintf(
+		"campaign: %d points in %v (%.1f points/sec, %d workers, %.0f%% busy; partition %v, presim %v)",
+		s.Points, s.Wall.Round(time.Millisecond), s.PointsPerSec(), s.Workers,
+		s.Utilization()*100,
+		s.PartBusy.Round(time.Millisecond), s.SimBusy.Round(time.Millisecond))
+}

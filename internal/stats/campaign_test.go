@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCampaignConcurrentRecord(t *testing.T) {
+	c := NewCampaign(4)
+	var wg sync.WaitGroup
+	const n = 64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Record(2*time.Millisecond, time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	s := c.Finish()
+	if s.Points != n {
+		t.Errorf("points: got %d, want %d", s.Points, n)
+	}
+	if s.PartBusy != n*2*time.Millisecond || s.SimBusy != n*time.Millisecond {
+		t.Errorf("busy sums wrong: part=%v sim=%v", s.PartBusy, s.SimBusy)
+	}
+	if s.Workers != 4 {
+		t.Errorf("workers: got %d, want 4", s.Workers)
+	}
+	if s.Wall <= 0 || s.PointsPerSec() <= 0 {
+		t.Errorf("wall=%v points/sec=%v should be positive", s.Wall, s.PointsPerSec())
+	}
+	if u := s.Utilization(); u < 0 {
+		t.Errorf("utilization %v negative", u)
+	}
+}
+
+func TestCampaignFinishIdempotent(t *testing.T) {
+	c := NewCampaign(0) // clamped to 1
+	c.Record(time.Millisecond, time.Millisecond)
+	first := c.Finish()
+	c.Record(time.Hour, time.Hour) // after Finish: ignored by the summary
+	second := c.Finish()
+	if first != second {
+		t.Errorf("Finish not idempotent: %+v vs %+v", first, second)
+	}
+	if first.Workers != 1 {
+		t.Errorf("workers clamp: got %d, want 1", first.Workers)
+	}
+}
+
+func TestCampaignSummaryString(t *testing.T) {
+	s := CampaignSummary{
+		Workers: 8, Points: 18, Wall: 2 * time.Second,
+		PartBusy: 12 * time.Second, SimBusy: 2 * time.Second,
+	}
+	out := s.String()
+	for _, want := range []string{"18 points", "8 workers", "points/sec", "partition"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary %q missing %q", out, want)
+		}
+	}
+	if got := s.PointsPerSec(); got != 9 {
+		t.Errorf("points/sec: got %v, want 9", got)
+	}
+	if got := s.Utilization(); got != 0.875 {
+		t.Errorf("utilization: got %v, want 0.875", got)
+	}
+}
+
+func TestCampaignSummaryZero(t *testing.T) {
+	var s CampaignSummary
+	if s.PointsPerSec() != 0 || s.Utilization() != 0 {
+		t.Error("zero summary must not divide by zero")
+	}
+}

@@ -2,6 +2,7 @@ package timewarp
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -135,7 +136,7 @@ func Run(cfg Config) (*Result, error) {
 			sent := net.TotalSent()
 			allAbsorbed := absorbed.Load() == sent
 			allDone := true
-			minProg := uint64(1<<63 - 1)
+			minProg := uint64(math.MaxUint64)
 			for c := range progress {
 				curProg[c] = progress[c].Load()
 				if curProg[c] < minProg {
