@@ -1,12 +1,20 @@
 # Developer entry points. `make check` is what CI runs: build + tier-1
 # tests, vet, and the race detector over the concurrent packages, so the
-# campaign engine's parallelism stays race-free.
+# campaign engine's parallelism stays race-free. `make fuzz` runs the
+# short differential-fuzzing tier (see internal/fuzz); bump FUZZ_RUNS for
+# a longer campaign.
 
 GO ?= go
+FUZZ_RUNS ?= 100
+FUZZ_SEED ?= 1
 
-.PHONY: check build test vet race bench
+.PHONY: check build test vet race bench fuzz
 
 check: build test vet race
+
+fuzz:
+	$(GO) test ./internal/fuzz -run TestFuzzShort -v
+	$(GO) run ./cmd/fuzz -runs $(FUZZ_RUNS) -seed $(FUZZ_SEED) -out fuzz-report.txt
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,185 @@
+package comm
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ChaosConfig parameterizes the chaos transport: a delivery-order
+// adversary for the Time Warp kernel. All decisions are drawn from
+// per-link PRNGs seeded from Seed, so the schedule shape (which message
+// gets how much delay, where stalls begin and end) is a pure function of
+// (Seed, src, dst, per-link message index) and reproduces across runs of
+// the same workload. The adversary perturbs only delivery order and
+// timing: no message is ever lost or duplicated, and per-(src,dst)-link
+// FIFO order is preserved — the freedoms MPI-style transports actually
+// have, and exactly the ones Time Warp must tolerate.
+type ChaosConfig struct {
+	// Seed drives every per-link random decision.
+	Seed int64
+	// MaxDelay caps the per-message delivery delay (default 200µs).
+	MaxDelay time.Duration
+	// StallEvery starts a link stall every n-th message on that link
+	// (0 disables stalls). Stalled links buffer everything and release it
+	// as one burst when the stall expires — the straggler generator.
+	StallEvery int
+	// StallFor is the stall duration (default 2ms).
+	StallFor time.Duration
+	// Pump is the background delivery poll period (default 50µs).
+	Pump time.Duration
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 200 * time.Microsecond
+	}
+	if c.StallFor <= 0 {
+		c.StallFor = 2 * time.Millisecond
+	}
+	if c.Pump <= 0 {
+		c.Pump = 50 * time.Microsecond
+	}
+	return c
+}
+
+// Chaos returns a TransportFactory building the chaos transport.
+func Chaos(cfg ChaosConfig) TransportFactory {
+	return func(k int, deliver DeliverFunc) Transport {
+		c := &chaosTransport{
+			cfg:     cfg.withDefaults(),
+			deliver: deliver,
+			links:   make(map[[2]int]*chaosLink),
+			stop:    make(chan struct{}),
+		}
+		c.wg.Add(1)
+		go c.pump()
+		return c
+	}
+}
+
+// heldMsg is a message waiting in a link's limbo queue.
+type heldMsg struct {
+	msg     Message
+	release time.Time
+}
+
+// chaosLink is the per-(src,dst) delivery state.
+type chaosLink struct {
+	key  [2]int
+	rng  *rand.Rand
+	q    []heldMsg // FIFO; release times are monotone within the queue
+	seq  int       // messages seen on this link
+	last time.Time // release time of the newest queued/delivered message
+}
+
+type chaosTransport struct {
+	cfg     ChaosConfig
+	deliver DeliverFunc
+
+	mu    sync.Mutex
+	links map[[2]int]*chaosLink
+	order []*chaosLink // links in creation order, for deterministic sweeps
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func (c *chaosTransport) link(src, dst int) *chaosLink {
+	key := [2]int{src, dst}
+	l := c.links[key]
+	if l == nil {
+		// Distinct deterministic stream per link.
+		seed := c.cfg.Seed ^ int64(src+1)*0x9E3779B9 ^ int64(dst+1)*0x85EBCA77
+		l = &chaosLink{key: key, rng: rand.New(rand.NewSource(seed))}
+		c.links[key] = l
+		c.order = append(c.order, l)
+	}
+	return l
+}
+
+// Send assigns the message a seeded delay (plus a stall window every
+// StallEvery messages) and queues it on its link. Release times are made
+// monotone per link so FIFO order survives any delay draw.
+func (c *chaosTransport) Send(src, dst int, msg Message) {
+	now := time.Now()
+	c.mu.Lock()
+	l := c.link(src, dst)
+	l.seq++
+	d := time.Duration(l.rng.Int63n(int64(c.cfg.MaxDelay) + 1))
+	if c.cfg.StallEvery > 0 && l.seq%c.cfg.StallEvery == 0 {
+		d += c.cfg.StallFor
+	}
+	rel := now.Add(d)
+	if rel.Before(l.last) {
+		rel = l.last // preserve per-link FIFO
+	}
+	l.last = rel
+	l.q = append(l.q, heldMsg{msg: msg, release: rel})
+	c.mu.Unlock()
+}
+
+// pump releases due messages. Links are swept in an order reshuffled from
+// a seeded stream each round, so simultaneous releases on different links
+// interleave adversarially rather than in creation order.
+func (c *chaosTransport) pump() {
+	defer c.wg.Done()
+	shuf := rand.New(rand.NewSource(c.cfg.Seed ^ 0x5DEECE66D))
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-time.After(c.cfg.Pump):
+		}
+		c.flush(time.Now(), shuf)
+	}
+}
+
+// flush delivers, per link, the FIFO prefix whose release time has
+// passed. Pass a nil shuffler to sweep links in a fixed order (Close).
+func (c *chaosTransport) flush(now time.Time, shuf *rand.Rand) {
+	c.mu.Lock()
+	links := make([]*chaosLink, len(c.order))
+	copy(links, c.order)
+	if shuf != nil {
+		shuf.Shuffle(len(links), func(i, j int) { links[i], links[j] = links[j], links[i] })
+	} else {
+		sort.Slice(links, func(i, j int) bool {
+			return links[i].key[0] < links[j].key[0] ||
+				(links[i].key[0] == links[j].key[0] && links[i].key[1] < links[j].key[1])
+		})
+	}
+	var due []struct {
+		dst int
+		msg Message
+	}
+	for _, l := range links {
+		n := 0
+		for n < len(l.q) && !l.q[n].release.After(now) {
+			due = append(due, struct {
+				dst int
+				msg Message
+			}{l.key[1], l.q[n].msg})
+			n++
+		}
+		if n > 0 {
+			l.q = append(l.q[:0], l.q[n:]...)
+		}
+	}
+	c.mu.Unlock()
+	// Deliver outside the transport lock: enqueue takes endpoint locks and
+	// may wake receivers that immediately Send (re-entering the transport).
+	for _, m := range due {
+		c.deliver(m.dst, m.msg)
+	}
+}
+
+// Close stops the pump and synchronously flushes everything still held,
+// regardless of release time — the no-loss guarantee.
+func (c *chaosTransport) Close() {
+	close(c.stop)
+	c.wg.Wait()
+	// Far-future "now" releases every queued message.
+	c.flush(time.Now().Add(365*24*time.Hour), nil)
+}

@@ -2,6 +2,14 @@
 // the role MPICH played under DVS. Endpoints are in-process mailboxes with
 // unbounded buffering (sends never block, so optimistic clusters cannot
 // deadlock on full channels) and per-endpoint delivery counters.
+//
+// Delivery is pluggable: the default transport hands messages to the
+// destination mailbox synchronously, while the chaos transport (see
+// Chaos) injects seeded delays, cross-link reordering and burst/stall
+// schedules to adversarially exercise the kernel's rollback machinery.
+// Every transport must preserve exactly-once, per-link-FIFO delivery —
+// the delivery-order freedoms are the only ones Time Warp semantics
+// permit.
 package comm
 
 import (
@@ -17,18 +25,47 @@ type Network struct {
 	eps      []*Endpoint
 	inFlight atomic.Int64
 	sent     atomic.Uint64
+	tr       Transport
 }
 
-// NewNetwork creates a network with k endpoints.
+// NewNetwork creates a network with k endpoints and direct (synchronous)
+// delivery.
 func NewNetwork(k int) *Network {
+	return NewNetworkTransport(k, nil)
+}
+
+// NewNetworkTransport creates a network whose deliveries are routed
+// through the transport built by f (nil f selects direct delivery). The
+// caller must call CloseTransport when no more sends will happen, so
+// transports with background delivery can flush and stop.
+func NewNetworkTransport(k int, f TransportFactory) *Network {
 	n := &Network{eps: make([]*Endpoint, k)}
 	for i := range n.eps {
 		ep := &Endpoint{id: i, net: n}
 		ep.cond = sync.NewCond(&ep.mu)
 		n.eps[i] = ep
 	}
+	if f == nil {
+		n.tr = directTransport{deliver: n.enqueue}
+	} else {
+		n.tr = f(k, n.enqueue)
+	}
 	return n
 }
+
+// enqueue places a message in destination dst's mailbox and wakes a
+// blocked receiver. It is the delivery sink handed to transports.
+func (n *Network) enqueue(dst int, msg Message) {
+	d := n.eps[dst]
+	d.mu.Lock()
+	d.box = append(d.box, msg)
+	d.mu.Unlock()
+	d.cond.Signal()
+}
+
+// CloseTransport flushes and stops the transport. Call after the last
+// Send; messages still held by the transport are delivered synchronously.
+func (n *Network) CloseTransport() { n.tr.Close() }
 
 // Endpoint returns endpoint i.
 func (n *Network) Endpoint(i int) *Endpoint { return n.eps[i] }
@@ -53,16 +90,16 @@ type Endpoint struct {
 // ID returns the endpoint index.
 func (e *Endpoint) ID() int { return e.id }
 
-// Send delivers msg to endpoint dst. It never blocks.
+// Send hands msg to the network transport for delivery to endpoint dst.
+// It never blocks. With the default direct transport the message is in
+// dst's mailbox when Send returns; other transports may hold it — but a
+// held message still counts as in flight, so the sent/in-flight counters
+// the Time Warp termination logic reads stay conservative.
 func (e *Endpoint) Send(dst int, msg Message) {
 	n := e.net
 	n.inFlight.Add(1)
 	n.sent.Add(1)
-	d := n.eps[dst]
-	d.mu.Lock()
-	d.box = append(d.box, msg)
-	d.mu.Unlock()
-	d.cond.Signal()
+	n.tr.Send(e.id, dst, msg)
 }
 
 // TryRecvAll drains and returns all queued messages without blocking

@@ -85,6 +85,49 @@ func TestPerLinkFIFO(t *testing.T) {
 	}
 }
 
+func TestCloseSemantics(t *testing.T) {
+	// Close is idempotent; messages already queued are still receivable
+	// after Close (drain-then-nil), and sends after Close enqueue without
+	// panicking — the Time Warp watcher closes endpoints while laggard
+	// clusters may still be flushing.
+	n := NewNetwork(2)
+	ep := n.Endpoint(1)
+	n.Endpoint(0).Send(1, "before")
+	ep.Close()
+	ep.Close() // double close must be safe
+	if msgs := ep.RecvWait(); len(msgs) != 1 || msgs[0] != "before" {
+		t.Fatalf("queued message lost across Close: %v", msgs)
+	}
+	if msgs := ep.RecvWait(); msgs != nil {
+		t.Fatalf("closed empty endpoint returned %v, want nil", msgs)
+	}
+	n.Endpoint(0).Send(1, "after")
+	if msgs := ep.RecvWait(); len(msgs) != 1 || msgs[0] != "after" {
+		t.Fatalf("send after close not receivable: %v", msgs)
+	}
+}
+
+func TestCloseWakesAllBlockedReceivers(t *testing.T) {
+	n := NewNetwork(1)
+	const waiters = 4
+	done := make(chan []Message, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() { done <- n.Endpoint(0).RecvWait() }()
+	}
+	time.Sleep(5 * time.Millisecond)
+	n.Endpoint(0).Close()
+	for i := 0; i < waiters; i++ {
+		select {
+		case msgs := <-done:
+			if msgs != nil {
+				t.Errorf("waiter returned %v, want nil", msgs)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("Close left a receiver blocked")
+		}
+	}
+}
+
 func TestConcurrentSendersCounted(t *testing.T) {
 	n := NewNetwork(3)
 	const per = 500

@@ -1,0 +1,276 @@
+// Package fuzz is the seed-driven differential correctness harness for
+// the Time Warp kernel: every run generates a random circuit and
+// stimulus, partitions it with one of the real partitioners, simulates it
+// both sequentially (internal/sim, the oracle) and optimistically
+// (internal/timewarp over internal/comm), and asserts bit-identical
+// observed waveforms per cycle plus kernel invariants. Runs execute under
+// the chaos transport by default, so delivery-order adversaries provoke
+// the stragglers, rollback cascades and lazy cancellations the benign Go
+// scheduler never would — the harness fails a campaign that provokes too
+// few rollbacks as "not adversarial enough".
+//
+// Everything is derived deterministically from one int64 seed, so any
+// failure replays from its printed seed (cmd/fuzz -replay) and shrinks to
+// a minimal reproducer (shrink.go).
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/elab"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/partition"
+	"repro/internal/sim"
+	"repro/internal/timewarp"
+)
+
+// Families and partitioners the spec generator draws from. Scatter is
+// over-weighted: random gate scattering maximizes inter-cluster traffic,
+// the fuel rollback cascades run on.
+var (
+	families     = []string{"randhier", "lfsr", "multiplier", "fir", "viterbi"}
+	partitioners = []string{"multiway", "recursive", "scatter", "scatter"}
+)
+
+// Spec is one fully-determined differential run. All fields derive from
+// Seed via NewSpec; a Spec literal is also a standalone reproducer (see
+// ReproSnippet).
+type Spec struct {
+	Seed      int64
+	Family    string // randhier | lfsr | multiplier | fir | viterbi
+	GenSeed   int64  // circuit generator / partitioner / stimulus seed
+	Size      int    // family-specific scale knob, 1 (tiny) .. 4 (default-ish)
+	K         int    // clusters
+	Partition string // multiway | recursive | scatter
+	B         float64
+	Cycles    uint64
+	Window    uint64
+	ChkEvery  uint64
+	Chaos     *comm.ChaosConfig // nil = benign direct delivery
+}
+
+// NewSpec derives the run specification for a seed. The derivation is a
+// pure function: same (seed, chaos) → same Spec, the property seed replay
+// stands on.
+func NewSpec(seed int64, chaos bool) Spec {
+	rng := rand.New(rand.NewSource(seed))
+	s := Spec{
+		Seed:      seed,
+		Family:    families[rng.Intn(len(families))],
+		GenSeed:   1 + rng.Int63n(1<<30),
+		Size:      1 + rng.Intn(4),
+		K:         2 + rng.Intn(5), // 2..6
+		Partition: partitioners[rng.Intn(len(partitioners))],
+		B:         2.5 * float64(1+rng.Intn(6)), // 2.5..15
+		Cycles:    uint64(40 + rng.Intn(120)),
+		Window:    uint64(4 + rng.Intn(12)),
+		ChkEvery:  uint64(1 + rng.Intn(6)),
+	}
+	if chaos {
+		s.Chaos = &comm.ChaosConfig{
+			Seed:       rng.Int63(),
+			MaxDelay:   time.Duration(50+rng.Intn(250)) * time.Microsecond,
+			StallEvery: 12 + rng.Intn(48),
+			StallFor:   time.Duration(1+rng.Intn(4)) * time.Millisecond,
+		}
+	}
+	return s
+}
+
+// Circuit builds the spec's netlist-generator circuit.
+func (s Spec) Circuit() *gen.Circuit {
+	switch s.Family {
+	case "lfsr":
+		return gen.LFSR(8+4*s.Size, nil) // 12..24 bits
+	case "multiplier":
+		return gen.Multiplier(2 + s.Size) // 3..6 bits
+	case "fir":
+		return gen.FIR(gen.FIRConfig{Taps: 2 + 2*s.Size, W: 3 + s.Size, Seed: s.GenSeed})
+	case "viterbi":
+		return gen.Viterbi(gen.ViterbiConfig{K: 3, W: 4, TB: 2 + 2*s.Size})
+	default: // randhier
+		cfg := gen.RandHierConfig{
+			ModuleTypes:        2 + 2*s.Size,
+			GatesPerModule:     5 * s.Size,
+			InstancesPerModule: 2,
+			TopInstances:       2 + 2*s.Size,
+			PIs:                8,
+			Seed:               s.GenSeed,
+			DFFFraction:        0.25,
+		}
+		return gen.RandomHierarchical(cfg)
+	}
+}
+
+// GateParts partitions the elaborated design per the spec. Partitioners
+// that cannot honour the requested K on a tiny circuit (too few vertices)
+// fall back to a seeded scatter — the fallback is reported so the harness
+// stays honest about which code path ran.
+func (s Spec) GateParts(ed *elab.Design) (parts []int32, used string, err error) {
+	k := s.K
+	if g := ed.Netlist.NumGates(); k > g {
+		k = g // degenerate tiny circuit
+	}
+	switch s.Partition {
+	case "multiway", "recursive":
+		opts := partition.Options{K: k, B: s.B, Seed: s.GenSeed, Restarts: 2, Workers: 1}
+		var res *partition.Result
+		if s.Partition == "multiway" {
+			res, err = partition.Multiway(ed, opts)
+		} else {
+			res, err = partition.Recursive(ed, opts)
+		}
+		if err == nil {
+			return res.GateParts, s.Partition, nil
+		}
+		// Too coarse for K: scatter instead, and say so.
+		usedName := s.Partition + "→scatter"
+		return scatterParts(ed.Netlist, k, s.GenSeed), usedName, nil
+	default:
+		return scatterParts(ed.Netlist, k, s.GenSeed), "scatter", nil
+	}
+}
+
+func scatterParts(nl *netlist.Netlist, k int, seed int64) []int32 {
+	rng := rand.New(rand.NewSource(seed))
+	parts := make([]int32, len(nl.Gates))
+	for i := range parts {
+		parts[i] = int32(rng.Intn(k))
+	}
+	return parts
+}
+
+// RunResult is the outcome of one differential run.
+type RunResult struct {
+	Spec        Spec
+	Partitioner string // partitioner actually used (fallbacks recorded)
+	Err         error  // infra/kernel error, incl. stall-watcher aborts
+	Mismatch    string // first sequential-vs-Time-Warp divergence, "" if none
+	Violations  []string
+	Stats       timewarp.Stats
+	FinalGVT    uint64
+	Elapsed     time.Duration
+}
+
+// Failed reports whether the run found a correctness problem.
+func (r *RunResult) Failed() bool {
+	return r.Err != nil || r.Mismatch != "" || len(r.Violations) > 0
+}
+
+// Failure renders the failure reason ("" when the run passed).
+func (r *RunResult) Failure() string {
+	switch {
+	case r.Err != nil:
+		return fmt.Sprintf("seed %d: %v", r.Spec.Seed, r.Err)
+	case r.Mismatch != "":
+		return fmt.Sprintf("seed %d: %s", r.Spec.Seed, r.Mismatch)
+	case len(r.Violations) > 0:
+		return fmt.Sprintf("seed %d: invariant violations: %v", r.Spec.Seed, r.Violations)
+	}
+	return ""
+}
+
+// Execute runs the spec differentially: sequential oracle first, then the
+// Time Warp cluster, comparing committed per-cycle primary-output values
+// bit for bit. faults, when non-nil, injects kernel regressions (harness
+// self-tests only). stallTimeout bounds a wedged run (0 = wait forever);
+// a livelocked run — continuous activity that never terminates, invisible
+// to the inactivity detector — is cut at four times that by the kernel's
+// hard wall-clock cap.
+func Execute(spec Spec, faults *timewarp.FaultConfig, stallTimeout time.Duration) (res RunResult) {
+	start := time.Now()
+	res = RunResult{Spec: spec}
+	defer func() { res.Elapsed = time.Since(start) }()
+
+	ed, err := spec.Circuit().Elaborate()
+	if err != nil {
+		res.Err = fmt.Errorf("elaborate: %w", err)
+		return res
+	}
+	nl := ed.Netlist
+	parts, used, err := spec.GateParts(ed)
+	if err != nil {
+		res.Err = fmt.Errorf("partition: %w", err)
+		return res
+	}
+	res.Partitioner = used
+	k := 0
+	for _, p := range parts {
+		if int(p) >= k {
+			k = int(p) + 1
+		}
+	}
+	if k < 1 {
+		k = 1
+	}
+
+	// Sequential oracle.
+	vs := sim.RandomVectors{Seed: spec.GenSeed}
+	seq, err := sim.New(nl)
+	if err != nil {
+		res.Err = fmt.Errorf("sim: %w", err)
+		return res
+	}
+	want := make(map[netlist.NetID][]bool, len(nl.POs))
+	for _, po := range nl.POs {
+		want[po] = make([]bool, spec.Cycles)
+	}
+	buf := make([]bool, seq.VectorWidth())
+	for c := uint64(0); c < spec.Cycles; c++ {
+		vs.Vector(c, buf)
+		if _, err := seq.Step(buf); err != nil {
+			res.Err = fmt.Errorf("sim cycle %d: %w", c, err)
+			return res
+		}
+		for _, po := range nl.POs {
+			want[po][c] = seq.Value(po)
+		}
+	}
+
+	// Time Warp under (optionally) adversarial delivery.
+	cfg := timewarp.Config{
+		NL:              nl,
+		GateParts:       parts,
+		K:               k,
+		Vectors:         vs,
+		Cycles:          spec.Cycles,
+		Window:          spec.Window,
+		CheckpointEvery: spec.ChkEvery,
+		StallTimeout:    stallTimeout,
+		RunTimeout:      4 * stallTimeout,
+		Faults:          faults,
+	}
+	if spec.Chaos != nil {
+		cfg.Transport = comm.Chaos(*spec.Chaos)
+	}
+	tw, err := timewarp.Run(cfg)
+	if err != nil {
+		res.Err = fmt.Errorf("timewarp: %w", err)
+		return res
+	}
+	res.Stats = tw.Stats
+	res.FinalGVT = tw.FinalGVT
+	res.Violations = tw.InvariantViolations
+
+	for _, po := range nl.POs {
+		got, ok := tw.Observed[po]
+		if !ok {
+			res.Mismatch = fmt.Sprintf("PO %s not observed by the kernel", nl.Nets[po].Name)
+			return res
+		}
+		for c := uint64(0); c < spec.Cycles; c++ {
+			if got[c] != want[po][c] {
+				res.Mismatch = fmt.Sprintf(
+					"PO %s cycle %d: timewarp %v, sequential %v (family=%s part=%s k=%d chaos=%v)",
+					nl.Nets[po].Name, c, got[c], want[po][c],
+					spec.Family, used, k, spec.Chaos != nil)
+				return res
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,180 @@
+package fuzz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/timewarp"
+)
+
+// Config drives a fuzz campaign.
+type Config struct {
+	// Seed is the base seed; run i uses Seed+i.
+	Seed int64
+	// Runs is the number of differential runs.
+	Runs int
+	// Chaos enables the adversarial delivery transport (recommended).
+	Chaos bool
+	// MinRollbackFraction is the adversarial-enough bar: the fraction of
+	// runs that must provoke at least one rollback (default 0.3 via
+	// DefaultMinRollbackFraction in callers; 0 disables the check).
+	MinRollbackFraction float64
+	// StallTimeout bounds each run (default 30s) so a wedged kernel
+	// becomes a reported failure, not a hung campaign.
+	StallTimeout time.Duration
+	// Faults injects kernel regressions — only the harness self-tests
+	// set this, to prove the harness catches what it claims to.
+	Faults *timewarp.FaultConfig
+	// Verbose streams one line per run to Out.
+	Verbose bool
+	// Out receives progress and is where Report.WriteTo goes in cmd/fuzz
+	// (nil = discard).
+	Out io.Writer
+}
+
+// DefaultMinRollbackFraction is the campaign-level adversarial bar: at
+// least this fraction of runs must provoke ≥1 rollback, otherwise the
+// campaign exercised too little of the optimistic machinery to mean
+// anything and fails as "not adversarial enough".
+const DefaultMinRollbackFraction = 0.3
+
+// Report aggregates a campaign.
+type Report struct {
+	BaseSeed            int64
+	Runs                int
+	Chaos               bool
+	MinRollbackFraction float64
+
+	Failures     []RunResult // failing runs, in seed order
+	RollbackRuns int         // runs that provoked ≥1 rollback
+	ByFamily     map[string]int
+	ByPartition  map[string]int
+
+	Stats   timewarp.Stats // summed across runs (MaxStragglerDepth by max)
+	Elapsed time.Duration
+}
+
+// Campaign executes cfg.Runs differential runs and aggregates them.
+func Campaign(cfg Config) *Report {
+	if cfg.StallTimeout <= 0 {
+		cfg.StallTimeout = 30 * time.Second
+	}
+	out := cfg.Out
+	if out == nil {
+		out = io.Discard
+	}
+	rep := &Report{
+		BaseSeed:            cfg.Seed,
+		Runs:                cfg.Runs,
+		Chaos:               cfg.Chaos,
+		MinRollbackFraction: cfg.MinRollbackFraction,
+		ByFamily:            make(map[string]int),
+		ByPartition:         make(map[string]int),
+	}
+	start := time.Now()
+	for i := 0; i < cfg.Runs; i++ {
+		spec := NewSpec(cfg.Seed+int64(i), cfg.Chaos)
+		res := Execute(spec, cfg.Faults, cfg.StallTimeout)
+		rep.absorb(res)
+		if cfg.Verbose {
+			status := "ok"
+			if res.Failed() {
+				status = "FAIL"
+			}
+			fmt.Fprintf(out, "seed %-8d %-10s %-18s k=%d cycles=%-4d rollbacks=%-5d depth=%-3d %s\n",
+				spec.Seed, spec.Family, res.Partitioner, spec.K, spec.Cycles,
+				res.Stats.Rollbacks, res.Stats.MaxStragglerDepth, status)
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep
+}
+
+func (r *Report) absorb(res RunResult) {
+	r.ByFamily[res.Spec.Family]++
+	r.ByPartition[res.Partitioner]++
+	if res.Stats.Rollbacks > 0 {
+		r.RollbackRuns++
+	}
+	r.Stats.Messages += res.Stats.Messages
+	r.Stats.AntiMessages += res.Stats.AntiMessages
+	r.Stats.Rollbacks += res.Stats.Rollbacks
+	r.Stats.Events += res.Stats.Events
+	r.Stats.RolledBackEvents += res.Stats.RolledBackEvents
+	r.Stats.Checkpoints += res.Stats.Checkpoints
+	if res.Stats.MaxStragglerDepth > r.Stats.MaxStragglerDepth {
+		r.Stats.MaxStragglerDepth = res.Stats.MaxStragglerDepth
+	}
+	if res.Failed() {
+		r.Failures = append(r.Failures, res)
+	}
+}
+
+// RollbackFraction is the fraction of runs that provoked ≥1 rollback.
+func (r *Report) RollbackFraction() float64 {
+	if r.Runs == 0 {
+		return 0
+	}
+	return float64(r.RollbackRuns) / float64(r.Runs)
+}
+
+// AdversarialEnough reports whether the campaign met its rollback bar.
+func (r *Report) AdversarialEnough() bool {
+	return r.MinRollbackFraction <= 0 || r.RollbackFraction() >= r.MinRollbackFraction
+}
+
+// Err summarises the campaign outcome: nil when every run passed and the
+// campaign was adversarial enough.
+func (r *Report) Err() error {
+	if n := len(r.Failures); n > 0 {
+		return fmt.Errorf("fuzz: %d of %d runs failed (first: %s)", n, r.Runs, r.Failures[0].Failure())
+	}
+	if !r.AdversarialEnough() {
+		return fmt.Errorf("fuzz: not adversarial enough: only %.0f%% of runs provoked a rollback (bar %.0f%%)",
+			100*r.RollbackFraction(), 100*r.MinRollbackFraction)
+	}
+	return nil
+}
+
+// String renders the campaign report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fuzz campaign: %d runs, base seed %d, chaos=%v (%.1fs)\n",
+		r.Runs, r.BaseSeed, r.Chaos, r.Elapsed.Seconds())
+	fmt.Fprintf(&b, "  families:     %s\n", countMap(r.ByFamily))
+	fmt.Fprintf(&b, "  partitioners: %s\n", countMap(r.ByPartition))
+	fmt.Fprintf(&b, "  rollback runs: %d/%d (%.0f%%, bar %.0f%%)\n",
+		r.RollbackRuns, r.Runs, 100*r.RollbackFraction(), 100*r.MinRollbackFraction)
+	fmt.Fprintf(&b, "  kernel totals: msgs=%d anti=%d rollbacks=%d events=%d rolledback=%d maxStragglerDepth=%d\n",
+		r.Stats.Messages, r.Stats.AntiMessages, r.Stats.Rollbacks,
+		r.Stats.Events, r.Stats.RolledBackEvents, r.Stats.MaxStragglerDepth)
+	if len(r.Failures) == 0 {
+		adv := "adversarial bar met"
+		if !r.AdversarialEnough() {
+			adv = "NOT ADVERSARIAL ENOUGH"
+		}
+		fmt.Fprintf(&b, "  result: all runs passed; %s\n", adv)
+	} else {
+		fmt.Fprintf(&b, "  result: %d FAILURES\n", len(r.Failures))
+		for _, f := range r.Failures {
+			fmt.Fprintf(&b, "    %s\n", f.Failure())
+		}
+	}
+	return b.String()
+}
+
+func countMap(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, m[k])
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -71,6 +72,95 @@ func TestPropertyMultiwayAlwaysValid(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
+	}
+}
+
+// bruteForceCut recounts the hyperedge cut with a deliberately different
+// implementation than hypergraph.CutSize (set-of-parts per edge instead of
+// first-pin comparison with early break), so a bug in the shared helper
+// cannot hide a wrong Result.Cut.
+func bruteForceCut(h *hypergraph.H, a *hypergraph.Assignment) int {
+	cut := 0
+	for ei := range h.Edges {
+		parts := make(map[int32]bool)
+		for _, pin := range h.Edges[ei].Pins {
+			parts[a.Parts[pin]] = true
+		}
+		if len(parts) > 1 {
+			cut++
+		}
+	}
+	return cut
+}
+
+// Property: across a (k, b) sweep, Multiway either satisfies the balance
+// constraint — every recounted load inside Constraint.Bounds — or has
+// exhausted the documented fallback: an unbalanced result is only legal
+// once every super-gate has been flattened (the pipeline keeps flattening
+// the largest super-gate of the heaviest part until balance is met or no
+// super-gates remain). The cut is recounted brute force, and GateParts is
+// cross-checked against the hypergraph assignment.
+func TestPropertyMultiwayBalanceBoundsAndCutRecount(t *testing.T) {
+	cfg := gen.DefaultRandHier
+	cfg.TopInstances = 6
+	cfg.GatesPerModule = 15
+	cfg.ModuleTypes = 6
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg.Seed = seed
+		ed, err := gen.RandomHierarchical(cfg).Elaborate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 2; k <= 8; k++ {
+			for _, b := range []float64{2.5, 7.5, 15} {
+				res, err := Multiway(ed, Options{K: k, B: b, Seed: seed, Restarts: 2})
+				if err != nil {
+					t.Fatalf("seed=%d k=%d b=%g: %v", seed, k, b, err)
+				}
+				tag := func(format string, args ...any) {
+					t.Helper()
+					t.Errorf("seed=%d k=%d b=%g: %s", seed, k, b, fmt.Sprintf(format, args...))
+				}
+
+				// Independent load recount from the final hypergraph view.
+				loads := make([]int, k)
+				for vi := range res.H.Vertices {
+					loads[res.Assignment.Parts[vi]] += res.H.Vertices[vi].Weight
+				}
+				for p, l := range loads {
+					if l != res.Loads[p] {
+						tag("reported load[%d]=%d, recount %d", p, res.Loads[p], l)
+					}
+				}
+				lo, hi := res.Constraint.Bounds()
+				if res.Balanced {
+					for p, l := range loads {
+						if l < lo || l > hi {
+							tag("balanced result but load[%d]=%d outside [%d,%d]", p, l, lo, hi)
+						}
+					}
+				} else {
+					// Unbalanced is only legal after the flattening fallback
+					// ran dry: no super-gate may remain to flatten.
+					for vi := range res.H.Vertices {
+						if res.H.Vertices[vi].IsSuper() {
+							tag("unbalanced result with super-gate %s still flattenable",
+								res.H.Vertices[vi].Name)
+						}
+					}
+				}
+
+				if got := bruteForceCut(res.H, res.Assignment); got != res.Cut {
+					tag("reported cut %d, brute-force recount %d", res.Cut, got)
+				}
+				for gi, v := range res.H.GateVertex {
+					if res.GateParts[gi] != res.Assignment.Parts[v] {
+						tag("gate %d: GateParts=%d but vertex part=%d",
+							gi, res.GateParts[gi], res.Assignment.Parts[v])
+					}
+				}
+			}
+		}
 	}
 }
 

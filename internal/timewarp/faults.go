@@ -1,0 +1,23 @@
+package timewarp
+
+// FaultConfig injects kernel misbehaviours on purpose. It exists for one
+// reason: the differential fuzz harness must be able to prove it would
+// catch a real kernel regression, so its self-tests run with a fault
+// enabled and assert that the sequential-vs-Time-Warp comparison (or an
+// invariant check) fails and replays from the same seed. Production and
+// ordinary test runs leave Config.Faults nil.
+type FaultConfig struct {
+	// CorruptEveryN flips the value of every Nth positive inter-cluster
+	// event at send time (0 disables). The receiver then computes with a
+	// wrong input the sender never saw — a silent data-corruption bug.
+	CorruptEveryN uint64
+	// SuppressAntiMessages drops every anti-message instead of sending
+	// it, so receivers keep replaying events their sender has rolled back
+	// — the classic broken-cancellation bug.
+	SuppressAntiMessages bool
+	// DisableLazySuppression turns off lazy-cancellation suppression:
+	// re-execution that regenerates an identical event cancels and
+	// re-sends it instead of recognising the receiver already has it,
+	// re-creating the send/rollback livelock lazy cancellation prevents.
+	DisableLazySuppression bool
+}

@@ -37,6 +37,32 @@ type Config struct {
 	// Observe lists nets whose committed per-cycle (post-latch) values
 	// are recorded; defaults to the primary outputs.
 	Observe []netlist.NetID
+	// Transport optionally replaces direct in-process delivery (nil =
+	// direct). The chaos transport (comm.Chaos) is the adversarial
+	// delivery-order schedule the fuzz harness uses to provoke stragglers
+	// and rollback cascades.
+	Transport comm.TransportFactory
+	// WatcherInterval is the poll period of the termination/deadlock
+	// watcher (default 200µs, the previous hard-coded value).
+	WatcherInterval time.Duration
+	// StallTimeout, when positive, makes the watcher abort the run with
+	// an error if no cluster makes progress and no message moves for this
+	// long before termination — a genuinely wedged cluster becomes a
+	// test failure instead of a hang. Zero keeps the previous behaviour
+	// (wait forever). Chaos-transport stall schedules hold messages for
+	// a few milliseconds at most, so harness timeouts in the seconds
+	// range never trip on them.
+	StallTimeout time.Duration
+	// RunTimeout, when positive, is a hard wall-clock cap on the whole
+	// run: the watcher aborts with an error once it is exceeded even while
+	// activity continues. It catches livelock — e.g. endless rollback
+	// churn when cancellation is broken — which the inactivity-based
+	// StallTimeout by construction cannot see. Zero = unbounded.
+	RunTimeout time.Duration
+	// Faults injects deliberate kernel misbehaviour so the fuzz harness
+	// can prove it detects regressions. Nil (always, outside harness
+	// self-tests) disables injection.
+	Faults *FaultConfig
 }
 
 // Stats aggregates kernel activity over a run.
@@ -47,6 +73,10 @@ type Stats struct {
 	Events           uint64 // gate evaluations executed (incl. re-execution)
 	RolledBackEvents uint64 // evaluations undone by rollbacks
 	Checkpoints      uint64 // state checkpoints taken
+	// MaxStragglerDepth is the deepest single rollback in cycles (LVT
+	// minus restored checkpoint) — how far behind its cluster the worst
+	// straggler arrived. Aggregated by max, not sum.
+	MaxStragglerDepth uint64
 }
 
 // Result is the outcome of a run.
@@ -58,6 +88,14 @@ type Result struct {
 	// PerCluster breaks the statistics down by machine, the view the
 	// paper's per-processor plots use.
 	PerCluster []Stats
+	// FinalGVT is the last quiescent GVT the watcher established (in
+	// cycles). On clean termination it equals Cycles.
+	FinalGVT uint64
+	// InvariantViolations lists kernel invariants found broken during the
+	// run: GVT regression, or messages left undrained / unabsorbed at
+	// termination. Always empty for a healthy kernel; the fuzz harness
+	// fails a run whose list is non-empty.
+	InvariantViolations []string
 }
 
 // Run executes the optimistic parallel simulation and returns the
@@ -91,7 +129,11 @@ func Run(cfg Config) (*Result, error) {
 		observe = cfg.NL.POs
 	}
 
-	net := comm.NewNetwork(cfg.K)
+	if cfg.WatcherInterval <= 0 {
+		cfg.WatcherInterval = 200 * time.Microsecond
+	}
+
+	net := comm.NewNetworkTransport(cfg.K, cfg.Transport)
 	progress := make([]atomic.Uint64, cfg.K) // published cycle per cluster
 	var absorbed atomic.Uint64               // messages fully absorbed
 	var cancelled atomic.Bool                // any-cluster failure flag
@@ -109,6 +151,8 @@ func Run(cfg Config) (*Result, error) {
 	// so blocked clusters exit.
 	stop := make(chan struct{})
 	var watcher sync.WaitGroup
+	var watcherErr error          // stall-timeout abort, read after watcher.Wait
+	var watcherViolations []string // invariant breaks seen by the watcher
 	watcher.Add(1)
 	go func() {
 		defer watcher.Done()
@@ -123,18 +167,22 @@ func Run(cfg Config) (*Result, error) {
 		// safe fossil-collection line, and "all finished + quiescent" is
 		// safe termination.
 		prevSent := uint64(0)
+		prevAbsorbed := uint64(0)
 		prevProg := make([]uint64, cfg.K)
 		curProg := make([]uint64, cfg.K)
 		prevValid := false
 		doneStreak := 0
+		started := time.Now()
+		lastActivity := started
 		for {
 			select {
 			case <-stop:
 				return
-			case <-time.After(200 * time.Microsecond):
+			case <-time.After(cfg.WatcherInterval):
 			}
 			sent := net.TotalSent()
-			allAbsorbed := absorbed.Load() == sent
+			nowAbsorbed := absorbed.Load()
+			allAbsorbed := nowAbsorbed == sent
 			allDone := true
 			minProg := uint64(math.MaxUint64)
 			for c := range progress {
@@ -146,17 +194,26 @@ func Run(cfg Config) (*Result, error) {
 					allDone = false
 				}
 			}
-			stable := prevValid && sent == prevSent && allAbsorbed
-			if stable {
-				for c := range curProg {
-					if curProg[c] != prevProg[c] {
-						stable = false
-						break
-					}
+			progMoved := false
+			for c := range curProg {
+				if curProg[c] != prevProg[c] {
+					progMoved = true
+					break
 				}
 			}
-			if stable && minProg > gvt.Load() {
-				gvt.Store(minProg)
+			if sent != prevSent || nowAbsorbed != prevAbsorbed || progMoved {
+				lastActivity = time.Now()
+			}
+			stable := prevValid && sent == prevSent && allAbsorbed && !progMoved
+			if stable {
+				// GVT advances only at quiescent instants and must never
+				// regress — the invariant fossil collection stands on.
+				if old := gvt.Load(); minProg > old {
+					gvt.Store(minProg)
+				} else if minProg < old {
+					watcherViolations = append(watcherViolations, fmt.Sprintf(
+						"GVT regression: quiescent minimum %d below established GVT %d", minProg, old))
+				}
 			}
 			if stable && allDone {
 				doneStreak++
@@ -169,7 +226,34 @@ func Run(cfg Config) (*Result, error) {
 			} else {
 				doneStreak = 0
 			}
+			// Deadlock watcher: everything is quiet yet the run has not
+			// terminated — a wedged cluster or a lost message. Abort so
+			// tests fail with a diagnosis instead of hanging.
+			if cfg.StallTimeout > 0 && !(allDone && allAbsorbed) &&
+				time.Since(lastActivity) > cfg.StallTimeout {
+				watcherErr = fmt.Errorf(
+					"timewarp: run stalled for %v (progress min %d of %d cycles, %d of %d messages absorbed): wedged cluster or lost message",
+					cfg.StallTimeout, minProg, cfg.Cycles, nowAbsorbed, sent)
+				cancelled.Store(true)
+				for c := 0; c < cfg.K; c++ {
+					net.Endpoint(c).Close()
+				}
+				return
+			}
+			// Hard cap: activity without termination forever is livelock
+			// (e.g. rollback churn with broken cancellation).
+			if cfg.RunTimeout > 0 && time.Since(started) > cfg.RunTimeout {
+				watcherErr = fmt.Errorf(
+					"timewarp: run exceeded hard cap %v while still active (progress min %d of %d cycles, %d of %d messages absorbed): livelocked kernel",
+					cfg.RunTimeout, minProg, cfg.Cycles, nowAbsorbed, sent)
+				cancelled.Store(true)
+				for c := 0; c < cfg.K; c++ {
+					net.Endpoint(c).Close()
+				}
+				return
+			}
 			prevSent = sent
+			prevAbsorbed = nowAbsorbed
 			copy(prevProg, curProg)
 			prevValid = allAbsorbed
 		}
@@ -194,15 +278,37 @@ func Run(cfg Config) (*Result, error) {
 	wg.Wait()
 	close(stop)
 	watcher.Wait()
+	// Stop background delivery. On clean termination the transport holds
+	// nothing (absorbed == sent gates the close); on abort it flushes into
+	// the already-closed endpoints, preserving exactly-once accounting.
+	net.CloseTransport()
+
+	for c := 0; c < cfg.K; c++ {
+		if errs[c] != nil {
+			return nil, errs[c]
+		}
+	}
+	if watcherErr != nil {
+		return nil, watcherErr
+	}
 
 	res := &Result{
-		Observed:   make(map[netlist.NetID][]bool, len(observe)),
-		PerCluster: make([]Stats, cfg.K),
+		Observed:            make(map[netlist.NetID][]bool, len(observe)),
+		PerCluster:          make([]Stats, cfg.K),
+		FinalGVT:            gvt.Load(),
+		InvariantViolations: watcherViolations,
+	}
+	// Termination invariant: a clean run leaves no message in flight and
+	// every sent message absorbed (received AND survived by its rollback).
+	if n := net.InFlight(); n != 0 {
+		res.InvariantViolations = append(res.InvariantViolations,
+			fmt.Sprintf("%d messages still in flight at termination", n))
+	}
+	if a, s := absorbed.Load(), net.TotalSent(); a != s {
+		res.InvariantViolations = append(res.InvariantViolations,
+			fmt.Sprintf("absorbed %d of %d sent messages at termination", a, s))
 	}
 	for _, cl := range clusters {
-		if err := errs[cl.id]; err != nil {
-			return nil, err
-		}
 		res.PerCluster[cl.id] = cl.stats
 		res.Stats.Messages += cl.stats.Messages
 		res.Stats.AntiMessages += cl.stats.AntiMessages
@@ -210,6 +316,9 @@ func Run(cfg Config) (*Result, error) {
 		res.Stats.Events += cl.stats.Events
 		res.Stats.RolledBackEvents += cl.stats.RolledBackEvents
 		res.Stats.Checkpoints += cl.stats.Checkpoints
+		if cl.stats.MaxStragglerDepth > res.Stats.MaxStragglerDepth {
+			res.Stats.MaxStragglerDepth = cl.stats.MaxStragglerDepth
+		}
 		for n, vals := range cl.obsLog {
 			res.Observed[n] = vals
 		}

@@ -1,0 +1,143 @@
+package timewarp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/gen"
+	"repro/internal/sim"
+)
+
+// swallowTransport loses every message: the sent counter advances (the
+// endpoint increments it before handing the message over) but nothing is
+// ever delivered, so absorbed can never catch up — a genuinely wedged
+// cluster configuration.
+type swallowTransport struct{}
+
+func (swallowTransport) Send(src, dst int, msg comm.Message) {}
+func (swallowTransport) Close()                              {}
+
+func TestStallWatcherFiresOnWedgedCluster(t *testing.T) {
+	c := gen.LFSR(16, nil)
+	ed, err := c.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := ed.Netlist
+	_, err = Run(Config{
+		NL: nl, GateParts: randomParts(nl, 2, 1), K: 2,
+		Vectors: sim.RandomVectors{Seed: 5}, Cycles: 500,
+		Transport:    func(k int, deliver comm.DeliverFunc) comm.Transport { return swallowTransport{} },
+		StallTimeout: 250 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("run over a message-swallowing transport terminated cleanly; stall watcher never fired")
+	}
+	if !strings.Contains(err.Error(), "stalled") {
+		t.Fatalf("expected stall diagnosis, got: %v", err)
+	}
+}
+
+func TestStallWatcherDisabledByDefaultStillTerminates(t *testing.T) {
+	// StallTimeout zero (the default) must keep the previous semantics: a
+	// healthy run terminates normally with no stall machinery involved.
+	c := gen.LFSR(12, nil)
+	ed, err := c.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := ed.Netlist
+	res, err := Run(Config{
+		NL: nl, GateParts: randomParts(nl, 2, 3), K: 2,
+		Vectors: sim.RandomVectors{Seed: 9}, Cycles: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.InvariantViolations) != 0 {
+		t.Fatalf("invariant violations on a healthy run: %v", res.InvariantViolations)
+	}
+	if res.FinalGVT != 100 {
+		t.Errorf("final GVT %d, want 100 (all cycles committed)", res.FinalGVT)
+	}
+}
+
+func TestWatcherIntervalConfigurable(t *testing.T) {
+	// A much coarser watcher interval slows termination detection but must
+	// not change results.
+	c := gen.Multiplier(4)
+	ed, err := c.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := ed.Netlist
+	st := runBoth(t, ed, randomParts(nl, 3, 2), 3, 60, 21)
+	_ = st
+	res, err := Run(Config{
+		NL: nl, GateParts: randomParts(nl, 3, 2), K: 3,
+		Vectors: sim.RandomVectors{Seed: 21}, Cycles: 60,
+		WatcherInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.InvariantViolations) != 0 {
+		t.Fatalf("invariant violations with coarse watcher: %v", res.InvariantViolations)
+	}
+}
+
+func TestChaosTransportStallsDoNotTripGenerousTimeout(t *testing.T) {
+	// Chaos stall schedules hold messages for milliseconds; a seconds-scale
+	// stall timeout must ride them out and the run must stay correct.
+	c := gen.LFSR(16, nil)
+	ed, err := c.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := ed.Netlist
+	vs := sim.RandomVectors{Seed: 13}
+	seq, err := sim.New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cycles = 150
+	want := make([][]bool, cycles)
+	buf := make([]bool, seq.VectorWidth())
+	for cyc := uint64(0); cyc < cycles; cyc++ {
+		vs.Vector(cyc, buf)
+		if _, err := seq.Step(buf); err != nil {
+			t.Fatal(err)
+		}
+		row := make([]bool, len(nl.POs))
+		for i, po := range nl.POs {
+			row[i] = seq.Value(po)
+		}
+		want[cyc] = row
+	}
+	res, err := Run(Config{
+		NL: nl, GateParts: randomParts(nl, 3, 7), K: 3,
+		Vectors: vs, Cycles: cycles,
+		Transport: comm.Chaos(comm.ChaosConfig{
+			Seed: 41, MaxDelay: 200 * time.Microsecond,
+			StallEvery: 20, StallFor: 2 * time.Millisecond,
+		}),
+		StallTimeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, po := range nl.POs {
+		for cyc := 0; cyc < cycles; cyc++ {
+			if res.Observed[po][cyc] != want[cyc][i] {
+				t.Fatalf("chaos: PO %s cycle %d mismatch", nl.Nets[po].Name, cyc)
+			}
+		}
+	}
+	if len(res.InvariantViolations) != 0 {
+		t.Fatalf("invariant violations under chaos: %v", res.InvariantViolations)
+	}
+	t.Logf("chaos run: msgs=%d anti=%d rollbacks=%d maxStragglerDepth=%d",
+		res.Stats.Messages, res.Stats.AntiMessages, res.Stats.Rollbacks, res.Stats.MaxStragglerDepth)
+}
