@@ -2,19 +2,27 @@
 # tests, vet, and the race detector over the concurrent packages, so the
 # campaign engine's parallelism stays race-free. `make fuzz` runs the
 # short differential-fuzzing tier (see internal/fuzz); bump FUZZ_RUNS for
-# a longer campaign.
+# a longer campaign. `make trace-demo` produces soc.trace.json — a Chrome
+# trace (chrome://tracing / Perfetto) of a chaotic Time Warp run on the
+# 2-channel SoC workload (DESIGN.md §11).
 
 GO ?= go
 FUZZ_RUNS ?= 100
 FUZZ_SEED ?= 1
+TRACE_CYCLES ?= 2000
 
-.PHONY: check build test vet race bench fuzz
+.PHONY: check build test vet race bench fuzz trace-demo
 
 check: build test vet race
 
 fuzz:
 	$(GO) test ./internal/fuzz -run TestFuzzShort -v
-	$(GO) run ./cmd/fuzz -runs $(FUZZ_RUNS) -seed $(FUZZ_SEED) -out fuzz-report.txt
+	$(GO) run ./cmd/fuzz -runs $(FUZZ_RUNS) -seed $(FUZZ_SEED) -out fuzz-report.txt -trace-dir fuzz-traces
+
+trace-demo:
+	$(GO) run ./cmd/vgen -circuit soc -o soc.v
+	$(GO) run ./cmd/vsim -in soc.v -top soc -mode tw -k 4 -cycles $(TRACE_CYCLES) \
+		-chaos -trace soc.trace.json -metrics soc.metrics.txt -report
 
 build:
 	$(GO) build ./...

@@ -18,6 +18,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/hypergraph"
 	"repro/internal/multilevel"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/presim"
 	"repro/internal/sim"
@@ -510,3 +511,67 @@ func BenchmarkMultiwayRestartsSequential(b *testing.B) {
 func BenchmarkMultiwayRestartsParallel(b *testing.B) {
 	benchMultiwayRestarts(b, runtime.GOMAXPROCS(0))
 }
+
+// ---- observability overhead guard (DESIGN.md §11) --------------------------
+
+var (
+	socOnce  sync.Once
+	socED    *elab.Design
+	socParts []int32
+)
+
+// socK4 is the overhead-guard workload: the 2-channel SoC partitioned
+// 4 ways, the configuration the observability budget is stated against.
+func socK4(b *testing.B) (*elab.Design, []int32) {
+	b.Helper()
+	socOnce.Do(func() {
+		c := gen.ViterbiSoC(gen.SoCConfig{
+			Channels:      2,
+			Viterbi:       gen.ViterbiConfig{K: 4, W: 4, TB: 8},
+			ScramblerBits: 12,
+			CRCBits:       8,
+		})
+		ed, err := c.Elaborate()
+		if err != nil {
+			panic(err)
+		}
+		res, err := partition.Multiway(ed, partition.Options{K: 4, B: 10, Seed: 1, Restarts: 2})
+		if err != nil {
+			panic(err)
+		}
+		socED, socParts = ed, res.GateParts
+	})
+	return socED, socParts
+}
+
+func benchObsTimeWarp(b *testing.B, instrumented bool) {
+	ed, parts := socK4(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := timewarp.Config{
+			NL: ed.Netlist, GateParts: parts, K: 4,
+			Vectors: sim.RandomVectors{Seed: 1}, Cycles: 100,
+		}
+		if instrumented {
+			cfg.Obs = obs.New(obs.Options{})
+		}
+		if _, err := timewarp.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTimeWarpObsOff / BenchmarkTimeWarpObsOn are the documented
+// overhead budget of the observability layer on soc@k=4:
+//
+//   - Obs off (nil observer): within run-to-run noise of the
+//     pre-instrumentation kernel — every instrumentation site is a single
+//     nil-check, and the hot per-gate counter batches into one atomic add
+//     per cycle;
+//   - Obs on: ≤ 5% over the off configuration — counters are atomics read
+//     by sampled closures, spans hit only the rollback/GVT/fossil paths,
+//     and the tracer is a fixed-size ring.
+//
+// Compare with: go test -bench 'TimeWarpObs' -count 10 . | benchstat.
+func BenchmarkTimeWarpObsOff(b *testing.B) { benchObsTimeWarp(b, false) }
+func BenchmarkTimeWarpObsOn(b *testing.B)  { benchObsTimeWarp(b, true) }

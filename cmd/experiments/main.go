@@ -13,11 +13,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -33,6 +35,9 @@ func main() {
 		fullC     = flag.Uint64("full", 100000, "full-run vectors (paper: 1,000,000)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "grid worker pool size (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+		jsonOut   = flag.Bool("json", false, "run the pre-simulation grid and emit machine-readable JSON on stdout (suppresses tables)")
+		trace     = flag.String("trace", "", "write a Chrome trace of the partitioner/grid work to this file (\"-\" = stdout)")
+		metrics   = flag.String("metrics", "", "write a Prometheus-style metrics dump to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
 
@@ -42,19 +47,45 @@ func main() {
 	ctx.FullCycles = *fullC
 	ctx.Seed = *seed
 	ctx.Workers = *workers
-	st := ctx.ED.Netlist.Stats()
-	fmt.Printf("workload: generated Viterbi decoder — %d gates (%d DFF), %d module instances\n",
-		st.Gates, st.DFFs, len(ctx.ED.Instances)-1)
-	fmt.Printf("grid: k=%v b=%v; presim %d vectors, full %d vectors\n\n",
-		ctx.Ks, ctx.Bs, ctx.PresimCycles, ctx.FullCycles)
+	var o *obs.Observer
+	if *trace != "" || *metrics != "" {
+		o = obs.New(obs.Options{})
+		ctx.Obs = o
+	}
+	if !*jsonOut {
+		st := ctx.ED.Netlist.Stats()
+		fmt.Printf("workload: generated Viterbi decoder — %d gates (%d DFF), %d module instances\n",
+			st.Gates, st.DFFs, len(ctx.ED.Instances)-1)
+		fmt.Printf("grid: k=%v b=%v; presim %d vectors, full %d vectors\n\n",
+			ctx.Ks, ctx.Bs, ctx.PresimCycles, ctx.FullCycles)
+	}
 
-	needGrid := *all || *table >= 3 || *fig >= 5
+	needGrid := *all || *table >= 3 || *fig >= 5 || *jsonOut
 	var points []*experiments.GridPoint
 	if needGrid {
 		ctx.Campaign = stats.NewCampaign(min(ctx.GridWorkers(), len(ctx.Ks)))
 		points, err = ctx.PresimGrid()
 		fatal(err)
-		fmt.Printf("(%s)\n\n", ctx.Campaign.Finish())
+		if !*jsonOut {
+			fmt.Printf("(%s)\n\n", ctx.Campaign.Finish())
+		}
+	}
+
+	if *jsonOut {
+		// Machine-readable mode: the grid is the result; tables are for eyes.
+		o.Snapshot()
+		fatal(o.Dump(*trace, *metrics))
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fatal(enc.Encode(struct {
+			Ks       []int                    `json:"ks"`
+			Bs       []float64                `json:"bs"`
+			Presim   uint64                   `json:"presim_cycles"`
+			Seed     int64                    `json:"seed"`
+			Points   []*experiments.GridPoint `json:"points"`
+			Campaign stats.CampaignSummary    `json:"campaign"`
+		}{ctx.Ks, ctx.Bs, ctx.PresimCycles, ctx.Seed, points, ctx.Campaign.Finish()}))
+		return
 	}
 
 	run := func(want int, sel *int) bool { return *all || *sel == want }
@@ -163,6 +194,9 @@ func main() {
 		fatal(err)
 		fmt.Print(t.String())
 	}
+
+	o.Snapshot()
+	fatal(o.Dump(*trace, *metrics))
 }
 
 func min64(a, b uint64) uint64 {

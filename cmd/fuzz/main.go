@@ -9,7 +9,9 @@
 //	fuzz -runs 200                     # full campaign, chaos on
 //	fuzz -runs 50 -chaos=false         # benign delivery only
 //	fuzz -replay 1234567               # re-run one failing seed, verbose
+//	fuzz -replay 1234567 -trace t.json # ... and dump its Chrome trace
 //	fuzz -runs 200 -out report.txt     # also write the report to a file
+//	fuzz -runs 200 -trace-dir traces   # Chrome trace per failing seed
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/fuzz"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -31,6 +34,8 @@ func main() {
 		minRoll  = flag.Float64("min-rollback-frac", fuzz.DefaultMinRollbackFraction, "fraction of runs that must provoke ≥1 rollback (0 disables)")
 		stall    = flag.Duration("stall", 30*time.Second, "per-run stall timeout (wedged-kernel detector)")
 		out      = flag.String("out", "", "also write the report to this file")
+		trace    = flag.String("trace", "", "with -replay: write the replayed run's Chrome trace to this file (\"-\" = stdout)")
+		traceDir = flag.String("trace-dir", "", "write the Chrome trace of every FAILING seed into this directory")
 		verbose  = flag.Bool("v", false, "one line per run")
 	)
 	flag.Parse()
@@ -38,9 +43,17 @@ func main() {
 	if *replay != 0 {
 		spec := fuzz.NewSpec(*replay, *chaos)
 		fmt.Printf("replaying seed %d: %+v\n", *replay, spec)
-		res := fuzz.Execute(spec, nil, *stall)
+		var o *obs.Observer
+		if *trace != "" {
+			o = obs.New(obs.Options{})
+		}
+		res := fuzz.ExecuteObserved(spec, nil, *stall, o)
 		fmt.Printf("partitioner=%s elapsed=%v stats=%+v finalGVT=%d\n",
 			res.Partitioner, res.Elapsed.Round(time.Millisecond), res.Stats, res.FinalGVT)
+		if err := o.Dump(*trace, ""); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		if res.Failed() {
 			fmt.Printf("FAIL: %s\n", res.Failure())
 			os.Exit(1)
@@ -57,6 +70,7 @@ func main() {
 		StallTimeout:        *stall,
 		Verbose:             *verbose,
 		Out:                 os.Stdout,
+		TraceDir:            *traceDir,
 	})
 	text := rep.String()
 	fmt.Print(text)

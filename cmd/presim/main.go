@@ -6,9 +6,11 @@
 //
 //	presim -in design.v -top chip -ks 2,3,4 -bs 2.5,5,7.5,10,12.5,15
 //	presim -in design.v -top chip -heuristic
+//	presim -in design.v -top chip -json -trace presim.trace.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/elab"
+	"repro/internal/obs"
 	"repro/internal/presim"
 	"repro/internal/stats"
 	"repro/internal/verilog"
@@ -31,6 +34,9 @@ func main() {
 		seed      = flag.Int64("seed", 1, "vector seed")
 		heuristic = flag.Bool("heuristic", false, "use the heuristic search instead of brute force")
 		workers   = flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON results on stdout instead of text tables")
+		trace     = flag.String("trace", "", "write a Chrome trace of the campaign to this file (\"-\" = stdout)")
+		metrics   = flag.String("metrics", "", "write a Prometheus-style metrics dump to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
 	if *in == "" || *top == "" {
@@ -45,6 +51,10 @@ func main() {
 	ed, err := elab.Elaborate(d, *top)
 	fatal(err)
 
+	var o *obs.Observer
+	if *trace != "" || *metrics != "" {
+		o = obs.New(obs.Options{})
+	}
 	cfg := &presim.Config{
 		Design:  ed,
 		Ks:      parseInts(*ksFlag),
@@ -52,22 +62,47 @@ func main() {
 		Cycles:  *cycles,
 		Seed:    *seed,
 		Workers: *workers,
+		Obs:     o,
 	}
 	cfg.Campaign = stats.NewCampaign(cfg.WorkerCount())
 
 	if *heuristic {
 		best, visited, err := presim.Heuristic(cfg)
 		fatal(err)
+		summary := cfg.Campaign.Finish()
+		o.Snapshot()
+		fatal(o.Dump(*trace, *metrics))
+		if *jsonOut {
+			writeJSON(result{
+				Mode: "heuristic", Ks: cfg.Ks, Bs: cfg.Bs,
+				Points: visited, Best: best,
+				Visited: len(visited), Grid: len(cfg.Ks) * len(cfg.Bs),
+				Campaign: summary,
+			})
+			return
+		}
 		printPoints(visited)
 		fmt.Printf("\nheuristic visited %d of %d combinations\n",
 			len(visited), len(cfg.Ks)*len(cfg.Bs))
 		fmt.Printf("best: k=%d b=%g speedup=%.2f cut=%d\n", best.K, best.B, best.Speedup, best.Cut)
-		fmt.Println(cfg.Campaign.Finish())
+		fmt.Println(summary)
 		return
 	}
 
 	points, best, err := presim.BruteForce(cfg)
 	fatal(err)
+	summary := cfg.Campaign.Finish()
+	o.Snapshot()
+	fatal(o.Dump(*trace, *metrics))
+	if *jsonOut {
+		writeJSON(result{
+			Mode: "brute-force", Ks: cfg.Ks, Bs: cfg.Bs,
+			Points: points, Best: best,
+			Visited: len(points), Grid: len(cfg.Ks) * len(cfg.Bs),
+			Campaign: summary,
+		})
+		return
+	}
 	printPoints(points)
 	fmt.Println("\nbest partitions per machine count:")
 	tbl := stats.NewTable("k", "b", "cut-size", "Simulation time", "Speedup")
@@ -79,7 +114,26 @@ func main() {
 	}
 	fmt.Print(tbl.String())
 	fmt.Printf("\noverall best: k=%d b=%g speedup=%.2f\n", best.K, best.B, best.Speedup)
-	fmt.Println(cfg.Campaign.Finish())
+	fmt.Println(summary)
+}
+
+// result is the -json document: the campaign's points and winner plus the
+// worker-pool summary, correlatable with a -trace of the same run.
+type result struct {
+	Mode     string                `json:"mode"`
+	Ks       []int                 `json:"ks"`
+	Bs       []float64             `json:"bs"`
+	Points   []*presim.Point       `json:"points"`
+	Best     *presim.Point         `json:"best"`
+	Visited  int                   `json:"visited"`
+	Grid     int                   `json:"grid"`
+	Campaign stats.CampaignSummary `json:"campaign"`
+}
+
+func writeJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	fatal(enc.Encode(v))
 }
 
 func printPoints(points []*presim.Point) {

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	vgen -circuit viterbi -k 7 -w 8 -tb 24 > viterbi.v
+//	vgen -circuit soc -channels 2 > soc.v
 //	vgen -circuit mul -n 16
 //	vgen -circuit lfsr -n 32
 //	vgen -circuit randhier -seed 7 -modules 12 -gates 40 -top 24
@@ -21,14 +22,16 @@ import (
 
 func main() {
 	var (
-		circuit = flag.String("circuit", "viterbi", "circuit family: viterbi | mul | lfsr | randhier")
+		circuit = flag.String("circuit", "viterbi", "circuit family: viterbi | soc | mul | lfsr | randhier")
 		out     = flag.String("o", "", "output file (default stdout)")
 		stats   = flag.Bool("stats", false, "elaborate and print statistics instead of emitting source")
 		tree    = flag.Int("tree", -2, "print the instance hierarchy to this depth (-1 = unlimited)")
 
-		kFlag = flag.Int("k", 7, "viterbi: constraint length (states = 2^(k-1))")
-		w     = flag.Int("w", 8, "viterbi: path metric width in bits")
-		tb    = flag.Int("tb", 24, "viterbi: survivor path depth")
+		kFlag = flag.Int("k", 7, "viterbi/soc: constraint length (states = 2^(k-1))")
+		w     = flag.Int("w", 8, "viterbi/soc: path metric width in bits")
+		tb    = flag.Int("tb", 24, "viterbi/soc: survivor path depth")
+
+		channels = flag.Int("channels", 0, "soc: decoder channels (0 = default SoC: 2 channels around the default core)")
 
 		n = flag.Int("n", 16, "mul/lfsr: operand width / register length")
 
@@ -45,6 +48,13 @@ func main() {
 	switch *circuit {
 	case "viterbi":
 		c = gen.Viterbi(gen.ViterbiConfig{K: *kFlag, W: *w, TB: *tb})
+	case "soc":
+		cfg := gen.DefaultSoC
+		if *channels > 0 {
+			cfg.Channels = *channels
+			cfg.Viterbi = gen.ViterbiConfig{K: *kFlag, W: *w, TB: *tb}
+		}
+		c = gen.ViterbiSoC(cfg)
 	case "mul":
 		c = gen.Multiplier(*n)
 	case "lfsr":

@@ -12,6 +12,7 @@
 //	vsim -in design.v -top chip -cycles 10000
 //	vsim -in design.v -top chip -cycles 10000 -mode tw -k 4 -b 10
 //	vsim -in design.v -top chip -cycles 10000 -mode model -k 4 -b 7.5
+//	vsim -in soc.v -top soc -mode tw -k 4 -chaos -trace soc.trace.json
 package main
 
 import (
@@ -21,7 +22,9 @@ import (
 	"time"
 
 	"repro/internal/clustersim"
+	"repro/internal/comm"
 	"repro/internal/elab"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/sim"
 	"repro/internal/timewarp"
@@ -38,6 +41,12 @@ func main() {
 		k      = flag.Int("k", 2, "partitions (tw/model)")
 		b      = flag.Float64("b", 10, "balance factor in percent (tw/model)")
 		vcd    = flag.String("vcd", "", "dump primary-output waveforms to this VCD file (seq mode)")
+
+		trace     = flag.String("trace", "", "write a Chrome trace (chrome://tracing, Perfetto) of the run to this file (tw mode; \"-\" = stdout)")
+		metrics   = flag.String("metrics", "", "write a Prometheus-style metrics dump to this file (tw mode; \"-\" = stdout)")
+		report    = flag.Bool("report", false, "print the human-readable observability report after the run (tw mode)")
+		chaos     = flag.Bool("chaos", false, "deliver inter-cluster messages through the adversarial chaos transport (tw mode)")
+		chaosSeed = flag.Int64("chaos-seed", 1, "chaos transport schedule seed")
 	)
 	flag.Parse()
 	if *in == "" || *top == "" {
@@ -78,21 +87,40 @@ func main() {
 			*cycles, events, float64(events)/float64(*cycles), s.Toggles, wall.Round(time.Millisecond))
 
 	case "tw", "model":
-		pr, err := partition.Multiway(ed, partition.Options{K: *k, B: *b})
+		// The observer is created only when an export was requested, so an
+		// uninstrumented run pays a single nil-check per site.
+		var o *obs.Observer
+		if *trace != "" || *metrics != "" || *report {
+			o = obs.New(obs.Options{})
+		}
+		pr, err := partition.Multiway(ed, partition.Options{K: *k, B: *b, Obs: o})
 		fatal(err)
 		fmt.Printf("partition: k=%d b=%g cut=%d balanced=%v loads=%v\n",
 			*k, *b, pr.Cut, pr.Balanced, pr.Loads)
 		if *mode == "tw" {
-			start := time.Now()
-			res, err := timewarp.Run(timewarp.Config{
+			cfg := timewarp.Config{
 				NL: nl, GateParts: pr.GateParts, K: *k, Vectors: vs, Cycles: *cycles,
-			})
+				Obs: o,
+			}
+			if *chaos {
+				cfg.Transport = comm.Chaos(comm.ChaosConfig{Seed: *chaosSeed, StallEvery: 16, Obs: o})
+			}
+			start := time.Now()
+			res, err := timewarp.Run(cfg)
 			fatal(err)
 			wall := time.Since(start)
 			st := res.Stats
 			fmt.Printf("timewarp: events=%d rolledback=%d msgs=%d anti=%d rollbacks=%d wall %v\n",
 				st.Events, st.RolledBackEvents, st.Messages, st.AntiMessages, st.Rollbacks,
 				wall.Round(time.Millisecond))
+			o.Snapshot()
+			fatal(o.Dump(*trace, *metrics))
+			if *trace != "" && *trace != "-" {
+				fmt.Printf("wrote %s\n", *trace)
+			}
+			if *report {
+				fmt.Print(o.Report())
+			}
 		} else {
 			res, err := clustersim.Run(clustersim.Config{
 				NL: nl, GateParts: pr.GateParts, K: *k, Vectors: vs, Cycles: *cycles,

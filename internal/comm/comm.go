@@ -15,6 +15,8 @@ package comm
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Message is an opaque payload routed between endpoints.
@@ -26,6 +28,39 @@ type Network struct {
 	inFlight atomic.Int64
 	sent     atomic.Uint64
 	tr       Transport
+
+	// Observability (nil when uninstrumented; each hot-path use costs one
+	// branch). linkSent is a k×k matrix indexed src*k+dst.
+	linkSent []*obs.Counter
+	epRecv   []*obs.Counter
+	obsK     int
+}
+
+// Instrument registers per-link send counters, per-endpoint receive
+// counters and an in-flight gauge with reg. Call before traffic starts
+// (the Time Warp kernel does, before spawning clusters); a nil registry
+// is a no-op.
+func (n *Network) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	k := len(n.eps)
+	n.obsK = k
+	n.linkSent = make([]*obs.Counter, k*k)
+	n.epRecv = make([]*obs.Counter, k)
+	for s := 0; s < k; s++ {
+		for d := 0; d < k; d++ {
+			if s == d {
+				continue // clusters never send to themselves
+			}
+			n.linkSent[s*k+d] = reg.Counter("comm_link_sent_total",
+				"messages sent per (src,dst) link", obs.L("src", s), obs.L("dst", d))
+		}
+		n.epRecv[s] = reg.Counter("comm_recv_total",
+			"messages drained by the destination endpoint", obs.L("endpoint", s))
+	}
+	reg.SampleFunc("comm_inflight", "sent-but-not-received messages",
+		func() float64 { return float64(n.inFlight.Load()) })
 }
 
 // NewNetwork creates a network with k endpoints and direct (synchronous)
@@ -99,6 +134,9 @@ func (e *Endpoint) Send(dst int, msg Message) {
 	n := e.net
 	n.inFlight.Add(1)
 	n.sent.Add(1)
+	if n.linkSent != nil {
+		n.linkSent[e.id*n.obsK+dst].Inc()
+	}
 	n.tr.Send(e.id, dst, msg)
 }
 
@@ -111,6 +149,9 @@ func (e *Endpoint) TryRecvAll() []Message {
 	e.mu.Unlock()
 	if len(msgs) > 0 {
 		e.net.inFlight.Add(int64(-len(msgs)))
+		if e.net.epRecv != nil {
+			e.net.epRecv[e.id].Add(uint64(len(msgs)))
+		}
 	}
 	return msgs
 }
@@ -128,6 +169,9 @@ func (e *Endpoint) RecvWait() []Message {
 	e.mu.Unlock()
 	if len(msgs) > 0 {
 		e.net.inFlight.Add(int64(-len(msgs)))
+		if e.net.epRecv != nil {
+			e.net.epRecv[e.id].Add(uint64(len(msgs)))
+		}
 	}
 	if len(msgs) == 0 && closed {
 		return nil

@@ -20,6 +20,7 @@ import (
 	"repro/internal/elab"
 	"repro/internal/gen"
 	"repro/internal/multilevel"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/presim"
 	"repro/internal/sim"
@@ -50,6 +51,9 @@ type Context struct {
 	Workers int
 	// Campaign optionally collects grid timing and pool utilization.
 	Campaign *stats.Campaign
+	// Obs, when non-nil, traces partitioner phases and grid points
+	// (cmd/experiments -trace / -metrics).
+	Obs *obs.Observer
 
 	mu    sync.Mutex // guards parts (rows touch disjoint keys, the map races)
 	parts map[partKey]*partRec
@@ -139,6 +143,7 @@ func (c *Context) Partition(k int, b float64) (*partRec, error) {
 		// One restart pipeline per grid worker; with a single worker (or
 		// outside PresimGrid) Multiway parallelizes the restarts itself.
 		Workers: c.innerWorkers(),
+		Obs:     c.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -291,6 +296,10 @@ func (c *Context) evalPoint(k int, b float64, cycles uint64) (*GridPoint, error)
 	if c.Campaign != nil {
 		c.Campaign.Record(partWall, time.Since(t1))
 	}
+	c.Obs.Span(obs.TrackCampaign, "grid.point", t0,
+		obs.Arg{Key: "k", Val: float64(k)},
+		obs.Arg{Key: "b", Val: b},
+		obs.Arg{Key: "speedup", Val: res.Speedup})
 	return &GridPoint{
 		K: k, B: b, Cut: rec.cut,
 		SimTime: res.ParTime, SeqTime: res.SeqTime, Speedup: res.Speedup,

@@ -23,6 +23,7 @@ import (
 	"repro/internal/elab"
 	"repro/internal/gen"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/sim"
 	"repro/internal/timewarp"
@@ -182,6 +183,14 @@ func (r *RunResult) Failure() string {
 // to the inactivity detector — is cut at four times that by the kernel's
 // hard wall-clock cap.
 func Execute(spec Spec, faults *timewarp.FaultConfig, stallTimeout time.Duration) (res RunResult) {
+	return ExecuteObserved(spec, faults, stallTimeout, nil)
+}
+
+// ExecuteObserved is Execute with the observability layer attached to the
+// kernel and (when chaotic) the transport: the trace of a failing seed —
+// rollback spans, anti-message bursts, chaos stall instants — is the
+// post-mortem the campaign writes out. A nil observer reduces to Execute.
+func ExecuteObserved(spec Spec, faults *timewarp.FaultConfig, stallTimeout time.Duration, o *obs.Observer) (res RunResult) {
 	start := time.Now()
 	res = RunResult{Spec: spec}
 	defer func() { res.Elapsed = time.Since(start) }()
@@ -243,9 +252,12 @@ func Execute(spec Spec, faults *timewarp.FaultConfig, stallTimeout time.Duration
 		StallTimeout:    stallTimeout,
 		RunTimeout:      4 * stallTimeout,
 		Faults:          faults,
+		Obs:             o,
 	}
 	if spec.Chaos != nil {
-		cfg.Transport = comm.Chaos(*spec.Chaos)
+		cc := *spec.Chaos
+		cc.Obs = o
+		cfg.Transport = comm.Chaos(cc)
 	}
 	tw, err := timewarp.Run(cfg)
 	if err != nil {

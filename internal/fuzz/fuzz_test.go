@@ -1,12 +1,14 @@
 package fuzz
 
 import (
+	"os"
 	"reflect"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/obs"
 	"repro/internal/timewarp"
 )
 
@@ -158,4 +160,39 @@ func TestPartitionerFallbackRecorded(t *testing.T) {
 		t.Fatalf("tiny-circuit spec failed: %s", res.Failure())
 	}
 	t.Logf("partitioner used: %s", res.Partitioner)
+}
+
+// TestCampaignWritesFailingSeedTrace: with TraceDir set and an injected
+// fault, the campaign must write one decodable Chrome trace per failing
+// seed — the CI post-mortem artifact.
+func TestCampaignWritesFailingSeedTrace(t *testing.T) {
+	dir := t.TempDir()
+	rep := Campaign(Config{
+		Seed:         7,
+		Runs:         2,
+		Chaos:        true,
+		StallTimeout: testStall,
+		Faults:       &timewarp.FaultConfig{CorruptEveryN: 2},
+		TraceDir:     dir,
+	})
+	if len(rep.Failures) == 0 {
+		t.Skip("injected corruption fault produced no failure in this seed window")
+	}
+	if len(rep.TracePaths) != len(rep.Failures) {
+		t.Fatalf("wrote %d traces for %d failures", len(rep.TracePaths), len(rep.Failures))
+	}
+	for _, path := range rep.TracePaths {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := obs.DecodeChromeTrace(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s does not decode: %v", path, err)
+		}
+		if len(d.Events) == 0 {
+			t.Fatalf("%s is an empty trace", path)
+		}
+	}
 }

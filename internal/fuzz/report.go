@@ -3,10 +3,13 @@ package fuzz
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/timewarp"
 )
 
@@ -33,6 +36,11 @@ type Config struct {
 	// Out receives progress and is where Report.WriteTo goes in cmd/fuzz
 	// (nil = discard).
 	Out io.Writer
+	// TraceDir, when non-empty, attaches an observer to every run and
+	// writes the Chrome trace of each FAILING seed to
+	// <TraceDir>/seed-<seed>.trace.json — the post-mortem artifact the CI
+	// fuzz job uploads. Passing runs write nothing.
+	TraceDir string
 }
 
 // DefaultMinRollbackFraction is the campaign-level adversarial bar: at
@@ -49,6 +57,7 @@ type Report struct {
 	MinRollbackFraction float64
 
 	Failures     []RunResult // failing runs, in seed order
+	TracePaths   []string    // failing-seed trace files written (TraceDir set)
 	RollbackRuns int         // runs that provoked ≥1 rollback
 	ByFamily     map[string]int
 	ByPartition  map[string]int
@@ -77,7 +86,19 @@ func Campaign(cfg Config) *Report {
 	start := time.Now()
 	for i := 0; i < cfg.Runs; i++ {
 		spec := NewSpec(cfg.Seed+int64(i), cfg.Chaos)
-		res := Execute(spec, cfg.Faults, cfg.StallTimeout)
+		var o *obs.Observer
+		if cfg.TraceDir != "" {
+			o = obs.New(obs.Options{})
+		}
+		res := ExecuteObserved(spec, cfg.Faults, cfg.StallTimeout, o)
+		if res.Failed() && o != nil {
+			if path, err := writeSeedTrace(cfg.TraceDir, spec.Seed, o); err != nil {
+				fmt.Fprintf(out, "  trace for seed %d not written: %v\n", spec.Seed, err)
+			} else {
+				rep.TracePaths = append(rep.TracePaths, path)
+				fmt.Fprintf(out, "  failing-seed trace: %s\n", path)
+			}
+		}
 		rep.absorb(res)
 		if cfg.Verbose {
 			status := "ok"
@@ -91,6 +112,23 @@ func Campaign(cfg Config) *Report {
 	}
 	rep.Elapsed = time.Since(start)
 	return rep
+}
+
+// writeSeedTrace dumps the observer's Chrome trace for one failing seed.
+func writeSeedTrace(dir string, seed int64, o *obs.Observer) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("seed-%d.trace.json", seed))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := o.WriteChromeTrace(f); err != nil {
+		return "", err
+	}
+	return path, nil
 }
 
 func (r *Report) absorb(res RunResult) {

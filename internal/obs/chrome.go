@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ChromeEvent is one entry of the Chrome trace-event JSON format
+// (exported so the validation tests and external tooling can decode the
+// files this package writes).
+type ChromeEvent struct {
+	Name  string             `json:"name"`
+	Phase string             `json:"ph"`
+	Pid   int                `json:"pid"`
+	Tid   int                `json:"tid"`
+	Ts    int64              `json:"ts"`
+	Dur   int64              `json:"dur,omitempty"`
+	Scope string             `json:"s,omitempty"`
+	Args  map[string]float64 `json:"args,omitempty"`
+	// MetaArgs carries string args for metadata events (thread names).
+	MetaArgs map[string]string `json:"-"`
+}
+
+// ChromeTrace is the container object the exporter writes: loadable by
+// chrome://tracing and Perfetto.
+type ChromeTrace struct {
+	TraceEvents     []json.RawMessage `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	// Dropped is the number of trace events lost to ring overwrite.
+	Dropped uint64 `json:"droppedEvents,omitempty"`
+}
+
+// chromePid is the single process all tracks live under.
+const chromePid = 1
+
+// ChromeTid maps a tracer track to a Chrome thread id: cluster tracks
+// keep their id (0..k-1), subsystem tracks map above 1000 so they sort
+// below the clusters in the viewer.
+func ChromeTid(track int32) int {
+	if track >= 0 {
+		return int(track)
+	}
+	return 1000 + int(-track-1) // TrackKernel → 1000, TrackPartition → 1001, …
+}
+
+// TrackName renders the human name of a track, shown as the thread name
+// in the trace viewer.
+func TrackName(track int32) string {
+	switch track {
+	case TrackKernel:
+		return "kernel/GVT"
+	case TrackPartition:
+		return "partitioner"
+	case TrackCampaign:
+		return "campaign"
+	case TrackComm:
+		return "comm"
+	default:
+		return fmt.Sprintf("cluster %d", track)
+	}
+}
+
+// WriteChromeTrace exports the trace ring as Chrome trace-event JSON:
+// one metadata-named track per distinct tracer track (per-cluster tracks
+// for the Time Warp kernel), spans as complete ("X") events, instants
+// and counters as-is. Nil observers write an empty but valid trace.
+func (o *Observer) WriteChromeTrace(w io.Writer) error {
+	events, dropped := o.Events()
+
+	// Thread-name metadata for every distinct track, emitted first and in
+	// sorted tid order so the file is deterministic for a fixed event set.
+	tracks := map[int32]bool{}
+	for _, e := range events {
+		tracks[e.Track] = true
+	}
+	ids := make([]int32, 0, len(tracks))
+	for t := range tracks {
+		ids = append(ids, t)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ChromeTid(ids[i]) < ChromeTid(ids[j]) })
+
+	raw := []json.RawMessage{} // non-nil so an empty trace renders as []
+	push := func(v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		raw = append(raw, b)
+		return nil
+	}
+	for _, t := range ids {
+		meta := map[string]any{
+			"name": "thread_name", "ph": "M", "pid": chromePid, "tid": ChromeTid(t),
+			"args": map[string]string{"name": TrackName(t)},
+		}
+		if err := push(meta); err != nil {
+			return err
+		}
+		sortMeta := map[string]any{
+			"name": "thread_sort_index", "ph": "M", "pid": chromePid, "tid": ChromeTid(t),
+			"args": map[string]int{"sort_index": ChromeTid(t)},
+		}
+		if err := push(sortMeta); err != nil {
+			return err
+		}
+	}
+
+	for _, e := range events {
+		ce := ChromeEvent{
+			Name:  e.Name,
+			Phase: string(e.Phase),
+			Pid:   chromePid,
+			Tid:   ChromeTid(e.Track),
+			Ts:    e.Ts,
+			Dur:   e.Dur,
+		}
+		if e.Phase == PhaseInstant {
+			ce.Scope = "t" // thread-scoped instant
+		}
+		for _, a := range e.Args {
+			if a.Key == "" {
+				continue
+			}
+			if ce.Args == nil {
+				ce.Args = make(map[string]float64, maxArgs)
+			}
+			ce.Args[a.Key] = a.Val
+		}
+		if err := push(ce); err != nil {
+			return err
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(ChromeTrace{
+		TraceEvents:     raw,
+		DisplayTimeUnit: "ms",
+		Dropped:         dropped,
+	})
+}

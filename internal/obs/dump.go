@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+)
+
+// WriteTraceFile writes the Chrome trace-event JSON to path ("-" writes
+// to stdout). A nil observer writes a valid empty trace, so CLIs can call
+// this unconditionally.
+func (o *Observer) WriteTraceFile(path string) error {
+	if path == "-" {
+		return o.WriteChromeTrace(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteMetricsFile writes the Prometheus text dump to path ("-" writes to
+// stdout). Nil observers write nothing.
+func (o *Observer) WriteMetricsFile(path string) error {
+	if path == "-" {
+		return o.WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Dump writes the requested artifacts: the Chrome trace to tracePath and
+// the Prometheus metrics to metricsPath (either empty to skip, "-" for
+// stdout). It is the one-call exit hook the CLIs share.
+func (o *Observer) Dump(tracePath, metricsPath string) error {
+	if tracePath != "" {
+		if err := o.WriteTraceFile(tracePath); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
+	if metricsPath != "" {
+		if err := o.WriteMetricsFile(metricsPath); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+	}
+	return nil
+}

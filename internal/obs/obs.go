@@ -1,0 +1,256 @@
+// Package obs is the zero-dependency observability layer of the
+// simulator: a metrics registry (atomic counters, gauges and fixed-bucket
+// histograms, periodically snapshotted into a time series), a span/event
+// tracer with a bounded ring-buffer backend, and exporters — Chrome
+// trace-event JSON (chrome://tracing / Perfetto loadable, one track per
+// cluster), a Prometheus-style text dump, and a human-readable run
+// report.
+//
+// The layer is built to be safe to leave on and cheap to leave off:
+//
+//   - a nil *Observer (and nil *Counter/*Gauge/*Histogram handles vended
+//     by a nil observer) disables everything; every instrumentation site
+//     in the hot paths costs exactly one nil-check branch when disabled;
+//   - enabled counters are single uncontended atomic adds, and trace
+//     records go into a fixed-capacity ring that overwrites the oldest
+//     events instead of growing, so tracing can stay on for arbitrarily
+//     long runs.
+//
+// The Time Warp kernel, the comm substrate, the partitioners and the
+// pre-simulation campaign all publish into one Observer per run; the
+// CLIs surface it via -trace / -metrics flags.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Observer is the per-run instrumentation hub: one registry, one tracer,
+// one clock. A nil Observer is valid and disables all instrumentation.
+type Observer struct {
+	start time.Time
+	reg   *Registry
+	tr    *Tracer
+
+	mu      sync.Mutex
+	series  []Snapshot // periodic registry snapshots, oldest first
+	maxSnap int
+
+	stopSample chan struct{}
+	sampleWG   sync.WaitGroup
+	sampling   bool
+}
+
+// Options configures a new Observer. The zero value is usable.
+type Options struct {
+	// TraceCapacity is the tracer ring size in events (default 1<<16).
+	TraceCapacity int
+	// SampleEvery enables background registry snapshots at this period
+	// (0 disables background sampling; Snapshot can still be called
+	// manually). StartSampling/StopSampling bracket the sampled window.
+	SampleEvery time.Duration
+	// MaxSnapshots bounds the retained time series (default 16384); once
+	// full, further snapshots are dropped, keeping memory bounded.
+	MaxSnapshots int
+}
+
+// New creates an Observer. The run clock starts now; all trace
+// timestamps are relative to it.
+func New(opts Options) *Observer {
+	if opts.TraceCapacity <= 0 {
+		opts.TraceCapacity = 1 << 16
+	}
+	if opts.MaxSnapshots <= 0 {
+		opts.MaxSnapshots = 16384
+	}
+	start := time.Now()
+	return &Observer{
+		start:   start,
+		reg:     newRegistry(),
+		tr:      newTracer(opts.TraceCapacity, start),
+		maxSnap: opts.MaxSnapshots,
+	}
+}
+
+// Enabled reports whether instrumentation is live (false for nil).
+func (o *Observer) Enabled() bool { return o != nil }
+
+// Registry returns the metrics registry (nil for a nil Observer; the
+// registry's methods are themselves nil-safe and then vend nil handles).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Start returns the current time for span measurement, or the zero time
+// when the observer is disabled — pair it with Span.
+func (o *Observer) Start() time.Time {
+	if o == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Span records a complete span on track, begun at t0 (from Start).
+// A zero t0 (disabled observer at Start time) records nothing.
+func (o *Observer) Span(track int32, name string, t0 time.Time, args ...Arg) {
+	if o == nil || t0.IsZero() {
+		return
+	}
+	o.tr.push(Event{
+		Ts:    o.since(t0),
+		Dur:   int64(time.Since(t0) / time.Microsecond),
+		Track: track,
+		Phase: PhaseSpan,
+		Name:  name,
+		Args:  packArgs(args),
+	})
+}
+
+// Instant records a point-in-time event on track.
+func (o *Observer) Instant(track int32, name string, args ...Arg) {
+	if o == nil {
+		return
+	}
+	o.tr.push(Event{
+		Ts:    o.sinceStart(),
+		Track: track,
+		Phase: PhaseInstant,
+		Name:  name,
+		Args:  packArgs(args),
+	})
+}
+
+// Count records a counter sample on track (rendered as a counter track
+// in the Chrome trace, e.g. the GVT progression).
+func (o *Observer) Count(track int32, name string, val float64) {
+	if o == nil {
+		return
+	}
+	o.tr.push(Event{
+		Ts:    o.sinceStart(),
+		Track: track,
+		Phase: PhaseCounter,
+		Name:  name,
+		Args:  packArgs([]Arg{{Key: "value", Val: val}}),
+	})
+}
+
+// since converts an absolute time into microseconds since the run start,
+// clamped at zero.
+func (o *Observer) since(t time.Time) int64 {
+	d := t.Sub(o.start)
+	if d < 0 {
+		d = 0
+	}
+	return int64(d / time.Microsecond)
+}
+
+func (o *Observer) sinceStart() int64 { return o.since(time.Now()) }
+
+// Uptime is the time since the observer was created.
+func (o *Observer) Uptime() time.Duration {
+	if o == nil {
+		return 0
+	}
+	return time.Since(o.start)
+}
+
+// Snapshot takes a registry snapshot, appends it to the retained time
+// series (unless full), and returns it. Safe to call from any goroutine,
+// including mid-run — the registry reads only atomics and sampled
+// functions.
+func (o *Observer) Snapshot() Snapshot {
+	if o == nil {
+		return Snapshot{}
+	}
+	s := o.reg.Snapshot()
+	s.At = o.Uptime()
+	o.mu.Lock()
+	if len(o.series) < o.maxSnap {
+		o.series = append(o.series, s)
+	} else {
+		// Full: overwrite the newest entry so the series still ends with
+		// the run's closing state (memory stays bounded either way).
+		o.series[len(o.series)-1] = s
+	}
+	o.mu.Unlock()
+	return s
+}
+
+// Series returns the retained snapshot time series (oldest first).
+func (o *Observer) Series() []Snapshot {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]Snapshot, len(o.series))
+	copy(out, o.series)
+	return out
+}
+
+// StartSampling begins background registry snapshots every period (≤ 0
+// picks 10ms). No-op when already sampling or disabled.
+func (o *Observer) StartSampling(period time.Duration) {
+	if o == nil {
+		return
+	}
+	if period <= 0 {
+		period = 10 * time.Millisecond
+	}
+	o.mu.Lock()
+	if o.sampling {
+		o.mu.Unlock()
+		return
+	}
+	o.sampling = true
+	o.stopSample = make(chan struct{})
+	stop := o.stopSample
+	o.mu.Unlock()
+
+	o.sampleWG.Add(1)
+	go func() {
+		defer o.sampleWG.Done()
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				o.Snapshot()
+			}
+		}
+	}()
+}
+
+// StopSampling stops the background sampler and takes one final
+// snapshot, so the series always ends with the run's closing state.
+func (o *Observer) StopSampling() {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	if !o.sampling {
+		o.mu.Unlock()
+		return
+	}
+	o.sampling = false
+	close(o.stopSample)
+	o.mu.Unlock()
+	o.sampleWG.Wait()
+	o.Snapshot()
+}
+
+// Events returns a copy of the trace ring in record order (oldest
+// retained first) plus the number of events dropped by ring overwrite.
+func (o *Observer) Events() (events []Event, dropped uint64) {
+	if o == nil {
+		return nil, 0
+	}
+	return o.tr.drain()
+}

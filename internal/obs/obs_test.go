@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilObserverIsSafe exercises every public entry point on a nil
+// Observer and nil instruments: the disabled path must be a no-op, not a
+// panic — the kernel relies on this for its one-branch-when-off cost.
+func TestNilObserverIsSafe(t *testing.T) {
+	var o *Observer
+	if o.Enabled() {
+		t.Fatal("nil observer reports enabled")
+	}
+	o.Span(0, "s", o.Start())
+	o.Instant(0, "i")
+	o.Count(0, "c", 1)
+	o.Snapshot()
+	o.StartSampling(time.Millisecond)
+	o.StopSampling()
+	if ev, dropped := o.Events(); ev != nil || dropped != 0 {
+		t.Fatalf("nil observer has events: %v %d", ev, dropped)
+	}
+	if err := o.WriteChromeTrace(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	_ = o.Report()
+
+	var r *Registry
+	r.Counter("x", "").Inc()
+	r.Gauge("x", "").Set(1)
+	r.Histogram("x", "", []float64{1}).Observe(1)
+	r.SampleFunc("x", "", func() float64 { return 0 })
+	if s := r.Snapshot(); len(s.Samples) != 0 {
+		t.Fatalf("nil registry snapshot non-empty: %+v", s)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	o := New(Options{})
+	reg := o.Registry()
+
+	c := reg.Counter("evt_total", "events", L("cluster", 0))
+	c.Add(3)
+	c.Inc()
+	if got := c.Load(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	// Idempotent registration returns the same instrument.
+	if again := reg.Counter("evt_total", "events", L("cluster", 0)); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+
+	g := reg.Gauge("queue_len", "", L("cluster", 1))
+	g.Set(7)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+
+	h := reg.Histogram("depth", "", []float64{1, 2, 4, 8})
+	for _, v := range []float64{1, 1, 3, 9, 100} {
+		h.Observe(v)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 5 || len(counts) != 5 {
+		t.Fatalf("bucket shapes: %v %v", bounds, counts)
+	}
+	// le=1: two; le=2: none; le=4: the 3; le=8: none; +Inf: 9 and 100.
+	want := []uint64{2, 0, 1, 0, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, counts[i], want[i], counts)
+		}
+	}
+	if h.Count() != 5 || h.Sum() != 114 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+}
+
+// TestSnapshotDeterministic asserts that two registries populated with
+// the same instruments in different orders produce identical snapshots —
+// the property the golden metrics tests in the kernel rely on.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func(reverse bool) Snapshot {
+		o := New(Options{})
+		reg := o.Registry()
+		names := []string{"a_total", "b_total", "c_total"}
+		if reverse {
+			names = []string{"c_total", "b_total", "a_total"}
+		}
+		for i, n := range names {
+			reg.Counter(n, "help", L("cluster", i%2)).Add(uint64(len(n)))
+		}
+		reg.SampleFunc("gvt", "", func() float64 { return 42 })
+		return reg.Snapshot()
+	}
+	a, b := build(false), build(true)
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		if a.Samples[i].Name != b.Samples[i].Name || a.Samples[i].Labels != b.Samples[i].Labels {
+			t.Fatalf("sample %d identity differs: %+v vs %+v", i, a.Samples[i], b.Samples[i])
+		}
+	}
+	if v, ok := a.Get("gvt", ""); !ok || v != 42 {
+		t.Fatalf("Get(gvt) = %v %v", v, ok)
+	}
+}
+
+func TestTracerRingOverwrite(t *testing.T) {
+	o := New(Options{TraceCapacity: 8})
+	for i := 0; i < 20; i++ {
+		o.Count(TrackKernel, "n", float64(i))
+	}
+	events, dropped := o.Events()
+	if len(events) != 8 {
+		t.Fatalf("retained %d events, want 8", len(events))
+	}
+	if dropped != 12 {
+		t.Fatalf("dropped = %d, want 12", dropped)
+	}
+	// Oldest retained first: values 12..19.
+	for i, e := range events {
+		if got := e.Args[0].Val; got != float64(12+i) {
+			t.Fatalf("event %d value = %v, want %d", i, got, 12+i)
+		}
+	}
+}
+
+func TestSpanAndInstant(t *testing.T) {
+	o := New(Options{})
+	t0 := o.Start()
+	time.Sleep(time.Millisecond)
+	o.Span(2, "rollback", t0, Arg{Key: "depth", Val: 3})
+	o.Instant(TrackComm, "stall", Arg{Key: "link", Val: 1})
+	events, _ := o.Events()
+	if len(events) != 2 {
+		t.Fatalf("got %d events", len(events))
+	}
+	sp := events[0]
+	if sp.Phase != PhaseSpan || sp.Name != "rollback" || sp.Track != 2 {
+		t.Fatalf("span event: %+v", sp)
+	}
+	if sp.Dur <= 0 {
+		t.Fatalf("span duration %d, want > 0", sp.Dur)
+	}
+	if sp.Args[0].Key != "depth" || sp.Args[0].Val != 3 {
+		t.Fatalf("span args: %+v", sp.Args)
+	}
+	if events[1].Phase != PhaseInstant || events[1].Track != TrackComm {
+		t.Fatalf("instant event: %+v", events[1])
+	}
+}
+
+// TestConcurrentUse hammers the registry and tracer from many goroutines;
+// run under -race this is the data-race guard for the whole layer.
+func TestConcurrentUse(t *testing.T) {
+	o := New(Options{TraceCapacity: 256})
+	c := o.Registry().Counter("n_total", "")
+	h := o.Registry().Histogram("d", "", []float64{1, 10, 100})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				h.Observe(float64(i % 128))
+				o.Instant(int32(g), "tick")
+				if i%100 == 0 {
+					o.Snapshot()
+				}
+			}
+		}(g)
+	}
+	o.StartSampling(100 * time.Microsecond)
+	wg.Wait()
+	o.StopSampling()
+	if got := c.Load(); got != 8*500 {
+		t.Fatalf("counter = %d, want %d", got, 8*500)
+	}
+	if len(o.Series()) == 0 {
+		t.Fatal("no snapshots retained")
+	}
+}
+
+func TestSamplingSeries(t *testing.T) {
+	o := New(Options{})
+	g := o.Registry().Gauge("x", "")
+	g.Set(5)
+	o.StartSampling(time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	o.StopSampling()
+	series := o.Series()
+	if len(series) == 0 {
+		t.Fatal("no snapshots")
+	}
+	last := series[len(series)-1]
+	if v, ok := last.Get("x", ""); !ok || v != 5 {
+		t.Fatalf("final snapshot x = %v %v", v, ok)
+	}
+	for i := 1; i < len(series); i++ {
+		if series[i].At < series[i-1].At {
+			t.Fatal("snapshot timestamps not monotone")
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	// Median of 20 samples, 10 in (0,1], 10 in (1,2]: rank 10 falls at the
+	// top of the first bucket.
+	if q := HistogramQuantile(0.5, []float64{1, 2, 4}, []uint64{10, 10, 0}); q != 1 {
+		t.Fatalf("q50 = %v, want 1", q)
+	}
+	if q := HistogramQuantile(0.5, nil, nil); q != 0 {
+		t.Fatalf("empty histogram quantile = %v", q)
+	}
+	// All mass in the open +Inf bucket clamps to the last finite bound.
+	if q := HistogramQuantile(0.99, []float64{1, 2, math.Inf(1)}, []uint64{0, 0, 5}); q != 2 {
+		t.Fatalf("open-bucket quantile = %v, want 2", q)
+	}
+}
+
+func TestLabelsSortedAndRendered(t *testing.T) {
+	a := renderLabels([]Label{{Key: "z", Value: "1"}, {Key: "a", Value: "2"}})
+	b := renderLabels([]Label{{Key: "a", Value: "2"}, {Key: "z", Value: "1"}})
+	if a != b {
+		t.Fatalf("label order leaks into identity: %q vs %q", a, b)
+	}
+	if !strings.HasPrefix(a, `{a="2"`) {
+		t.Fatalf("labels not sorted: %q", a)
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the current registry state in the Prometheus
+// text exposition format: one HELP/TYPE block per metric family, then
+// one line per sample, sorted — so two equal registry states render to
+// byte-identical dumps (the property the golden metrics tests pin).
+// Sampled funcs are exposed as gauges. Nil observers write nothing.
+func (o *Observer) WritePrometheus(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	return o.reg.WritePrometheus(w)
+}
+
+// WritePrometheus renders the registry (see Observer.WritePrometheus).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	type family struct {
+		name, help, typ string
+		lines           []string
+	}
+	fams := map[string]*family{}
+	var order []string
+	add := func(name, help, typ, line string) {
+		f := fams[name]
+		if f == nil {
+			f = &family{name: name, help: help, typ: typ}
+			fams[name] = f
+			order = append(order, name)
+		}
+		f.lines = append(f.lines, line)
+	}
+
+	for _, m := range r.families() {
+		switch {
+		case m.counter != nil:
+			add(m.name, m.help, "counter",
+				fmt.Sprintf("%s%s %s", m.name, m.labels, formatValue(float64(m.counter.Load()))))
+		case m.gauge != nil:
+			add(m.name, m.help, "gauge",
+				fmt.Sprintf("%s%s %s", m.name, m.labels, formatValue(float64(m.gauge.Load()))))
+		case m.sample != nil:
+			add(m.name, m.help, "gauge",
+				fmt.Sprintf("%s%s %s", m.name, m.labels, formatValue(m.sample())))
+		case m.hist != nil:
+			bounds, counts := m.hist.Buckets()
+			cum := uint64(0)
+			for i := range bounds {
+				cum += counts[i]
+				le := "+Inf"
+				if !math.IsInf(bounds[i], 1) {
+					le = trimFloat(bounds[i])
+				}
+				add(m.name, m.help, "histogram",
+					fmt.Sprintf("%s_bucket%s %d", m.name, mergeLabel(m.labels, "le", le), cum))
+			}
+			add(m.name, m.help, "histogram",
+				fmt.Sprintf("%s_sum%s %d", m.name, m.labels, m.hist.Sum()))
+			add(m.name, m.help, "histogram",
+				fmt.Sprintf("%s_count%s %d", m.name, m.labels, m.hist.Count()))
+		}
+	}
+
+	sort.Strings(order)
+	var b strings.Builder
+	for _, name := range order {
+		f := fams[name]
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		sort.Strings(f.lines)
+		for _, l := range f.lines {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatValue renders a sample value: integers without a decimal point,
+// everything else via %g.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

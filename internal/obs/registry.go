@@ -1,0 +1,326 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one metric dimension (e.g. {cluster, "3"} or {src, "0"}).
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key string, value any) Label {
+	return Label{Key: key, Value: fmt.Sprintf("%v", value)}
+}
+
+// renderLabels formats labels Prometheus-style: {a="1",b="2"} ("" when
+// empty). Labels are sorted by key so the identity of a metric never
+// depends on argument order.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotonically increasing atomic counter. A nil Counter
+// (from a nil registry) no-ops at the cost of one branch.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (0 for nil).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Load returns the current value (0 for nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket cumulative histogram: Observe(v) counts v
+// into the first bucket whose upper bound is >= v, with an implicit +Inf
+// bucket. Bounds are fixed at registration, so observation is one binary
+// search plus two atomic adds.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds, exclusive of +Inf
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // sum of observed values, rounded to uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	if v > 0 {
+		h.sum.Add(uint64(v))
+	}
+}
+
+// Buckets returns the bucket upper bounds and their counts; the final
+// entry is the +Inf bucket (bound math.Inf(1)).
+func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	bounds = append(append([]float64(nil), h.bounds...), math.Inf(1))
+	counts = make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return bounds, counts
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (integer-rounded).
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// metric is one registered instrument.
+type metric struct {
+	name    string
+	labels  string // rendered
+	help    string
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	sample  func() float64 // sampled gauge
+}
+
+func (m *metric) key() string { return m.name + m.labels }
+
+// Registry holds the run's instruments. Registration takes a lock;
+// the instruments themselves are lock-free. All registration methods
+// are idempotent on (name, labels) and nil-safe (a nil registry vends
+// nil instruments, which no-op).
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+	order   []*metric // registration order, for stable snapshots
+}
+
+func newRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// register installs m unless a metric with the same key exists, in which
+// case the existing one is returned.
+func (r *Registry) register(m *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.metrics[m.key()]; ok {
+		return prev
+	}
+	r.metrics[m.key()] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// Counter registers (or returns the existing) counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.register(&metric{name: name, labels: renderLabels(labels), help: help, counter: &Counter{}})
+	return m.counter
+}
+
+// Gauge registers (or returns the existing) gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.register(&metric{name: name, labels: renderLabels(labels), help: help, gauge: &Gauge{}})
+	return m.gauge
+}
+
+// Histogram registers (or returns the existing) fixed-bucket histogram.
+// Bounds must be sorted ascending; they are copied.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+	m := r.register(&metric{name: name, labels: renderLabels(labels), help: help, hist: h})
+	return m.hist
+}
+
+// SampleFunc registers a sampled gauge: fn is invoked at snapshot time.
+// fn must be safe to call from any goroutine at any point of the run
+// (read atomics, not plain fields).
+func (r *Registry) SampleFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.register(&metric{name: name, labels: renderLabels(labels), help: help, sample: fn})
+}
+
+// Sample is one metric value at snapshot time.
+type Sample struct {
+	Name   string
+	Labels string // rendered {k="v",...} or ""
+	Value  float64
+}
+
+// Snapshot is the registry state at one instant. Histograms contribute
+// one sample per bucket (suffix _bucket with an le label) plus _count
+// and _sum, mirroring the Prometheus exposition shape.
+type Snapshot struct {
+	At      time.Duration // observer uptime when taken
+	Samples []Sample      // sorted by (Name, Labels)
+}
+
+// Get returns the value of the sample with the given name and rendered
+// labels ("" for none), and whether it was present.
+func (s Snapshot) Get(name, labels string) (float64, bool) {
+	for _, sm := range s.Samples {
+		if sm.Name == name && sm.Labels == labels {
+			return sm.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Snapshot reads every instrument. Values come from atomics and sampled
+// funcs only, so it is safe mid-run; the sample list is sorted by
+// (name, labels) so equal registry states render identically regardless
+// of registration interleaving.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	ms := make([]*metric, len(r.order))
+	copy(ms, r.order)
+	r.mu.Unlock()
+
+	var out []Sample
+	for _, m := range ms {
+		switch {
+		case m.counter != nil:
+			out = append(out, Sample{Name: m.name, Labels: m.labels, Value: float64(m.counter.Load())})
+		case m.gauge != nil:
+			out = append(out, Sample{Name: m.name, Labels: m.labels, Value: float64(m.gauge.Load())})
+		case m.sample != nil:
+			out = append(out, Sample{Name: m.name, Labels: m.labels, Value: m.sample()})
+		case m.hist != nil:
+			bounds, counts := m.hist.Buckets()
+			cum := uint64(0)
+			for i := range bounds {
+				cum += counts[i]
+				le := "+Inf"
+				if !math.IsInf(bounds[i], 1) {
+					le = trimFloat(bounds[i])
+				}
+				out = append(out, Sample{
+					Name:   m.name + "_bucket",
+					Labels: mergeLabel(m.labels, "le", le),
+					Value:  float64(cum),
+				})
+			}
+			out = append(out, Sample{Name: m.name + "_count", Labels: m.labels, Value: float64(m.hist.Count())})
+			out = append(out, Sample{Name: m.name + "_sum", Labels: m.labels, Value: float64(m.hist.Sum())})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels < out[j].Labels
+	})
+	return Snapshot{Samples: out}
+}
+
+// mergeLabel inserts one extra label into an already-rendered label set.
+func mergeLabel(rendered, key, value string) string {
+	extra := fmt.Sprintf("%s=%q", key, value)
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+// trimFloat renders a float compactly (8 → "8", 2.5 → "2.5").
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}
+
+// help returns the registered help strings keyed by metric name (used by
+// the Prometheus exporter to emit one HELP/TYPE block per family).
+func (r *Registry) families() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*metric, len(r.order))
+	copy(out, r.order)
+	return out
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Report renders a human-readable run summary: uptime, every counter and
+// gauge grouped by family, histogram shapes, trace-ring occupancy, and
+// per-track event counts — the "what happened in this run" view for
+// terminals, complementing the machine-readable exporters.
+func (o *Observer) Report() string {
+	if o == nil {
+		return "observability disabled\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "observability report (uptime %v)\n", o.Uptime().Round(time.Millisecond))
+
+	snap := o.reg.Snapshot()
+	// Group samples by family name; histogram expansions keep their
+	// suffixed names, which reads fine in a flat listing.
+	if len(snap.Samples) > 0 {
+		b.WriteString("metrics:\n")
+		width := 0
+		for _, s := range snap.Samples {
+			if n := len(s.Name + s.Labels); n > width {
+				width = n
+			}
+		}
+		for _, s := range snap.Samples {
+			fmt.Fprintf(&b, "  %-*s %s\n", width, s.Name+s.Labels, formatValue(s.Value))
+		}
+	} else {
+		b.WriteString("metrics: none registered\n")
+	}
+
+	events, dropped := o.Events()
+	fmt.Fprintf(&b, "trace: %d events retained, %d dropped by ring overwrite\n", len(events), dropped)
+	if len(events) > 0 {
+		perTrack := map[int32]int{}
+		spanDur := map[int32]time.Duration{}
+		for _, e := range events {
+			perTrack[e.Track]++
+			if e.Phase == PhaseSpan {
+				spanDur[e.Track] += time.Duration(e.Dur) * time.Microsecond
+			}
+		}
+		ids := make([]int32, 0, len(perTrack))
+		for t := range perTrack {
+			ids = append(ids, t)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ChromeTid(ids[i]) < ChromeTid(ids[j]) })
+		for _, t := range ids {
+			fmt.Fprintf(&b, "  %-14s %6d events, %v in spans\n",
+				TrackName(t), perTrack[t], spanDur[t].Round(time.Microsecond))
+		}
+	}
+
+	if n := len(o.Series()); n > 0 {
+		fmt.Fprintf(&b, "series: %d snapshots retained\n", n)
+	}
+	return b.String()
+}
+
+// HistogramQuantile estimates the q-quantile (0..1) of a cumulative
+// bucket layout (bounds as returned by Histogram.Buckets, last +Inf) by
+// linear interpolation inside the holding bucket — the standard
+// Prometheus estimator, here for the run report and tests.
+func HistogramQuantile(q float64, bounds []float64, counts []uint64) float64 {
+	total := uint64(0)
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i, c := range counts {
+		cum += c
+		if float64(cum) >= rank {
+			if math.IsInf(bounds[i], 1) {
+				if i == 0 {
+					return 0
+				}
+				return bounds[i-1] // open-ended top bucket: clamp to last bound
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			inBucket := float64(c)
+			if inBucket == 0 {
+				return bounds[i]
+			}
+			frac := (rank - float64(cum-c)) / inBucket
+			return lo + (bounds[i]-lo)*frac
+		}
+	}
+	return bounds[len(bounds)-1]
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Track identities. Non-negative tracks are cluster IDs (one trace track
+// per Time Warp cluster); negative tracks are the shared subsystem
+// lanes.
+const (
+	// TrackKernel carries watcher-side events: GVT rounds, termination,
+	// stall diagnostics.
+	TrackKernel int32 = -1
+	// TrackPartition carries partitioner phases (cone growth, pairwise FM
+	// rounds, flattening steps).
+	TrackPartition int32 = -2
+	// TrackCampaign carries pre-simulation campaign events (per-(k,b)
+	// point evaluations).
+	TrackCampaign int32 = -3
+	// TrackComm carries transport events (chaos stalls and releases).
+	TrackComm int32 = -4
+)
+
+// Event phases (a subset of the Chrome trace-event phases).
+const (
+	PhaseSpan    byte = 'X' // complete span: Ts + Dur
+	PhaseInstant byte = 'i' // instant event
+	PhaseCounter byte = 'C' // counter sample
+)
+
+// maxArgs bounds per-event argument storage; a fixed array keeps Event
+// flat so the ring is one contiguous allocation.
+const maxArgs = 3
+
+// Arg is one numeric event argument.
+type Arg struct {
+	Key string
+	Val float64
+}
+
+// Event is one trace record. Timestamps and durations are microseconds
+// relative to the observer start (the Chrome trace-event unit).
+type Event struct {
+	Ts    int64
+	Dur   int64
+	Track int32
+	Phase byte
+	Name  string
+	Args  [maxArgs]Arg // unused slots have empty keys
+}
+
+func packArgs(args []Arg) (out [maxArgs]Arg) {
+	n := len(args)
+	if n > maxArgs {
+		n = maxArgs
+	}
+	copy(out[:], args[:n])
+	return out
+}
+
+// Tracer is a fixed-capacity ring of events. Pushing overwrites the
+// oldest events once full (the drop count is reported by drain), so the
+// tracer is safe to leave enabled for arbitrarily long runs. The backing
+// slice grows on demand up to the capacity — a short run never pays for
+// the full ring, which keeps per-run observer setup out of the overhead
+// budget (see the BenchmarkTimeWarpObs pair).
+type Tracer struct {
+	mu       sync.Mutex
+	buf      []Event
+	capacity uint64
+	next     uint64 // total events ever pushed; write slot = next % capacity
+	start    time.Time
+}
+
+func newTracer(capacity int, start time.Time) *Tracer {
+	return &Tracer{capacity: uint64(capacity), start: start}
+}
+
+func (t *Tracer) push(e Event) {
+	t.mu.Lock()
+	if uint64(len(t.buf)) < t.capacity {
+		// Still filling: event i lives at index i, so the ring arithmetic
+		// below stays valid once the slice reaches capacity.
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[t.next%t.capacity] = e
+	}
+	t.next++
+	t.mu.Unlock()
+}
+
+// drain copies the retained events out in push order (oldest retained
+// first) and reports how many older events the ring overwrote.
+func (t *Tracer) drain() (events []Event, dropped uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	if n > t.capacity {
+		dropped = n - t.capacity
+		n = t.capacity
+	}
+	events = make([]Event, 0, n)
+	first := t.next - n
+	for i := uint64(0); i < n; i++ {
+		events = append(events, t.buf[(first+i)%t.capacity])
+	}
+	return events, dropped
+}

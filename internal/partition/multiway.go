@@ -11,6 +11,7 @@ import (
 	"repro/internal/elab"
 	"repro/internal/fm"
 	"repro/internal/hypergraph"
+	"repro/internal/obs"
 )
 
 // Options configures the multiway design-driven partitioner.
@@ -45,6 +46,10 @@ type Options struct {
 	// restart seeds are derived up front from Seed and the best restart is
 	// selected in restart-index order.
 	Workers int
+	// Obs, when enabled, records partitioner phase spans (hypergraph
+	// build, initial partition, refinement, flattening steps) on the
+	// partition trace track. Nil disables.
+	Obs *obs.Observer
 }
 
 // Result is the outcome of a Multiway run.
@@ -126,6 +131,7 @@ func MultiwayCtx(ctx context.Context, d *elab.Design, opts Options) (*Result, er
 		workers = restarts
 	}
 
+	mwT0 := opts.Obs.Start()
 	seeds := restartSeeds(opts.Seed, restarts)
 	results := make([]*Result, restarts)
 	errs := make([]error, restarts)
@@ -134,7 +140,7 @@ func MultiwayCtx(ctx context.Context, d *elab.Design, opts Options) (*Result, er
 		if r > 0 {
 			init = randomInit(seeds[r].init)
 		}
-		results[r], errs[r] = runOnce(ctx, d, opts, init, seeds[r].pair)
+		results[r], errs[r] = runOnce(ctx, d, opts, init, r, seeds[r].pair)
 	}
 	if workers == 1 {
 		for r := 0; r < restarts; r++ {
@@ -166,6 +172,14 @@ func MultiwayCtx(ctx context.Context, d *elab.Design, opts Options) (*Result, er
 			best = results[r]
 		}
 	}
+	balanced := 0.0
+	if best.Balanced {
+		balanced = 1
+	}
+	opts.Obs.Span(obs.TrackPartition, "multiway", mwT0,
+		obs.Arg{Key: "k", Val: float64(opts.K)},
+		obs.Arg{Key: "cut", Val: float64(best.Cut)},
+		obs.Arg{Key: "balanced", Val: balanced})
 	return best, nil
 }
 
@@ -194,7 +208,9 @@ func coneInit(d *elab.Design, h *hypergraph.H, k int) *hypergraph.Assignment {
 
 // runOnce executes the full pipeline (fig. 2) from one initial partition.
 // pairSeed drives this restart's pairer (distinct per restart).
-func runOnce(ctx context.Context, d *elab.Design, opts Options, init initFunc, pairSeed int64) (*Result, error) {
+func runOnce(ctx context.Context, d *elab.Design, opts Options, init initFunc, restart int, pairSeed int64) (*Result, error) {
+	rArg := obs.Arg{Key: "restart", Val: float64(restart)}
+	buildT0 := opts.Obs.Start()
 	builder := hypergraph.NewBuilder(d)
 	builder.GateWeights = opts.GateWeights
 	h, err := builder.Build()
@@ -215,14 +231,19 @@ func runOnce(ctx context.Context, d *elab.Design, opts Options, init initFunc, p
 	if h.NumVertices() < opts.K {
 		return nil, fmt.Errorf("partition: only %d vertices for K=%d", h.NumVertices(), opts.K)
 	}
+	opts.Obs.Span(obs.TrackPartition, "build_hypergraph", buildT0, rArg,
+		obs.Arg{Key: "vertices", Val: float64(h.NumVertices())})
 
 	// Phase 1: initial k-way partition (cone partitioning by default).
+	initT0 := opts.Obs.Start()
 	a := init(d, h, opts.K)
+	opts.Obs.Span(obs.TrackPartition, "initial_partition", initT0, rArg)
 	cons := NewConstraint(h, opts.K, opts.B)
 	pr := newPairer(opts.Strategy, opts.K, pairSeed)
 
 	res := &Result{Constraint: cons}
 	const maxRounds = 10000
+	refineT0 := opts.Obs.Start()
 
 	for res.Rounds = 0; res.Rounds < maxRounds; res.Rounds++ {
 		if err := ctx.Err(); err != nil {
@@ -258,6 +279,8 @@ func runOnce(ctx context.Context, d *elab.Design, opts Options, init initFunc, p
 		if target == hypergraph.NoVertex {
 			break // nothing left to flatten; best effort
 		}
+		opts.Obs.Instant(obs.TrackPartition, "flatten", rArg,
+			obs.Arg{Key: "weight", Val: float64(h.Vertices[target].Weight)})
 		builder.Open(h.Vertices[target].Inst)
 		newH, err := builder.Build()
 		if err != nil {
@@ -278,6 +301,9 @@ func runOnce(ctx context.Context, d *elab.Design, opts Options, init initFunc, p
 	res.Loads = hypergraph.PartLoads(h, a)
 	res.Balanced = cons.Satisfied(res.Loads)
 	res.GateParts = GatePartsOf(h, a)
+	opts.Obs.Span(obs.TrackPartition, "refine", refineT0, rArg,
+		obs.Arg{Key: "rounds", Val: float64(res.Rounds)},
+		obs.Arg{Key: "flattened", Val: float64(res.Flattened)})
 	return res, nil
 }
 

@@ -19,6 +19,8 @@ import (
 	"math"
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // BruteForce evaluates every (k, b) combination — the paper's Table 3 —
@@ -27,6 +29,7 @@ import (
 // one worker the grid is evaluated concurrently; the returned points
 // order, best point, and error are identical to the sequential sweep.
 func BruteForce(cfg *Config) (points []*Point, best *Point, err error) {
+	sweepT0 := cfg.Obs.Start()
 	type cell struct {
 		k int
 		b float64
@@ -82,6 +85,10 @@ func BruteForce(cfg *Config) (points []*Point, best *Point, err error) {
 			best = p
 		}
 	}
+	cfg.Obs.Span(obs.TrackCampaign, "presim.brute_force", sweepT0,
+		obs.Arg{Key: "points", Val: float64(len(points))},
+		obs.Arg{Key: "best_k", Val: float64(best.K)},
+		obs.Arg{Key: "best_speedup", Val: best.Speedup})
 	return points, best, nil
 }
 
@@ -98,6 +105,7 @@ func Heuristic(cfg *Config) (best *Point, visited []*Point, err error) {
 		return nil, nil, fmt.Errorf("presim: empty candidate sets")
 	}
 	// Descending k: "start with the maximum number of processors".
+	searchT0 := cfg.Obs.Start()
 	ks := append([]int(nil), cfg.Ks...)
 	sort.Sort(sort.Reverse(sort.IntSlice(ks)))
 	bs := append([]float64(nil), cfg.Bs...)
@@ -114,6 +122,10 @@ func Heuristic(cfg *Config) (best *Point, visited []*Point, err error) {
 			}
 		}
 	}
+	cfg.Obs.Span(obs.TrackCampaign, "presim.heuristic", searchT0,
+		obs.Arg{Key: "visited", Val: float64(len(visited))},
+		obs.Arg{Key: "best_k", Val: float64(best.K)},
+		obs.Arg{Key: "best_speedup", Val: best.Speedup})
 	return best, visited, nil
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/clustersim"
 	"repro/internal/elab"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -49,6 +50,10 @@ type Config struct {
 	// Campaign optionally collects per-point timing and pool utilization
 	// (stats.NewCampaign); nil disables collection.
 	Campaign *stats.Campaign
+	// Obs, when enabled, records one campaign-track span per evaluated
+	// (k, b) point (with partition/simulation wall split) and forwards
+	// itself to the partitioner for phase spans. Nil disables.
+	Obs *obs.Observer
 
 	// evalFn substitutes the evaluator in tests (nil → real pipeline).
 	evalFn func(ctx context.Context, k int, b float64) (*Point, error)
@@ -74,7 +79,7 @@ type Point struct {
 	Speedup   float64
 	Messages  uint64
 	Rollbacks uint64
-	GateParts []int32 // the partition evaluated (for reuse in full runs)
+	GateParts []int32 `json:"-"` // the partition evaluated (for reuse in full runs); omitted from -json dumps
 	// PartWall and SimWall are the wall-clock durations this point spent
 	// in the partitioner and in the cluster model.
 	PartWall time.Duration
@@ -95,9 +100,16 @@ func (cfg *Config) eval(ctx context.Context, k int, b float64) (*Point, error) {
 			return evaluateCtx(ctx, cfg, k, b)
 		}
 	}
+	t0 := cfg.Obs.Start()
 	p, err := f(ctx, k, b)
-	if err == nil && cfg.Campaign != nil {
-		cfg.Campaign.Record(p.PartWall, p.SimWall)
+	if err == nil {
+		cfg.Obs.Span(obs.TrackCampaign, "presim.point", t0,
+			obs.Arg{Key: "k", Val: float64(k)},
+			obs.Arg{Key: "b", Val: b},
+			obs.Arg{Key: "speedup", Val: p.Speedup})
+		if cfg.Campaign != nil {
+			cfg.Campaign.Record(p.PartWall, p.SimWall)
+		}
 	}
 	return p, err
 }
@@ -112,6 +124,7 @@ func evaluateCtx(ctx context.Context, cfg *Config, k int, b float64) (*Point, er
 		// The campaign already fans out across (k, b) points; nested
 		// restart parallelism would only oversubscribe the pool.
 		Workers: 1,
+		Obs:     cfg.Obs,
 	})
 	if err != nil {
 		return nil, err

@@ -2,6 +2,8 @@ package stats
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"sync"
 	"time"
 )
@@ -18,6 +20,7 @@ type Campaign struct {
 	points   int
 	partBusy time.Duration // summed across workers
 	simBusy  time.Duration
+	durs     []time.Duration // per-point part+sim, recorded order
 	done     bool
 	summary  CampaignSummary
 }
@@ -39,6 +42,7 @@ func (c *Campaign) Record(part, sim time.Duration) {
 	c.points++
 	c.partBusy += part
 	c.simBusy += sim
+	c.durs = append(c.durs, part+sim)
 }
 
 // Finish stops the campaign clock and returns the summary. Further calls
@@ -53,10 +57,36 @@ func (c *Campaign) Finish() CampaignSummary {
 			Wall:     time.Since(c.started),
 			PartBusy: c.partBusy,
 			SimBusy:  c.simBusy,
+			PointP50: PercentileDuration(c.durs, 50),
+			PointP90: PercentileDuration(c.durs, 90),
+			PointMax: PercentileDuration(c.durs, 100),
 		}
 		c.done = true
 	}
 	return c.summary
+}
+
+// PercentileDuration is the nearest-rank percentile (p in [0,100]) of the
+// given durations: the smallest element such that at least p% of the
+// samples are ≤ it. p=0 returns the minimum, p=100 the maximum; an empty
+// input returns 0. The input is not modified.
+func PercentileDuration(durs []time.Duration, p float64) time.Duration {
+	if len(durs) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }
 
 // CampaignSummary is the aggregate outcome of a campaign.
@@ -66,6 +96,10 @@ type CampaignSummary struct {
 	Wall     time.Duration // campaign start to Finish
 	PartBusy time.Duration // worker time spent partitioning
 	SimBusy  time.Duration // worker time spent pre-simulating
+	// Per-point latency (partition + pre-sim) percentiles, nearest-rank.
+	PointP50 time.Duration
+	PointP90 time.Duration
+	PointMax time.Duration
 }
 
 // PointsPerSec is the evaluated-point throughput over the campaign wall.
@@ -89,8 +123,10 @@ func (s CampaignSummary) Utilization() float64 {
 
 func (s CampaignSummary) String() string {
 	return fmt.Sprintf(
-		"campaign: %d points in %v (%.1f points/sec, %d workers, %.0f%% busy; partition %v, presim %v)",
+		"campaign: %d points in %v (%.1f points/sec, %d workers, %.0f%% busy; partition %v, presim %v; point p50 %v p90 %v max %v)",
 		s.Points, s.Wall.Round(time.Millisecond), s.PointsPerSec(), s.Workers,
 		s.Utilization()*100,
-		s.PartBusy.Round(time.Millisecond), s.SimBusy.Round(time.Millisecond))
+		s.PartBusy.Round(time.Millisecond), s.SimBusy.Round(time.Millisecond),
+		s.PointP50.Round(time.Millisecond), s.PointP90.Round(time.Millisecond),
+		s.PointMax.Round(time.Millisecond))
 }

@@ -76,3 +76,96 @@ func TestCampaignSummaryZero(t *testing.T) {
 		t.Error("zero summary must not divide by zero")
 	}
 }
+
+// Hand-computed nearest-rank fixtures. For N samples, percentile p picks
+// the element at rank ceil(p/100*N) of the sorted list (1-based).
+func TestPercentileDurationFixtures(t *testing.T) {
+	ms := func(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+	cases := []struct {
+		name string
+		durs []time.Duration
+		p    float64
+		want time.Duration
+	}{
+		{"empty-p50", nil, 50, 0},
+		{"empty-p0", []time.Duration{}, 0, 0},
+		{"one-p0", []time.Duration{ms(7)}, 0, ms(7)},
+		{"one-p50", []time.Duration{ms(7)}, 50, ms(7)},
+		{"one-p100", []time.Duration{ms(7)}, 100, ms(7)},
+		// N=4 sorted {1,2,3,4}: p50 → rank ceil(2)=2 → 2ms; p90 → rank
+		// ceil(3.6)=4 → 4ms; p25 → rank 1 → 1ms.
+		{"four-p25", []time.Duration{ms(4), ms(1), ms(3), ms(2)}, 25, ms(1)},
+		{"four-p50", []time.Duration{ms(4), ms(1), ms(3), ms(2)}, 50, ms(2)},
+		{"four-p90", []time.Duration{ms(4), ms(1), ms(3), ms(2)}, 90, ms(4)},
+		{"four-p100", []time.Duration{ms(4), ms(1), ms(3), ms(2)}, 100, ms(4)},
+		// N=10 {10..100}: p50 → rank 5 → 50ms; p90 → rank 9 → 90ms;
+		// p91 → rank ceil(9.1)=10 → 100ms.
+		{"ten-p50", tenTo100(), 50, ms(50)},
+		{"ten-p90", tenTo100(), 90, ms(90)},
+		{"ten-p91", tenTo100(), 91, ms(100)},
+		{"ten-p0", tenTo100(), 0, ms(10)},
+	}
+	for _, tc := range cases {
+		if got := PercentileDuration(tc.durs, tc.p); got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// The input must not be reordered.
+	in := []time.Duration{ms(4), ms(1), ms(3)}
+	PercentileDuration(in, 50)
+	if in[0] != ms(4) || in[1] != ms(1) || in[2] != ms(3) {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func tenTo100() []time.Duration {
+	out := make([]time.Duration, 10)
+	for i := range out {
+		// Descending on purpose: percentiles must sort internally.
+		out[i] = time.Duration(100-10*i) * time.Millisecond
+	}
+	return out
+}
+
+func TestCampaignPercentilesZeroAndOnePoint(t *testing.T) {
+	// 0 points: summary percentiles are all zero, nothing divides by zero.
+	empty := NewCampaign(2).Finish()
+	if empty.PointP50 != 0 || empty.PointP90 != 0 || empty.PointMax != 0 {
+		t.Errorf("empty campaign percentiles: %+v", empty)
+	}
+	if empty.Points != 0 {
+		t.Errorf("empty campaign points: %d", empty.Points)
+	}
+
+	// 1 point: every percentile is that point's part+sim duration.
+	c := NewCampaign(1)
+	c.Record(3*time.Millisecond, 4*time.Millisecond)
+	s := c.Finish()
+	want := 7 * time.Millisecond
+	if s.PointP50 != want || s.PointP90 != want || s.PointMax != want {
+		t.Errorf("1-point percentiles: p50=%v p90=%v max=%v, want all %v",
+			s.PointP50, s.PointP90, s.PointMax, want)
+	}
+}
+
+func TestCampaignPercentilesMultiPoint(t *testing.T) {
+	c := NewCampaign(2)
+	// Points of 10,20,30,40 ms total (part+sim split arbitrarily).
+	c.Record(5*time.Millisecond, 5*time.Millisecond)
+	c.Record(15*time.Millisecond, 5*time.Millisecond)
+	c.Record(10*time.Millisecond, 20*time.Millisecond)
+	c.Record(25*time.Millisecond, 15*time.Millisecond)
+	s := c.Finish()
+	if s.PointP50 != 20*time.Millisecond {
+		t.Errorf("p50: got %v, want 20ms", s.PointP50)
+	}
+	if s.PointP90 != 40*time.Millisecond {
+		t.Errorf("p90: got %v, want 40ms", s.PointP90)
+	}
+	if s.PointMax != 40*time.Millisecond {
+		t.Errorf("max: got %v, want 40ms", s.PointMax)
+	}
+	if !strings.Contains(s.String(), "p50") {
+		t.Errorf("summary string misses percentiles: %q", s.String())
+	}
+}

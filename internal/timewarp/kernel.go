@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -63,6 +64,10 @@ type Config struct {
 	// can prove it detects regressions. Nil (always, outside harness
 	// self-tests) disables injection.
 	Faults *FaultConfig
+	// Obs attaches the observability layer: per-cluster sampled metrics,
+	// rollback/GVT trace spans, and the Chrome-trace export. Nil disables
+	// instrumentation; every hot-path site then costs one branch.
+	Obs *obs.Observer
 }
 
 // Stats aggregates kernel activity over a run.
@@ -144,6 +149,46 @@ func Run(cfg Config) (*Result, error) {
 		clusters[c] = newCluster(int32(c), &cfg, deltaRange, net.Endpoint(c), progress, &absorbed, &cancelled, &gvt, observe)
 	}
 
+	runT0 := cfg.Obs.Start()
+	if cfg.Obs.Enabled() {
+		reg := cfg.Obs.Registry()
+		// One shared rollback-depth histogram; depth is a property of the
+		// run, the per-cluster split already lives in the sampled counters.
+		rbDepth := reg.Histogram("tw_rollback_depth", "rollback depth in cycles",
+			[]float64{1, 2, 4, 8, 16, 32, 64})
+		for c := 0; c < cfg.K; c++ {
+			cl := clusters[c]
+			cl.obs = cfg.Obs
+			cl.rollbackDepth = rbDepth
+			st := &cl.stats
+			lbl := obs.L("cluster", c)
+			// Sampled gauges close over the cluster's atomics: registering
+			// them costs the hot path nothing at all.
+			reg.SampleFunc("tw_events", "gate evaluations executed (incl. re-execution)",
+				func() float64 { return float64(st.events.Load()) }, lbl)
+			reg.SampleFunc("tw_messages", "positive inter-cluster events sent",
+				func() float64 { return float64(st.messages.Load()) }, lbl)
+			reg.SampleFunc("tw_anti_messages", "cancellations sent",
+				func() float64 { return float64(st.antiMessages.Load()) }, lbl)
+			reg.SampleFunc("tw_rollbacks", "rollback occurrences",
+				func() float64 { return float64(st.rollbacks.Load()) }, lbl)
+			reg.SampleFunc("tw_rolled_back_events", "evaluations undone by rollbacks",
+				func() float64 { return float64(st.rolledBackEvents.Load()) }, lbl)
+			reg.SampleFunc("tw_checkpoints", "state checkpoints taken",
+				func() float64 { return float64(st.checkpoints.Load()) }, lbl)
+			reg.SampleFunc("tw_max_straggler_depth", "deepest single rollback in cycles",
+				func() float64 { return float64(st.maxStragglerDepth.Load()) }, lbl)
+			reg.SampleFunc("tw_queue_len", "pending remote events in the cluster queue",
+				func() float64 { return float64(st.queueLen.Load()) }, lbl)
+			ci := c
+			reg.SampleFunc("tw_gvt_lag", "cluster progress above GVT in cycles",
+				func() float64 { return float64(progress[ci].Load()) - float64(gvt.Load()) }, lbl)
+		}
+		reg.SampleFunc("tw_gvt", "quiescent global virtual time in cycles",
+			func() float64 { return float64(gvt.Load()) })
+		net.Instrument(reg)
+	}
+
 	// Watcher: termination when every cluster has published Cycles and
 	// every sent message has been fully absorbed (absorbing includes any
 	// rollback it caused, so progress would have dropped first). Stable
@@ -210,6 +255,9 @@ func Run(cfg Config) (*Result, error) {
 				// regress — the invariant fossil collection stands on.
 				if old := gvt.Load(); minProg > old {
 					gvt.Store(minProg)
+					cfg.Obs.Count(obs.TrackKernel, "gvt", float64(minProg))
+					cfg.Obs.Instant(obs.TrackKernel, "gvt_advance",
+						obs.Arg{Key: "gvt", Val: float64(minProg)})
 				} else if minProg < old {
 					watcherViolations = append(watcherViolations, fmt.Sprintf(
 						"GVT regression: quiescent minimum %d below established GVT %d", minProg, old))
@@ -309,19 +357,24 @@ func Run(cfg Config) (*Result, error) {
 			fmt.Sprintf("absorbed %d of %d sent messages at termination", a, s))
 	}
 	for _, cl := range clusters {
-		res.PerCluster[cl.id] = cl.stats
-		res.Stats.Messages += cl.stats.Messages
-		res.Stats.AntiMessages += cl.stats.AntiMessages
-		res.Stats.Rollbacks += cl.stats.Rollbacks
-		res.Stats.Events += cl.stats.Events
-		res.Stats.RolledBackEvents += cl.stats.RolledBackEvents
-		res.Stats.Checkpoints += cl.stats.Checkpoints
-		if cl.stats.MaxStragglerDepth > res.Stats.MaxStragglerDepth {
-			res.Stats.MaxStragglerDepth = cl.stats.MaxStragglerDepth
+		st := cl.stats.Snapshot()
+		res.PerCluster[cl.id] = st
+		res.Stats.Messages += st.Messages
+		res.Stats.AntiMessages += st.AntiMessages
+		res.Stats.Rollbacks += st.Rollbacks
+		res.Stats.Events += st.Events
+		res.Stats.RolledBackEvents += st.RolledBackEvents
+		res.Stats.Checkpoints += st.Checkpoints
+		if st.MaxStragglerDepth > res.Stats.MaxStragglerDepth {
+			res.Stats.MaxStragglerDepth = st.MaxStragglerDepth
 		}
 		for n, vals := range cl.obsLog {
 			res.Observed[n] = vals
 		}
 	}
+	cfg.Obs.Span(obs.TrackKernel, "timewarp.run", runT0,
+		obs.Arg{Key: "k", Val: float64(cfg.K)},
+		obs.Arg{Key: "cycles", Val: float64(cfg.Cycles)},
+		obs.Arg{Key: "rollbacks", Val: float64(res.Stats.Rollbacks)})
 	return res, nil
 }
