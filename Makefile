@@ -4,14 +4,18 @@
 # short differential-fuzzing tier (see internal/fuzz); bump FUZZ_RUNS for
 # a longer campaign. `make trace-demo` produces soc.trace.json — a Chrome
 # trace (chrome://tracing / Perfetto) of a chaotic Time Warp run on the
-# 2-channel SoC workload (DESIGN.md §11).
+# 2-channel SoC workload (DESIGN.md §11). `make monitor-demo` runs the
+# same workload with the embedded monitoring server (-serve) and scrapes
+# /healthz, /status and /metrics while it is up (DESIGN.md §12).
 
 GO ?= go
 FUZZ_RUNS ?= 100
 FUZZ_SEED ?= 1
 TRACE_CYCLES ?= 2000
+MONITOR_PORT ?= 8315
+MONITOR_HOLD ?= 10s
 
-.PHONY: check build test vet race bench fuzz trace-demo
+.PHONY: check build test vet race bench fuzz trace-demo monitor-demo
 
 check: build test vet race
 
@@ -23,6 +27,27 @@ trace-demo:
 	$(GO) run ./cmd/vgen -circuit soc -o soc.v
 	$(GO) run ./cmd/vsim -in soc.v -top soc -mode tw -k 4 -cycles $(TRACE_CYCLES) \
 		-chaos -trace soc.trace.json -metrics soc.metrics.txt -report
+
+# Start vsim with the live monitoring server, poll until it answers, then
+# scrape every endpoint once. The server holds for $(MONITOR_HOLD) after
+# the run so scrapes still land when the simulation finishes first.
+monitor-demo:
+	$(GO) run ./cmd/vgen -circuit soc -o soc.v
+	$(GO) build -o vsim.monitor ./cmd/vsim
+	./vsim.monitor -in soc.v -top soc -mode tw -k 4 -cycles $(TRACE_CYCLES) \
+		-chaos -blame -serve 127.0.0.1:$(MONITOR_PORT) -serve-hold $(MONITOR_HOLD) & \
+	pid=$$!; \
+	up=0; \
+	for i in $$(seq 1 100); do \
+		if curl -s -o /dev/null http://127.0.0.1:$(MONITOR_PORT)/healthz; then up=1; break; fi; \
+		sleep 0.2; \
+	done; \
+	if [ $$up -ne 1 ]; then echo "monitoring server never came up"; kill $$pid 2>/dev/null; exit 1; fi; \
+	echo "--- /healthz ---"; curl -fsS http://127.0.0.1:$(MONITOR_PORT)/healthz; \
+	echo "--- /status ---";  curl -fsS http://127.0.0.1:$(MONITOR_PORT)/status; \
+	echo "--- /metrics (first 20 lines) ---"; \
+	curl -fsS http://127.0.0.1:$(MONITOR_PORT)/metrics | head -20; \
+	wait $$pid
 
 build:
 	$(GO) build ./...

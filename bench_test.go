@@ -19,6 +19,7 @@ import (
 	"repro/internal/hypergraph"
 	"repro/internal/multilevel"
 	"repro/internal/obs"
+	causalitypkg "repro/internal/obs/causality"
 	"repro/internal/partition"
 	"repro/internal/presim"
 	"repro/internal/sim"
@@ -544,7 +545,7 @@ func socK4(b *testing.B) (*elab.Design, []int32) {
 	return socED, socParts
 }
 
-func benchObsTimeWarp(b *testing.B, instrumented bool) {
+func benchObsTimeWarp(b *testing.B, instrumented, causality bool) {
 	ed, parts := socK4(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -554,6 +555,9 @@ func benchObsTimeWarp(b *testing.B, instrumented bool) {
 		}
 		if instrumented {
 			cfg.Obs = obs.New(obs.Options{})
+		}
+		if causality {
+			cfg.Causality = causalitypkg.New()
 		}
 		if _, err := timewarp.Run(cfg); err != nil {
 			b.Fatal(err)
@@ -573,5 +577,11 @@ func benchObsTimeWarp(b *testing.B, instrumented bool) {
 //     and the tracer is a fixed-size ring.
 //
 // Compare with: go test -bench 'TimeWarpObs' -count 10 . | benchstat.
-func BenchmarkTimeWarpObsOff(b *testing.B) { benchObsTimeWarp(b, false) }
-func BenchmarkTimeWarpObsOn(b *testing.B)  { benchObsTimeWarp(b, true) }
+//
+// BenchmarkTimeWarpCausalityOn additionally attaches the per-event
+// lineage recorder (vsim -blame). It sits outside the 5% budget — the
+// budget is stated with causality OFF — but is tracked here so the cost
+// of turning blame analysis on stays visible and bounded.
+func BenchmarkTimeWarpObsOff(b *testing.B)      { benchObsTimeWarp(b, false, false) }
+func BenchmarkTimeWarpObsOn(b *testing.B)       { benchObsTimeWarp(b, true, false) }
+func BenchmarkTimeWarpCausalityOn(b *testing.B) { benchObsTimeWarp(b, true, true) }

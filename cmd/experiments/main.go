@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/serve"
 	"repro/internal/stats"
 )
 
@@ -38,6 +39,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "run the pre-simulation grid and emit machine-readable JSON on stdout (suppresses tables)")
 		trace     = flag.String("trace", "", "write a Chrome trace of the partitioner/grid work to this file (\"-\" = stdout)")
 		metrics   = flag.String("metrics", "", "write a Prometheus-style metrics dump to this file (\"-\" = stdout)")
+		serveAddr = flag.String("serve", "", "serve live monitoring endpoints (/metrics /healthz /status /events /debug/pprof) on this host:port while the experiments run")
 	)
 	flag.Parse()
 
@@ -48,9 +50,15 @@ func main() {
 	ctx.Seed = *seed
 	ctx.Workers = *workers
 	var o *obs.Observer
-	if *trace != "" || *metrics != "" {
+	if *trace != "" || *metrics != "" || *serveAddr != "" {
 		o = obs.New(obs.Options{})
 		ctx.Obs = o
+	}
+	if *serveAddr != "" {
+		srv, err := serve.Start(*serveAddr, serve.Options{Obs: o})
+		fatal(err)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "monitoring on http://%s/\n", srv.Addr())
 	}
 	if !*jsonOut {
 		st := ctx.ED.Netlist.Stats()
@@ -214,12 +222,12 @@ func dumpTSV(dir string, points []*experiments.GridPoint) error {
 		return err
 	}
 	defer f.Close()
-	if _, err := fmt.Fprintln(f, "k\tb\tcut\tsim_time\tspeedup\tmessages\trollbacks"); err != nil {
+	if _, err := fmt.Fprintln(f, "k\tb\tcut\tsim_time\tspeedup\tcrit_path\tbound_speedup\tmessages\trollbacks"); err != nil {
 		return err
 	}
 	for _, p := range points {
-		if _, err := fmt.Fprintf(f, "%d\t%g\t%d\t%.0f\t%.4f\t%d\t%d\n",
-			p.K, p.B, p.Cut, p.SimTime, p.Speedup, p.Messages, p.Rollbacks); err != nil {
+		if _, err := fmt.Fprintf(f, "%d\t%g\t%d\t%.0f\t%.4f\t%.0f\t%.4f\t%d\t%d\n",
+			p.K, p.B, p.Cut, p.SimTime, p.Speedup, p.CritPath, p.BoundSpeedup, p.Messages, p.Rollbacks); err != nil {
 			return err
 		}
 	}

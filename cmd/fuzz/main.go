@@ -22,21 +22,23 @@ import (
 
 	"repro/internal/fuzz"
 	"repro/internal/obs"
+	"repro/internal/obs/serve"
 )
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 1, "base seed; run i uses seed+i")
-		runs     = flag.Int("runs", 100, "number of differential runs")
-		chaos    = flag.Bool("chaos", true, "adversarial delivery-order transport")
-		replay   = flag.Int64("replay", 0, "replay this single seed verbosely and exit")
-		shrink   = flag.Bool("shrink", true, "shrink the first failure to a minimal reproducer")
-		minRoll  = flag.Float64("min-rollback-frac", fuzz.DefaultMinRollbackFraction, "fraction of runs that must provoke ≥1 rollback (0 disables)")
-		stall    = flag.Duration("stall", 30*time.Second, "per-run stall timeout (wedged-kernel detector)")
-		out      = flag.String("out", "", "also write the report to this file")
-		trace    = flag.String("trace", "", "with -replay: write the replayed run's Chrome trace to this file (\"-\" = stdout)")
-		traceDir = flag.String("trace-dir", "", "write the Chrome trace of every FAILING seed into this directory")
-		verbose  = flag.Bool("v", false, "one line per run")
+		seed      = flag.Int64("seed", 1, "base seed; run i uses seed+i")
+		runs      = flag.Int("runs", 100, "number of differential runs")
+		chaos     = flag.Bool("chaos", true, "adversarial delivery-order transport")
+		replay    = flag.Int64("replay", 0, "replay this single seed verbosely and exit")
+		shrink    = flag.Bool("shrink", true, "shrink the first failure to a minimal reproducer")
+		minRoll   = flag.Float64("min-rollback-frac", fuzz.DefaultMinRollbackFraction, "fraction of runs that must provoke ≥1 rollback (0 disables)")
+		stall     = flag.Duration("stall", 30*time.Second, "per-run stall timeout (wedged-kernel detector)")
+		out       = flag.String("out", "", "also write the report to this file")
+		trace     = flag.String("trace", "", "with -replay: write the replayed run's Chrome trace to this file (\"-\" = stdout)")
+		traceDir  = flag.String("trace-dir", "", "write the Chrome trace of every FAILING seed into this directory")
+		verbose   = flag.Bool("v", false, "one line per run")
+		serveAddr = flag.String("serve", "", "serve live monitoring endpoints (/metrics /healthz /status /events /debug/pprof) on this host:port while the campaign runs")
 	)
 	flag.Parse()
 
@@ -62,6 +64,18 @@ func main() {
 		return
 	}
 
+	var campObs *obs.Observer
+	if *serveAddr != "" {
+		campObs = obs.New(obs.Options{})
+		srv, err := serve.Start(*serveAddr, serve.Options{Obs: campObs})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "monitoring on http://%s/\n", srv.Addr())
+	}
+
 	rep := fuzz.Campaign(fuzz.Config{
 		Seed:                *seed,
 		Runs:                *runs,
@@ -71,6 +85,7 @@ func main() {
 		Verbose:             *verbose,
 		Out:                 os.Stdout,
 		TraceDir:            *traceDir,
+		Obs:                 campObs,
 	})
 	text := rep.String()
 	fmt.Print(text)

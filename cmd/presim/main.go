@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/elab"
 	"repro/internal/obs"
+	"repro/internal/obs/serve"
 	"repro/internal/presim"
 	"repro/internal/stats"
 	"repro/internal/verilog"
@@ -37,6 +38,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON results on stdout instead of text tables")
 		trace     = flag.String("trace", "", "write a Chrome trace of the campaign to this file (\"-\" = stdout)")
 		metrics   = flag.String("metrics", "", "write a Prometheus-style metrics dump to this file (\"-\" = stdout)")
+		serveAddr = flag.String("serve", "", "serve live monitoring endpoints (/metrics /healthz /status /events /debug/pprof) on this host:port while the campaign runs")
 	)
 	flag.Parse()
 	if *in == "" || *top == "" {
@@ -52,8 +54,14 @@ func main() {
 	fatal(err)
 
 	var o *obs.Observer
-	if *trace != "" || *metrics != "" {
+	if *trace != "" || *metrics != "" || *serveAddr != "" {
 		o = obs.New(obs.Options{})
+	}
+	if *serveAddr != "" {
+		srv, err := serve.Start(*serveAddr, serve.Options{Obs: o})
+		fatal(err)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "monitoring on http://%s/\n", srv.Addr())
 	}
 	cfg := &presim.Config{
 		Design:  ed,
@@ -137,9 +145,9 @@ func writeJSON(v any) {
 }
 
 func printPoints(points []*presim.Point) {
-	tbl := stats.NewTable("k", "b", "cut-size", "Sim time", "Speedup", "Messages", "Rollbacks")
+	tbl := stats.NewTable("k", "b", "cut-size", "Sim time", "Speedup", "Bound", "Messages", "Rollbacks")
 	for _, p := range points {
-		tbl.AddRow(p.K, p.B, p.Cut, p.SimTime, p.Speedup, p.Messages, p.Rollbacks)
+		tbl.AddRow(p.K, p.B, p.Cut, p.SimTime, p.Speedup, p.BoundSpeedup, p.Messages, p.Rollbacks)
 	}
 	fmt.Print(tbl.String())
 }

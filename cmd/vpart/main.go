@@ -19,26 +19,38 @@ import (
 
 	"repro/internal/elab"
 	"repro/internal/multilevel"
+	"repro/internal/obs"
+	"repro/internal/obs/serve"
 	"repro/internal/partition"
 	"repro/internal/verilog"
 )
 
 func main() {
 	var (
-		in       = flag.String("in", "", "input Verilog file (required)")
-		top      = flag.String("top", "", "top module name (required)")
-		k        = flag.Int("k", 2, "number of partitions")
-		b        = flag.Float64("b", 10, "load balance factor in percent")
-		algo     = flag.String("algo", "dd", "partitioner: dd (design-driven) | ml (multilevel, flattened)")
-		strategy = flag.String("strategy", "gain", "dd pairing strategy: random | exhaustive | cut | gain")
-		seed     = flag.Int64("seed", 1, "random seed")
-		out      = flag.String("out", "", "write gate→partition mapping to this file")
-		opt      = flag.Bool("opt", false, "run constant propagation + dead-gate sweep first")
+		in        = flag.String("in", "", "input Verilog file (required)")
+		top       = flag.String("top", "", "top module name (required)")
+		k         = flag.Int("k", 2, "number of partitions")
+		b         = flag.Float64("b", 10, "load balance factor in percent")
+		algo      = flag.String("algo", "dd", "partitioner: dd (design-driven) | ml (multilevel, flattened)")
+		strategy  = flag.String("strategy", "gain", "dd pairing strategy: random | exhaustive | cut | gain")
+		seed      = flag.Int64("seed", 1, "random seed")
+		out       = flag.String("out", "", "write gate→partition mapping to this file")
+		opt       = flag.Bool("opt", false, "run constant propagation + dead-gate sweep first")
+		serveAddr = flag.String("serve", "", "serve live monitoring endpoints (/metrics /healthz /status /events /debug/pprof) on this host:port while partitioning")
 	)
 	flag.Parse()
 	if *in == "" || *top == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	var o *obs.Observer
+	if *serveAddr != "" {
+		o = obs.New(obs.Options{})
+		srv, err := serve.Start(*serveAddr, serve.Options{Obs: o})
+		fatal(err)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "monitoring on http://%s/\n", srv.Addr())
 	}
 
 	src, err := os.ReadFile(*in)
@@ -71,7 +83,7 @@ func main() {
 			fatal(fmt.Errorf("unknown strategy %q", *strategy))
 		}
 		res, err := partition.Multiway(ed, partition.Options{
-			K: *k, B: *b, Strategy: ps, Seed: *seed,
+			K: *k, B: *b, Strategy: ps, Seed: *seed, Obs: o,
 		})
 		fatal(err)
 		fmt.Printf("design-driven: cut=%d balanced=%v loads=%v flattened=%d (%s)\n",

@@ -13,6 +13,8 @@
 //	vsim -in design.v -top chip -cycles 10000 -mode tw -k 4 -b 10
 //	vsim -in design.v -top chip -cycles 10000 -mode model -k 4 -b 7.5
 //	vsim -in soc.v -top soc -mode tw -k 4 -chaos -trace soc.trace.json
+//	vsim -in soc.v -top soc -mode tw -k 4 -serve 127.0.0.1:8080
+//	vsim -in soc.v -top soc -mode tw -k 4 -chaos -blame
 package main
 
 import (
@@ -25,6 +27,8 @@ import (
 	"repro/internal/comm"
 	"repro/internal/elab"
 	"repro/internal/obs"
+	"repro/internal/obs/causality"
+	"repro/internal/obs/serve"
 	"repro/internal/partition"
 	"repro/internal/sim"
 	"repro/internal/timewarp"
@@ -47,6 +51,9 @@ func main() {
 		report    = flag.Bool("report", false, "print the human-readable observability report after the run (tw mode)")
 		chaos     = flag.Bool("chaos", false, "deliver inter-cluster messages through the adversarial chaos transport (tw mode)")
 		chaosSeed = flag.Int64("chaos-seed", 1, "chaos transport schedule seed")
+		serveAddr = flag.String("serve", "", "serve live monitoring endpoints (/metrics /healthz /status /events /debug/pprof) on this host:port while the run executes (tw mode)")
+		serveHold = flag.Duration("serve-hold", 0, "keep the monitoring server up this long after the run finishes (with -serve; for scripted scrapes and demos)")
+		blame     = flag.Bool("blame", false, "record per-event causality and print the rollback-blame / critical-path report after the run (tw mode)")
 	)
 	flag.Parse()
 	if *in == "" || *top == "" {
@@ -87,10 +94,11 @@ func main() {
 			*cycles, events, float64(events)/float64(*cycles), s.Toggles, wall.Round(time.Millisecond))
 
 	case "tw", "model":
-		// The observer is created only when an export was requested, so an
-		// uninstrumented run pays a single nil-check per site.
+		// The observer is created only when an export (or the monitoring
+		// server) was requested, so an uninstrumented run pays a single
+		// nil-check per site.
 		var o *obs.Observer
-		if *trace != "" || *metrics != "" || *report {
+		if *trace != "" || *metrics != "" || *report || *serveAddr != "" {
 			o = obs.New(obs.Options{})
 		}
 		pr, err := partition.Multiway(ed, partition.Options{K: *k, B: *b, Obs: o})
@@ -105,6 +113,24 @@ func main() {
 			if *chaos {
 				cfg.Transport = comm.Chaos(comm.ChaosConfig{Seed: *chaosSeed, StallEvery: 16, Obs: o})
 			}
+			var rec *causality.Recorder
+			if *blame {
+				rec = causality.New()
+				cfg.Causality = rec
+			}
+			var probe *timewarp.Probe
+			var srv *serve.Server
+			if *serveAddr != "" {
+				probe = timewarp.NewProbe()
+				cfg.Probe = probe
+				srv, err = serve.Start(*serveAddr, serve.Options{
+					Obs:    o,
+					Health: func() (bool, string) { return probe.State().Health(0) },
+					Status: func() any { return probe.State() },
+				})
+				fatal(err)
+				fmt.Printf("monitoring on http://%s/\n", srv.Addr())
+			}
 			start := time.Now()
 			res, err := timewarp.Run(cfg)
 			fatal(err)
@@ -113,6 +139,11 @@ func main() {
 			fmt.Printf("timewarp: events=%d rolledback=%d msgs=%d anti=%d rollbacks=%d wall %v\n",
 				st.Events, st.RolledBackEvents, st.Messages, st.AntiMessages, st.Rollbacks,
 				wall.Round(time.Millisecond))
+			if rec != nil {
+				an := rec.Analyze()
+				fmt.Print(an.String())
+				o.AddReportSection("causality", an.String)
+			}
 			o.Snapshot()
 			fatal(o.Dump(*trace, *metrics))
 			if *trace != "" && *trace != "-" {
@@ -121,13 +152,21 @@ func main() {
 			if *report {
 				fmt.Print(o.Report())
 			}
+			if srv != nil {
+				if *serveHold > 0 {
+					fmt.Printf("holding monitoring server for %v\n", *serveHold)
+					time.Sleep(*serveHold)
+				}
+				fatal(srv.Close())
+			}
 		} else {
 			res, err := clustersim.Run(clustersim.Config{
 				NL: nl, GateParts: pr.GateParts, K: *k, Vectors: vs, Cycles: *cycles,
 			})
 			fatal(err)
-			fmt.Printf("model: seqTime=%.0f parTime=%.0f speedup=%.2f msgs=%d rollbacks=%d reexec=%d\n",
-				res.SeqTime, res.ParTime, res.Speedup, res.Messages, res.Rollbacks, res.ReexecEvents)
+			fmt.Printf("model: seqTime=%.0f parTime=%.0f speedup=%.2f msgs=%d rollbacks=%d reexec=%d critPath=%.0f boundSpeedup=%.2f\n",
+				res.SeqTime, res.ParTime, res.Speedup, res.Messages, res.Rollbacks, res.ReexecEvents,
+				res.CritPath, res.BoundSpeedup)
 		}
 
 	default:

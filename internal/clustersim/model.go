@@ -28,6 +28,7 @@ package clustersim
 import (
 	"container/heap"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/netlist"
 	"repro/internal/sim"
@@ -108,6 +109,17 @@ type Result struct {
 	Rollbacks uint64
 	// ReexecEvents is the re-executed evaluation count (wasted work).
 	ReexecEvents uint64
+	// CritPath is the committed-event critical path: the longest causal
+	// chain of per-machine cycle costs linked by cross-partition
+	// messages, ignoring all communication and rollback overheads. It is
+	// a lower bound on the completion time of ANY parallel schedule of
+	// this trace on these machines — the cost-model analogue of the
+	// kernel's causality analyzer — so Speedup can never beat
+	// BoundSpeedup no matter how the overheads shrink.
+	CritPath float64
+	// BoundSpeedup = SeqTime / CritPath, the speedup ceiling the
+	// partitioning itself imposes.
+	BoundSpeedup float64
 	// MachineBusy is the busy wall time per machine.
 	MachineBusy []float64
 	// MachineEvents is the true event count per machine (load).
@@ -141,6 +153,17 @@ type traceGen struct {
 	// scratch for the per-cycle hook accumulation
 	cur     []cycleTrace
 	hopSeen []map[uint64]bool // per machine: mid-cycle deltas with arrivals
+
+	// Critical-path DP, folded incrementally as cycles generate.
+	// cpFinish[m] is the earliest time machine m's latest generated
+	// cycle can causally finish; inCur/inNext are bitmasks of source
+	// machines whose messages are consumed by m in the cycle being
+	// generated / the one after (combinational crossings land in the
+	// sending cycle, registered crossings in the next).
+	cpFinish []float64
+	cpOld    []float64
+	inCur    []uint64
+	inNext   []uint64
 }
 
 func newTraceGen(cfg *Config) (*traceGen, error) {
@@ -165,6 +188,10 @@ func newTraceGen(cfg *Config) (*traceGen, error) {
 	for i := range g.hopSeen {
 		g.hopSeen[i] = make(map[uint64]bool)
 	}
+	g.cpFinish = make([]float64, cfg.K)
+	g.cpOld = make([]float64, cfg.K)
+	g.inCur = make([]uint64, cfg.K)
+	g.inNext = make([]uint64, cfg.K)
 	s.OnNetChange = func(n netlist.NetID, t sim.VTime, _ bool) {
 		net := &nl.Nets[n]
 		if net.Driver == netlist.NoGate {
@@ -187,8 +214,14 @@ func newTraceGen(cfg *Config) (*traceGen, error) {
 			}
 			mc.outBundles[dst]++
 			if delta > 0 {
-				// Mid-cycle crossing: a combinational hop into dst.
+				// Mid-cycle crossing: a combinational hop into dst,
+				// consumed within the sending cycle.
 				g.hopSeen[dst][delta] = true
+				g.inCur[dst] |= 1 << uint(src)
+			} else {
+				// Registered crossing (latch at the cycle boundary):
+				// consumed at the receiver's next cycle.
+				g.inNext[dst] |= 1 << uint(src)
 			}
 		}
 	}
@@ -211,6 +244,7 @@ func (g *traceGen) cycle(c uint64) ([]cycleTrace, error) {
 				delete(g.hopSeen[m], d)
 			}
 		}
+		g.foldCritPath()
 		g.window[cyc] = g.cur
 	}
 	tr, ok := g.window[c]
@@ -218,6 +252,43 @@ func (g *traceGen) cycle(c uint64) ([]cycleTrace, error) {
 		return nil, fmt.Errorf("clustersim: trace for cycle %d already discarded", c)
 	}
 	return tr, nil
+}
+
+// foldCritPath advances the critical-path DP by the cycle just
+// generated into g.cur: a machine's cycle starts once its own previous
+// cycle AND every source machine feeding it a message consumed this
+// cycle have finished, then runs for the cycle's evaluation cost.
+// Communication and rollback overheads are deliberately excluded — the
+// result is the causal lower bound on any schedule.
+func (g *traceGen) foldCritPath() {
+	copy(g.cpOld, g.cpFinish)
+	for m := range g.cpFinish {
+		best := g.cpOld[m]
+		for mask := g.inCur[m]; mask != 0; mask &= mask - 1 {
+			src := bits.TrailingZeros64(mask)
+			if g.cpOld[src] > best {
+				best = g.cpOld[src]
+			}
+		}
+		g.cpFinish[m] = best + float64(g.cur[m].evals)*g.cfg.Costs.EvalCost
+	}
+	// Registered crossings generated this cycle are consumed next cycle.
+	g.inCur, g.inNext = g.inNext, g.inCur
+	for i := range g.inNext {
+		g.inNext[i] = 0
+	}
+}
+
+// critPath is the longest chain folded so far (valid once every cycle
+// has been generated).
+func (g *traceGen) critPath() float64 {
+	best := 0.0
+	for _, f := range g.cpFinish {
+		if f > best {
+			best = f
+		}
+	}
+	return best
 }
 
 // discardBelow drops trace cycles below c.
@@ -477,6 +548,10 @@ func Run(cfg Config) (*Result, error) {
 	res.SeqTime = float64(res.Events) * cfg.Costs.EvalCost
 	if res.ParTime > 0 {
 		res.Speedup = res.SeqTime / res.ParTime
+	}
+	res.CritPath = gen.critPath()
+	if res.CritPath > 0 {
+		res.BoundSpeedup = res.SeqTime / res.CritPath
 	}
 	return res, nil
 }

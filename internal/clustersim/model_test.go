@@ -244,3 +244,69 @@ func TestCostsFillDefaults(t *testing.T) {
 		t.Errorf("non-zero Costs must not be overridden: %+v", filled)
 	}
 }
+
+// TestCriticalPathBounds pins the cost-model critical path between its
+// two defining bounds, checks the K=1 degenerate case, and confirms the
+// optimistic and synchronous modes agree on it (it is a property of the
+// trace and the partition, not of the execution policy).
+func TestCriticalPathBounds(t *testing.T) {
+	ed := viterbiDesign(t)
+	pr, err := partition.Multiway(ed, partition.Options{K: 3, B: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		NL: ed.Netlist, GateParts: pr.GateParts, K: 3,
+		Vectors: sim.RandomVectors{Seed: 9}, Cycles: 150,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CritPath <= 0 || res.CritPath > res.SeqTime {
+		t.Fatalf("CritPath = %f, want in (0, %f]", res.CritPath, res.SeqTime)
+	}
+	busiest := 0.0
+	for _, ev := range res.MachineEvents {
+		if c := float64(ev) * DefaultCosts.EvalCost; c > busiest {
+			busiest = c
+		}
+	}
+	if res.CritPath < busiest {
+		t.Errorf("CritPath %f below busiest machine's serial work %f", res.CritPath, busiest)
+	}
+	if res.BoundSpeedup < 1 || res.BoundSpeedup > float64(cfg.K) {
+		t.Errorf("BoundSpeedup = %f, want within [1, K]", res.BoundSpeedup)
+	}
+	if res.Speedup > res.BoundSpeedup+1e-9 {
+		t.Errorf("modeled speedup %f beats its own causal bound %f", res.Speedup, res.BoundSpeedup)
+	}
+
+	syncCfg := cfg
+	syncCfg.Synchronous = true
+	syncRes, err := Run(syncCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syncRes.CritPath != res.CritPath {
+		t.Errorf("synchronous CritPath %f != optimistic %f", syncRes.CritPath, res.CritPath)
+	}
+}
+
+func TestCriticalPathSingleMachineIsSequential(t *testing.T) {
+	ed := viterbiDesign(t)
+	parts := make([]int32, ed.Netlist.NumGates())
+	res, err := Run(Config{
+		NL: ed.Netlist, GateParts: parts, K: 1,
+		Vectors: sim.RandomVectors{Seed: 9}, Cycles: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CritPath != res.SeqTime {
+		t.Errorf("K=1 CritPath %f != SeqTime %f", res.CritPath, res.SeqTime)
+	}
+	if res.BoundSpeedup != 1 {
+		t.Errorf("K=1 BoundSpeedup = %f", res.BoundSpeedup)
+	}
+}

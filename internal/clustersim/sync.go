@@ -50,5 +50,9 @@ func runSynchronous(cfg *Config, gen *traceGen) (*Result, error) {
 	if res.ParTime > 0 {
 		res.Speedup = res.SeqTime / res.ParTime
 	}
+	res.CritPath = gen.critPath()
+	if res.CritPath > 0 {
+		res.BoundSpeedup = res.SeqTime / res.CritPath
+	}
 	return res, nil
 }

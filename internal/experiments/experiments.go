@@ -226,6 +226,10 @@ type GridPoint struct {
 	Speedup   float64
 	Messages  uint64
 	Rollbacks uint64
+	// CritPath / BoundSpeedup: the modeled causal critical path of the
+	// point and the speedup ceiling it implies (see clustersim.Result).
+	CritPath     float64
+	BoundSpeedup float64
 }
 
 // PresimGrid runs the modeled pre-simulation over the whole grid — the
@@ -304,6 +308,7 @@ func (c *Context) evalPoint(k int, b float64, cycles uint64) (*GridPoint, error)
 		K: k, B: b, Cut: rec.cut,
 		SimTime: res.ParTime, SeqTime: res.SeqTime, Speedup: res.Speedup,
 		Messages: res.Messages, Rollbacks: res.Rollbacks,
+		CritPath: res.CritPath, BoundSpeedup: res.BoundSpeedup,
 	}, nil
 }
 

@@ -41,6 +41,12 @@ type Config struct {
 	// <TraceDir>/seed-<seed>.trace.json — the post-mortem artifact the CI
 	// fuzz job uploads. Passing runs write nothing.
 	TraceDir string
+	// Obs, when non-nil, receives campaign-level progress counters
+	// (fuzz_runs_total, fuzz_failures_total, fuzz_rollback_runs_total) so
+	// a long campaign can be scraped live via the monitoring server. It is
+	// separate from the per-run TraceDir observers, which capture a single
+	// run's trace.
+	Obs *obs.Observer
 }
 
 // DefaultMinRollbackFraction is the campaign-level adversarial bar: at
@@ -83,6 +89,13 @@ func Campaign(cfg Config) *Report {
 		ByFamily:            make(map[string]int),
 		ByPartition:         make(map[string]int),
 	}
+	var runsC, failC, rollC *obs.Counter
+	if cfg.Obs != nil {
+		reg := cfg.Obs.Registry()
+		runsC = reg.Counter("fuzz_runs_total", "differential runs completed")
+		failC = reg.Counter("fuzz_failures_total", "differential runs that failed")
+		rollC = reg.Counter("fuzz_rollback_runs_total", "runs that provoked at least one rollback")
+	}
 	start := time.Now()
 	for i := 0; i < cfg.Runs; i++ {
 		spec := NewSpec(cfg.Seed+int64(i), cfg.Chaos)
@@ -91,6 +104,15 @@ func Campaign(cfg Config) *Report {
 			o = obs.New(obs.Options{})
 		}
 		res := ExecuteObserved(spec, cfg.Faults, cfg.StallTimeout, o)
+		if runsC != nil {
+			runsC.Inc()
+			if res.Failed() {
+				failC.Inc()
+			}
+			if res.Stats.Rollbacks > 0 {
+				rollC.Inc()
+			}
+		}
 		if res.Failed() && o != nil {
 			if path, err := writeSeedTrace(cfg.TraceDir, spec.Seed, o); err != nil {
 				fmt.Fprintf(out, "  trace for seed %d not written: %v\n", spec.Seed, err)

@@ -1,0 +1,293 @@
+package causality
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OriginBlame aggregates the damage attributed to one straggler event.
+type OriginBlame struct {
+	Origin       EventID `json:"origin"`
+	Cluster      int32   `json:"cluster"` // sending cluster of the origin
+	Rollbacks    uint64  `json:"rollbacks"`
+	WastedEvents uint64  `json:"wasted_events"`
+	AntiMessages uint64  `json:"anti_messages"`
+	MaxDepth     uint64  `json:"max_depth"` // deepest rewind blamed on it, in cycles
+}
+
+// PairBlame aggregates blame along one source→victim cluster pair.
+type PairBlame struct {
+	Src          int32  `json:"src"`
+	Victim       int32  `json:"victim"`
+	Rollbacks    uint64 `json:"rollbacks"`
+	WastedEvents uint64 `json:"wasted_events"`
+	AntiMessages uint64 `json:"anti_messages"`
+}
+
+// Segment is one maximal single-cluster stretch of the critical path.
+type Segment struct {
+	Cluster int32  `json:"cluster"`
+	From    uint64 `json:"from_cycle"`
+	To      uint64 `json:"to_cycle"` // inclusive
+	Cost    uint64 `json:"cost"`
+}
+
+// Analysis is the post-run causality report.
+type Analysis struct {
+	K      int    `json:"k"`
+	Cycles uint64 `json:"cycles"`
+
+	// Rollback-cascade attribution.
+	TotalRollbacks    uint64        `json:"total_rollbacks"`
+	TotalWastedEvents uint64        `json:"total_wasted_events"`
+	TotalAntiMessages uint64        `json:"total_anti_messages"`
+	Origins           []OriginBlame `json:"origins"` // descending by wasted events
+	Pairs             []PairBlame   `json:"pairs"`   // descending by wasted events
+
+	// Committed-event critical path. Costs are gate evaluations (the cost
+	// model's unit). CritPath is a lower bound on achievable parallel time
+	// for this partition: no schedule can finish before its longest causal
+	// chain of committed work.
+	SeqCost        uint64    `json:"seq_cost"`         // total committed evaluations
+	ClusterCost    []uint64  `json:"cluster_cost"`     // committed evaluations per cluster
+	MaxClusterCost uint64    `json:"max_cluster_cost"` // the per-cluster load bound
+	CritPath       uint64    `json:"crit_path"`
+	CritSegments   []Segment `json:"crit_segments,omitempty"`
+	// BoundSpeedup = SeqCost / CritPath: the best speedup any runtime
+	// could extract from this partition under the pure event-cost model.
+	BoundSpeedup float64 `json:"bound_speedup"`
+}
+
+// maxPathCells bounds the back-pointer storage of the critical-path
+// backtrack (k × cycles cells); past it the path value is still computed
+// but the segment listing is skipped.
+const maxPathCells = 1 << 26
+
+// Analyze builds the post-run report. Call only after timewarp.Run has
+// returned — the kernel's goroutine join is the memory barrier that makes
+// the single-writer shards safe to read.
+func (r *Recorder) Analyze() *Analysis {
+	if r == nil || r.shards == nil {
+		return &Analysis{}
+	}
+	a := &Analysis{K: r.k, Cycles: r.cycles, ClusterCost: make([]uint64, r.k)}
+
+	// --- rollback attribution ------------------------------------------
+	perOrigin := map[EventID]*OriginBlame{}
+	perPair := map[[2]int32]*PairBlame{}
+	blame := func(origin EventID, victim int32) (*OriginBlame, *PairBlame) {
+		ob := perOrigin[origin]
+		if ob == nil {
+			ob = &OriginBlame{Origin: origin, Cluster: origin.Cluster()}
+			perOrigin[origin] = ob
+		}
+		key := [2]int32{origin.Cluster(), victim}
+		pb := perPair[key]
+		if pb == nil {
+			pb = &PairBlame{Src: key[0], Victim: key[1]}
+			perPair[key] = pb
+		}
+		return ob, pb
+	}
+	for c := range r.shards {
+		sh := &r.shards[c]
+		for _, rr := range sh.rolls {
+			ob, pb := blame(rr.origin, int32(c))
+			ob.Rollbacks++
+			ob.WastedEvents += rr.wasted
+			if rr.depth > ob.MaxDepth {
+				ob.MaxDepth = rr.depth
+			}
+			pb.Rollbacks++
+			pb.WastedEvents += rr.wasted
+			a.TotalRollbacks++
+			a.TotalWastedEvents += rr.wasted
+		}
+		for origin, n := range sh.anti {
+			ob, pb := blame(origin, int32(c))
+			ob.AntiMessages += n
+			pb.AntiMessages += n
+			a.TotalAntiMessages += n
+		}
+	}
+	for _, ob := range perOrigin {
+		a.Origins = append(a.Origins, *ob)
+	}
+	sort.Slice(a.Origins, func(i, j int) bool {
+		if a.Origins[i].WastedEvents != a.Origins[j].WastedEvents {
+			return a.Origins[i].WastedEvents > a.Origins[j].WastedEvents
+		}
+		return a.Origins[i].Origin < a.Origins[j].Origin
+	})
+	for _, pb := range perPair {
+		a.Pairs = append(a.Pairs, *pb)
+	}
+	sort.Slice(a.Pairs, func(i, j int) bool {
+		if a.Pairs[i].WastedEvents != a.Pairs[j].WastedEvents {
+			return a.Pairs[i].WastedEvents > a.Pairs[j].WastedEvents
+		}
+		if a.Pairs[i].Src != a.Pairs[j].Src {
+			return a.Pairs[i].Src < a.Pairs[j].Src
+		}
+		return a.Pairs[i].Victim < a.Pairs[j].Victim
+	})
+
+	// --- committed-event critical path ---------------------------------
+	// Node (c, t) is cluster c executing cycle t, weighted by its
+	// committed evaluation count. Edges: (c, t-1) → (c, t) within each
+	// cluster, plus (src, u-1) → (dst, u) for every committed
+	// (non-cancelled) cross-cluster message consumed at cycle u — implied
+	// by true causality for both same-cycle combinational crossings
+	// (sent during cycle u) and latch crossings (sent at the end of
+	// cycle u-1), so the longest weighted chain is a genuine lower bound
+	// on parallel completion time.
+	for c := range r.shards {
+		for _, n := range r.shards[c].cost {
+			a.ClusterCost[c] += uint64(n)
+		}
+		a.SeqCost += a.ClusterCost[c]
+		if a.ClusterCost[c] > a.MaxClusterCost {
+			a.MaxClusterCost = a.ClusterCost[c]
+		}
+	}
+	type edge struct{ src, dst int32 }
+	edges := map[uint64][]edge{} // consumption cycle → incoming edges
+	seenEdge := map[uint64]bool{}
+	k64 := uint64(r.k)
+	for dst := range r.shards {
+		for id, u := range r.shards[dst].consumed {
+			src := id.Cluster()
+			if src < 0 || int(src) >= r.k || int32(dst) == src || u == 0 || u >= r.cycles {
+				continue
+			}
+			if s, ok := r.shards[src].sent[id.Seq()]; ok && s.cancelled {
+				continue // revoked by an anti-message: not committed work
+			}
+			key := (u*k64+uint64(src))*k64 + uint64(dst)
+			if seenEdge[key] {
+				continue
+			}
+			seenEdge[key] = true
+			edges[u] = append(edges[u], edge{src: src, dst: int32(dst)})
+		}
+	}
+	finish := make([]uint64, r.k)
+	old := make([]uint64, r.k)
+	trackPath := uint64(r.k)*r.cycles <= maxPathCells
+	var pred []int32 // pred[t*k+c] = predecessor cluster of (c, t), or c itself
+	if trackPath {
+		pred = make([]int32, uint64(r.k)*r.cycles)
+	}
+	for t := uint64(0); t < r.cycles; t++ {
+		copy(old, finish)
+		for c := 0; c < r.k; c++ {
+			finish[c] = old[c]
+			if trackPath {
+				pred[t*k64+uint64(c)] = int32(c)
+			}
+		}
+		for _, e := range edges[t] {
+			if old[e.src] > finish[e.dst] {
+				finish[e.dst] = old[e.src]
+				if trackPath {
+					pred[t*k64+uint64(e.dst)] = e.src
+				}
+			}
+		}
+		for c := 0; c < r.k; c++ {
+			finish[c] += uint64(r.shards[c].cost[t])
+		}
+	}
+	end := int32(0)
+	for c := 1; c < r.k; c++ {
+		if finish[c] > finish[end] {
+			end = int32(c)
+		}
+	}
+	if r.k > 0 {
+		a.CritPath = finish[end]
+	}
+	if a.CritPath > 0 {
+		a.BoundSpeedup = float64(a.SeqCost) / float64(a.CritPath)
+	}
+	if trackPath && r.cycles > 0 {
+		cur := end
+		seg := Segment{Cluster: cur, To: r.cycles - 1}
+		for t := r.cycles; t > 0; t-- {
+			cy := t - 1
+			seg.From = cy
+			seg.Cost += uint64(r.shards[cur].cost[cy])
+			p := pred[cy*k64+uint64(cur)]
+			if p != cur && cy > 0 {
+				a.CritSegments = append(a.CritSegments, seg)
+				cur = p
+				seg = Segment{Cluster: cur, To: cy - 1}
+			}
+		}
+		a.CritSegments = append(a.CritSegments, seg)
+		// Built back-to-front; present in execution order.
+		for i, j := 0, len(a.CritSegments)-1; i < j; i, j = i+1, j-1 {
+			a.CritSegments[i], a.CritSegments[j] = a.CritSegments[j], a.CritSegments[i]
+		}
+	}
+	return a
+}
+
+// String renders the report for terminals (vsim -blame, obs.Report).
+func (a *Analysis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "causality: %d clusters, %d cycles\n", a.K, a.Cycles)
+	fmt.Fprintf(&b, "rollbacks: %d (%d wasted events, %d anti-messages)\n",
+		a.TotalRollbacks, a.TotalWastedEvents, a.TotalAntiMessages)
+	if len(a.Origins) > 0 {
+		b.WriteString("top stragglers:\n")
+		for i, ob := range a.Origins {
+			if i == 10 {
+				fmt.Fprintf(&b, "  ... %d more\n", len(a.Origins)-i)
+				break
+			}
+			fmt.Fprintf(&b, "  %-12s %3d rollbacks, %6d wasted events, %4d anti-messages, max depth %d\n",
+				ob.Origin, ob.Rollbacks, ob.WastedEvents, ob.AntiMessages, ob.MaxDepth)
+		}
+		b.WriteString("blame by cluster pair (src -> victim):\n")
+		for i, pb := range a.Pairs {
+			if i == 20 {
+				fmt.Fprintf(&b, "  ... %d more\n", len(a.Pairs)-i)
+				break
+			}
+			fmt.Fprintf(&b, "  %2d -> %-2d %3d rollbacks, %6d wasted events, %4d anti-messages\n",
+				pb.Src, pb.Victim, pb.Rollbacks, pb.WastedEvents, pb.AntiMessages)
+		}
+	}
+	fmt.Fprintf(&b, "critical path: %d of %d committed event-costs (bound speedup %.2fx, busiest cluster %d)\n",
+		a.CritPath, a.SeqCost, a.BoundSpeedup, a.MaxClusterCost)
+	if len(a.CritSegments) > 0 {
+		b.WriteString("  path:")
+		for i, s := range a.CritSegments {
+			if i == 12 {
+				fmt.Fprintf(&b, " ... %d more segments", len(a.CritSegments)-i)
+				break
+			}
+			if i > 0 {
+				b.WriteString(" ->")
+			}
+			fmt.Fprintf(&b, " c%d[%d..%d]:%d", s.Cluster, s.From, s.To, s.Cost)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WastedBlamedOnCluster sums the wasted events attributed to origins sent
+// by the given cluster — the share test the crafted-straggler acceptance
+// test asserts.
+func (a *Analysis) WastedBlamedOnCluster(src int32) uint64 {
+	var n uint64
+	for _, ob := range a.Origins {
+		if ob.Cluster == src {
+			n += ob.WastedEvents
+		}
+	}
+	return n
+}

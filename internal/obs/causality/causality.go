@@ -1,0 +1,185 @@
+// Package causality tracks per-event lineage through the Time Warp
+// kernel and explains, post-run, where parallel time went: which
+// straggler event seeded each rollback cascade (and how much work it
+// destroyed), and which chain of committed events forms the critical
+// path that lower-bounds the achievable parallel time of the chosen
+// partition — the quantity the paper's pre-simulation phase is implicitly
+// optimizing when it searches over (k, b).
+//
+// The Recorder follows the obs layer's cost discipline: a nil *Recorder
+// is valid and disables everything, so every kernel instrumentation site
+// costs one branch when recording is off. When on, each cluster goroutine
+// writes only its own shard — no locks or atomics on the hot path; the
+// kernel's end-of-run WaitGroup provides the happens-before edge under
+// which Analyze reads the shards.
+package causality
+
+import (
+	"fmt"
+	"sync"
+)
+
+// seqBits is the number of EventID bits holding the per-source sequence
+// number; the cluster id occupies the bits above. 2^44 events per cluster
+// is far beyond any run this kernel executes.
+const seqBits = 44
+
+// EventID names one positive event globally: the sending cluster packed
+// with its per-source sequence number. The zero EventID means "none"
+// (recording off, or no ancestor).
+type EventID uint64
+
+// Make builds the id of event (src, seq).
+func Make(src int32, seq uint64) EventID {
+	return EventID(uint64(src+1)<<seqBits | seq&(1<<seqBits-1))
+}
+
+// Cluster returns the sending cluster.
+func (id EventID) Cluster() int32 { return int32(id>>seqBits) - 1 }
+
+// Seq returns the per-source sequence number.
+func (id EventID) Seq() uint64 { return uint64(id) & (1<<seqBits - 1) }
+
+func (id EventID) String() string {
+	if id == 0 {
+		return "none"
+	}
+	return fmt.Sprintf("c%d#%d", id.Cluster(), id.Seq())
+}
+
+// sentRec is the fate of one sent positive event.
+type sentRec struct {
+	origin    EventID // blame origin carried at send time (0 = first-run work)
+	cancelled bool    // an anti-message revoked it; not part of the committed run
+}
+
+// rollRec is one rollback occurrence at a victim cluster.
+type rollRec struct {
+	origin EventID
+	wasted uint64 // gate evaluations undone
+	depth  uint64 // cycles rewound
+}
+
+// shard is the single-writer record block of one cluster. Only the owning
+// cluster goroutine writes it during the run; Analyze reads after the
+// kernel joins all clusters.
+type shard struct {
+	// cost[cy] is the committed gate-evaluation count of cycle cy:
+	// re-execution overwrites, so the final value is the committed one.
+	cost []uint32
+	// sent[seq] records every positive event this cluster sent.
+	sent map[uint64]sentRec
+	// consumed[id] is the cycle at which this cluster consumed remote
+	// event id (keyed per destination: one seq fans out to many clusters).
+	consumed map[EventID]uint64
+	// rolls is the append-only rollback log of this victim.
+	rolls []rollRec
+	// anti[origin] counts anti-messages sent while blamed on origin.
+	anti map[EventID]uint64
+}
+
+// Recorder collects per-event lineage for one Time Warp run. Create with
+// New, hand it to timewarp.Config.Causality (the kernel calls Attach),
+// and call Analyze after Run returns. A nil Recorder disables recording.
+type Recorder struct {
+	k      int
+	cycles uint64
+	shards []shard
+
+	// flowSeen is the one cross-cluster structure: rollbacks are rare, so
+	// a mutexed map stays off the hot path.
+	flowMu   sync.Mutex
+	flowSeen map[EventID]bool // origins that already emitted a flow head
+}
+
+// New creates an empty Recorder; the kernel sizes it via Attach.
+func New() *Recorder { return &Recorder{} }
+
+// Enabled reports whether recording is live (false for nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Attach sizes the recorder for a k-cluster, cycles-long run, resetting
+// any prior state. The kernel calls it at run start.
+func (r *Recorder) Attach(k int, cycles uint64) {
+	if r == nil {
+		return
+	}
+	r.k = k
+	r.cycles = cycles
+	r.shards = make([]shard, k)
+	for c := range r.shards {
+		r.shards[c] = shard{
+			cost:     make([]uint32, cycles),
+			sent:     make(map[uint64]sentRec),
+			consumed: make(map[EventID]uint64),
+			anti:     make(map[EventID]uint64),
+		}
+	}
+	r.flowSeen = make(map[EventID]bool)
+}
+
+// CycleCost records the gate evaluations of one executed cycle,
+// overwriting any earlier execution — the surviving value is the
+// committed cost.
+func (r *Recorder) CycleCost(cluster int32, cycle, evals uint64) {
+	if r == nil || cycle >= uint64(len(r.shards[cluster].cost)) {
+		return
+	}
+	r.shards[cluster].cost[cycle] = uint32(evals)
+}
+
+// Consumed records that cluster dst consumed remote event (src, seq)
+// while executing the given cycle. Re-consumption after a rollback
+// overwrites — the last consumption is the committed one.
+func (r *Recorder) Consumed(dst, src int32, seq, cycle uint64) {
+	if r == nil {
+		return
+	}
+	r.shards[dst].consumed[Make(src, seq)] = cycle
+}
+
+// Sent records a positive event leaving cluster with the blame origin it
+// carries (zero outside rollback re-execution).
+func (r *Recorder) Sent(cluster int32, seq uint64, origin EventID) {
+	if r == nil {
+		return
+	}
+	r.shards[cluster].sent[seq] = sentRec{origin: origin}
+}
+
+// Cancelled marks a previously sent event revoked by an anti-message and
+// charges the fanout (one anti per destination) to the blame origin.
+func (r *Recorder) Cancelled(cluster int32, seq uint64, origin EventID, fanout int) {
+	if r == nil {
+		return
+	}
+	sh := &r.shards[cluster]
+	rec := sh.sent[seq]
+	rec.cancelled = true
+	sh.sent[seq] = rec
+	sh.anti[origin] += uint64(fanout)
+}
+
+// Rollback records one rollback at victim blamed on origin: wasted gate
+// evaluations undone and the rewind depth in cycles.
+func (r *Recorder) Rollback(victim int32, origin EventID, wasted, depth uint64) {
+	if r == nil {
+		return
+	}
+	sh := &r.shards[victim]
+	sh.rolls = append(sh.rolls, rollRec{origin: origin, wasted: wasted, depth: depth})
+}
+
+// FirstFlow reports whether origin has not yet headed a trace flow chain
+// and marks it; the kernel uses the result as the first-link flag of
+// Observer.Flow so each cascade gets exactly one flow head.
+func (r *Recorder) FirstFlow(origin EventID) bool {
+	if r == nil {
+		return false
+	}
+	r.flowMu.Lock()
+	first := !r.flowSeen[origin]
+	r.flowSeen[origin] = true
+	r.flowMu.Unlock()
+	return first
+}

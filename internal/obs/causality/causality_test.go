@@ -1,0 +1,175 @@
+package causality
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEventIDRoundTrip(t *testing.T) {
+	cases := []struct {
+		src int32
+		seq uint64
+	}{{0, 0}, {0, 1}, {3, 99}, {63, 1 << 40}}
+	for _, c := range cases {
+		id := Make(c.src, c.seq)
+		if id == 0 {
+			t.Fatalf("Make(%d,%d) = 0, collides with the none sentinel", c.src, c.seq)
+		}
+		if id.Cluster() != c.src || id.Seq() != c.seq {
+			t.Errorf("Make(%d,%d) round-trips to (%d,%d)", c.src, c.seq, id.Cluster(), id.Seq())
+		}
+	}
+	if s := Make(1, 42).String(); s != "c1#42" {
+		t.Errorf("String() = %q, want c1#42", s)
+	}
+	if s := EventID(0).String(); s != "none" {
+		t.Errorf("zero String() = %q, want none", s)
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	r.Attach(2, 10)
+	r.CycleCost(0, 0, 5)
+	r.Consumed(0, 1, 1, 0)
+	r.Sent(0, 1, 0)
+	r.Cancelled(0, 1, 0, 1)
+	r.Rollback(0, Make(1, 1), 3, 1)
+	if r.FirstFlow(Make(1, 1)) {
+		t.Error("nil recorder claims a first flow")
+	}
+	a := r.Analyze()
+	if a.CritPath != 0 || a.TotalRollbacks != 0 {
+		t.Errorf("nil Analyze = %+v, want zero", a)
+	}
+}
+
+// TestAnalyzeCriticalPath hand-builds a two-cluster history and checks
+// the DP against a hand-computed longest chain.
+//
+// Costs per cycle: c0 = [5, 5, 5], c1 = [1, 1, 20]. One committed message
+// from c0 (seq 1) is consumed by c1 at cycle 1, adding edge (0,0)→(1,1).
+// Chains: within-c0 = 15, within-c1 = 22, via the edge =
+// 5 (c0 cycle 0) + 1 + 20 (c1 cycles 1,2) = 26 — the critical path.
+func TestAnalyzeCriticalPath(t *testing.T) {
+	r := New()
+	r.Attach(2, 3)
+	for cy, v := range []uint64{5, 5, 5} {
+		r.CycleCost(0, uint64(cy), v)
+	}
+	for cy, v := range []uint64{1, 1, 20} {
+		r.CycleCost(1, uint64(cy), v)
+	}
+	r.Sent(0, 1, 0)
+	r.Consumed(1, 0, 1, 1)
+
+	a := r.Analyze()
+	if a.SeqCost != 37 {
+		t.Errorf("SeqCost = %d, want 37", a.SeqCost)
+	}
+	if a.MaxClusterCost != 22 {
+		t.Errorf("MaxClusterCost = %d, want 22", a.MaxClusterCost)
+	}
+	if a.CritPath != 26 {
+		t.Fatalf("CritPath = %d, want 26", a.CritPath)
+	}
+	want := []Segment{
+		{Cluster: 0, From: 0, To: 0, Cost: 5},
+		{Cluster: 1, From: 1, To: 2, Cost: 21},
+	}
+	if len(a.CritSegments) != len(want) {
+		t.Fatalf("CritSegments = %+v, want %+v", a.CritSegments, want)
+	}
+	for i, s := range want {
+		if a.CritSegments[i] != s {
+			t.Errorf("segment %d = %+v, want %+v", i, a.CritSegments[i], s)
+		}
+	}
+	if a.BoundSpeedup < 1.42 || a.BoundSpeedup > 1.43 { // 37/26
+		t.Errorf("BoundSpeedup = %f, want ~1.423", a.BoundSpeedup)
+	}
+}
+
+// TestAnalyzeCancelledEdgeIgnored checks that a message revoked by an
+// anti-message contributes no critical-path edge.
+func TestAnalyzeCancelledEdgeIgnored(t *testing.T) {
+	r := New()
+	r.Attach(2, 3)
+	for cy, v := range []uint64{5, 5, 5} {
+		r.CycleCost(0, uint64(cy), v)
+	}
+	for cy, v := range []uint64{1, 1, 20} {
+		r.CycleCost(1, uint64(cy), v)
+	}
+	r.Sent(0, 1, 0)
+	r.Consumed(1, 0, 1, 1)
+	r.Cancelled(0, 1, Make(1, 9), 1)
+
+	a := r.Analyze()
+	if a.CritPath != 22 { // within-c1 chain only
+		t.Errorf("CritPath = %d, want 22 (cancelled edge must not count)", a.CritPath)
+	}
+	if a.TotalAntiMessages != 1 {
+		t.Errorf("TotalAntiMessages = %d, want 1", a.TotalAntiMessages)
+	}
+}
+
+func TestAnalyzeBlameAggregation(t *testing.T) {
+	r := New()
+	r.Attach(3, 4)
+	o1 := Make(1, 7)
+	o2 := Make(2, 3)
+	r.Rollback(0, o1, 50, 3)
+	r.Rollback(0, o1, 30, 2)
+	r.Rollback(2, o1, 5, 1)
+	r.Rollback(0, o2, 10, 4)
+	r.Cancelled(0, 1, o1, 2)
+	r.Cancelled(0, 2, o2, 1)
+
+	a := r.Analyze()
+	if a.TotalRollbacks != 4 || a.TotalWastedEvents != 95 || a.TotalAntiMessages != 3 {
+		t.Fatalf("totals = %d/%d/%d, want 4/95/3",
+			a.TotalRollbacks, a.TotalWastedEvents, a.TotalAntiMessages)
+	}
+	if len(a.Origins) != 2 || a.Origins[0].Origin != o1 {
+		t.Fatalf("Origins = %+v, want o1 first", a.Origins)
+	}
+	top := a.Origins[0]
+	if top.Rollbacks != 3 || top.WastedEvents != 85 || top.MaxDepth != 3 || top.AntiMessages != 2 {
+		t.Errorf("o1 blame = %+v", top)
+	}
+	if top.Cluster != 1 {
+		t.Errorf("o1 cluster = %d, want 1", top.Cluster)
+	}
+	// Pairs: (1→0) 80 wasted, (2→0) 10, (1→2) 5.
+	if len(a.Pairs) != 3 || a.Pairs[0].Src != 1 || a.Pairs[0].Victim != 0 || a.Pairs[0].WastedEvents != 80 {
+		t.Errorf("Pairs = %+v", a.Pairs)
+	}
+	if got := a.WastedBlamedOnCluster(1); got != 85 {
+		t.Errorf("WastedBlamedOnCluster(1) = %d, want 85", got)
+	}
+	out := a.String()
+	for _, want := range []string{"c1#7", "1 -> 0", "rollbacks: 4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFirstFlow(t *testing.T) {
+	r := New()
+	r.Attach(2, 1)
+	o := Make(0, 1)
+	if !r.FirstFlow(o) {
+		t.Error("first FirstFlow = false")
+	}
+	if r.FirstFlow(o) {
+		t.Error("second FirstFlow = true")
+	}
+	if !r.FirstFlow(Make(0, 2)) {
+		t.Error("distinct origin not first")
+	}
+}

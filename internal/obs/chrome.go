@@ -18,6 +18,8 @@ type ChromeEvent struct {
 	Ts    int64              `json:"ts"`
 	Dur   int64              `json:"dur,omitempty"`
 	Scope string             `json:"s,omitempty"`
+	Cat   string             `json:"cat,omitempty"`
+	ID    uint64             `json:"id,omitempty"`
 	Args  map[string]float64 `json:"args,omitempty"`
 	// MetaArgs carries string args for metadata events (thread names).
 	MetaArgs map[string]string `json:"-"`
@@ -118,6 +120,12 @@ func (o *Observer) WriteChromeTrace(w io.Writer) error {
 		}
 		if e.Phase == PhaseInstant {
 			ce.Scope = "t" // thread-scoped instant
+		}
+		if e.Phase == PhaseFlowStart || e.Phase == PhaseFlowStep {
+			// Flow events bind on (cat, name, id): every link of one causal
+			// chain (e.g. a rollback cascade) shares the origin id.
+			ce.Cat = "flow"
+			ce.ID = e.ID
 		}
 		for _, a := range e.Args {
 			if a.Key == "" {

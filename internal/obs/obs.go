@@ -33,9 +33,10 @@ type Observer struct {
 	reg   *Registry
 	tr    *Tracer
 
-	mu      sync.Mutex
-	series  []Snapshot // periodic registry snapshots, oldest first
-	maxSnap int
+	mu       sync.Mutex
+	series   []Snapshot // periodic registry snapshots, oldest first
+	maxSnap  int
+	sections []reportSection // extra Report sections, in registration order
 
 	stopSample chan struct{}
 	sampleWG   sync.WaitGroup
@@ -136,6 +137,30 @@ func (o *Observer) Count(track int32, name string, val float64) {
 		Phase: PhaseCounter,
 		Name:  name,
 		Args:  packArgs([]Arg{{Key: "value", Val: val}}),
+	})
+}
+
+// Flow records one link of a causal chain on track. Events sharing a
+// nonzero id are rendered as connected flow arrows in the Chrome trace
+// viewer — e.g. a rollback cascade linked across the victim cluster
+// tracks by its straggler-origin id. The chain head passes first=true
+// ('s'); later links emit 't', which binds to the previous event with the
+// same id.
+func (o *Observer) Flow(track int32, name string, id uint64, first bool, args ...Arg) {
+	if o == nil {
+		return
+	}
+	ph := PhaseFlowStep
+	if first {
+		ph = PhaseFlowStart
+	}
+	o.tr.push(Event{
+		Ts:    o.sinceStart(),
+		Track: track,
+		Phase: ph,
+		Name:  name,
+		ID:    id,
+		Args:  packArgs(args),
 	})
 }
 
@@ -244,6 +269,25 @@ func (o *Observer) StopSampling() {
 	o.mu.Unlock()
 	o.sampleWG.Wait()
 	o.Snapshot()
+}
+
+// reportSection is one registered extra section of the run report.
+type reportSection struct {
+	title  string
+	render func() string
+}
+
+// AddReportSection appends a named section to the output of Report. The
+// renderer runs when Report is called, so analyzers can register a
+// closure mid-run and the report picks up their end-of-run summary (the
+// causality blame report does this) without obs importing them.
+func (o *Observer) AddReportSection(title string, render func() string) {
+	if o == nil || render == nil {
+		return
+	}
+	o.mu.Lock()
+	o.sections = append(o.sections, reportSection{title: title, render: render})
+	o.mu.Unlock()
 }
 
 // Events returns a copy of the trace ring in record order (oldest

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidatePrometheusText parses a Prometheus text-format (version 0.0.4)
+// exposition and checks the conformance rules a scraper relies on:
+//
+//   - the exposition is newline-terminated;
+//   - every sample line parses as name{labels} value [timestamp] with a
+//     legal metric name, legal label names, correctly quoted label values
+//     and a float-parsable value;
+//   - every sample belongs to a family declared by a preceding # TYPE
+//     line with a legal type (counter, gauge, histogram, summary,
+//     untyped), declared at most once;
+//   - histogram _bucket samples carry an le label;
+//   - no (name, labelset) pair appears twice.
+//
+// It returns the number of sample lines. Both the text dump
+// (WritePrometheus) and the monitoring server's /metrics endpoint are
+// validated against it by the conformance tests.
+func ValidatePrometheusText(data []byte) (samples int, err error) {
+	if len(data) == 0 {
+		return 0, fmt.Errorf("prom: empty exposition")
+	}
+	if data[len(data)-1] != '\n' {
+		return 0, fmt.Errorf("prom: exposition not newline-terminated")
+	}
+	types := map[string]string{} // family → declared type
+	seenSample := map[string]bool{}
+	familySampled := map[string]bool{}
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 2 {
+				continue // bare comment
+			}
+			switch fields[1] {
+			case "HELP":
+				if len(fields) < 3 || !validMetricName(fields[2]) {
+					return samples, fmt.Errorf("prom: line %d: malformed HELP", lineNo)
+				}
+			case "TYPE":
+				if len(fields) < 4 {
+					return samples, fmt.Errorf("prom: line %d: malformed TYPE", lineNo)
+				}
+				name, typ := fields[2], fields[3]
+				if !validMetricName(name) {
+					return samples, fmt.Errorf("prom: line %d: bad metric name %q", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return samples, fmt.Errorf("prom: line %d: bad type %q", lineNo, typ)
+				}
+				if _, dup := types[name]; dup {
+					return samples, fmt.Errorf("prom: line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if familySampled[name] {
+					return samples, fmt.Errorf("prom: line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				types[name] = typ
+			}
+			continue
+		}
+		name, labels, value, rest, perr := parseSampleLine(line)
+		if perr != nil {
+			return samples, fmt.Errorf("prom: line %d: %v", lineNo, perr)
+		}
+		if _, ferr := strconv.ParseFloat(value, 64); ferr != nil {
+			return samples, fmt.Errorf("prom: line %d: bad value %q", lineNo, value)
+		}
+		if rest != "" {
+			if _, terr := strconv.ParseInt(rest, 10, 64); terr != nil {
+				return samples, fmt.Errorf("prom: line %d: bad timestamp %q", lineNo, rest)
+			}
+		}
+		fam, ok := familyOf(name, types)
+		if !ok {
+			return samples, fmt.Errorf("prom: line %d: sample %s has no preceding # TYPE", lineNo, name)
+		}
+		familySampled[fam] = true
+		if types[fam] == "histogram" && strings.HasSuffix(name, "_bucket") && !hasLabel(labels, "le") {
+			return samples, fmt.Errorf("prom: line %d: histogram bucket without le label", lineNo)
+		}
+		key := name + "{" + strings.Join(labels, ",") + "}"
+		if seenSample[key] {
+			return samples, fmt.Errorf("prom: line %d: duplicate sample %s", lineNo, key)
+		}
+		seenSample[key] = true
+		samples++
+	}
+	return samples, nil
+}
+
+// familyOf resolves a sample name to its declared family: exact match, or
+// the histogram/summary component suffixes.
+func familyOf(name string, types map[string]string) (string, bool) {
+	if _, ok := types[name]; ok {
+		return name, true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, found := strings.CutSuffix(name, suffix); found {
+			if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+				return base, true
+			}
+		}
+	}
+	return "", false
+}
+
+func hasLabel(labels []string, name string) bool {
+	for _, l := range labels {
+		if strings.HasPrefix(l, name+"=") {
+			return true
+		}
+	}
+	return false
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSampleLine splits one sample line into name, rendered labels
+// (name="value" pieces), the value token and any trailing timestamp.
+func parseSampleLine(line string) (name string, labels []string, value, rest string, err error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", nil, "", "", fmt.Errorf("bad metric name %q", name)
+	}
+	if i < len(line) && line[i] == '{' {
+		i++ // consume '{'
+		for {
+			if i >= len(line) {
+				return "", nil, "", "", fmt.Errorf("unterminated label set")
+			}
+			if line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && line[j] != '=' {
+				j++
+			}
+			if j >= len(line) || !validLabelName(line[i:j]) {
+				return "", nil, "", "", fmt.Errorf("bad label name %q", line[i:j])
+			}
+			lname := line[i:j]
+			i = j + 1
+			if i >= len(line) || line[i] != '"' {
+				return "", nil, "", "", fmt.Errorf("label %s: value not quoted", lname)
+			}
+			i++ // consume opening quote
+			var val strings.Builder
+			for {
+				if i >= len(line) {
+					return "", nil, "", "", fmt.Errorf("label %s: unterminated value", lname)
+				}
+				c := line[i]
+				if c == '\\' {
+					if i+1 >= len(line) {
+						return "", nil, "", "", fmt.Errorf("label %s: dangling escape", lname)
+					}
+					switch line[i+1] {
+					case '\\', '"', 'n':
+						val.WriteByte(line[i+1])
+					default:
+						return "", nil, "", "", fmt.Errorf("label %s: bad escape \\%c", lname, line[i+1])
+					}
+					i += 2
+					continue
+				}
+				if c == '"' {
+					i++
+					break
+				}
+				val.WriteByte(c)
+				i++
+			}
+			labels = append(labels, lname+"="+strconv.Quote(val.String()))
+			if i < len(line) && line[i] == ',' {
+				i++
+			}
+		}
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return "", nil, "", "", fmt.Errorf("missing value separator")
+	}
+	i++
+	fields := strings.Fields(line[i:])
+	switch len(fields) {
+	case 1:
+		return name, labels, fields[0], "", nil
+	case 2:
+		return name, labels, fields[0], fields[1], nil
+	default:
+		return "", nil, "", "", fmt.Errorf("trailing garbage after value")
+	}
+}

@@ -62,6 +62,18 @@ func (o *Observer) Report() string {
 	if n := len(o.Series()); n > 0 {
 		fmt.Fprintf(&b, "series: %d snapshots retained\n", n)
 	}
+
+	o.mu.Lock()
+	sections := append([]reportSection(nil), o.sections...)
+	o.mu.Unlock()
+	for _, s := range sections {
+		fmt.Fprintf(&b, "-- %s --\n", s.title)
+		out := s.render()
+		b.WriteString(out)
+		if out != "" && !strings.HasSuffix(out, "\n") {
+			b.WriteByte('\n')
+		}
+	}
 	return b.String()
 }
 

@@ -24,9 +24,11 @@ const (
 
 // Event phases (a subset of the Chrome trace-event phases).
 const (
-	PhaseSpan    byte = 'X' // complete span: Ts + Dur
-	PhaseInstant byte = 'i' // instant event
-	PhaseCounter byte = 'C' // counter sample
+	PhaseSpan      byte = 'X' // complete span: Ts + Dur
+	PhaseInstant   byte = 'i' // instant event
+	PhaseCounter   byte = 'C' // counter sample
+	PhaseFlowStart byte = 's' // flow start: head of a causal chain
+	PhaseFlowStep  byte = 't' // flow step: continuation of a causal chain
 )
 
 // maxArgs bounds per-event argument storage; a fixed array keeps Event
@@ -47,7 +49,10 @@ type Event struct {
 	Track int32
 	Phase byte
 	Name  string
-	Args  [maxArgs]Arg // unused slots have empty keys
+	// ID binds flow events ('s'/'t') into one causal chain; the viewer
+	// draws arrows between events sharing a nonzero ID. Unused otherwise.
+	ID   uint64
+	Args [maxArgs]Arg // unused slots have empty keys
 }
 
 func packArgs(args []Arg) (out [maxArgs]Arg) {

@@ -79,7 +79,12 @@ type Point struct {
 	Speedup   float64
 	Messages  uint64
 	Rollbacks uint64
-	GateParts []int32 `json:"-"` // the partition evaluated (for reuse in full runs); omitted from -json dumps
+	// CritPath and BoundSpeedup are the modeled critical path of the
+	// partitioned trace and the speedup ceiling it implies — the causal
+	// quality of a (k, b) point independent of communication costs.
+	CritPath     float64
+	BoundSpeedup float64
+	GateParts    []int32 `json:"-"` // the partition evaluated (for reuse in full runs); omitted from -json dumps
 	// PartWall and SimWall are the wall-clock durations this point spent
 	// in the partitioner and in the cluster model.
 	PartWall time.Duration
@@ -149,6 +154,7 @@ func evaluateCtx(ctx context.Context, cfg *Config, k int, b float64) (*Point, er
 		K: k, B: b, Cut: pr.Cut, Balanced: pr.Balanced,
 		SimTime: res.ParTime, SeqTime: res.SeqTime, Speedup: res.Speedup,
 		Messages: res.Messages, Rollbacks: res.Rollbacks,
+		CritPath: res.CritPath, BoundSpeedup: res.BoundSpeedup,
 		GateParts: pr.GateParts,
 		PartWall:  partWall, SimWall: time.Since(t1),
 	}, nil

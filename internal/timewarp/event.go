@@ -17,6 +17,7 @@ import (
 	"container/heap"
 
 	"repro/internal/netlist"
+	"repro/internal/obs/causality"
 	"repro/internal/sim"
 )
 
@@ -28,6 +29,12 @@ type event struct {
 	Anti bool
 	Src  int32
 	Seq  uint64 // per-source sequence number; anti-messages repeat it
+	// Parent is the remote event whose consumption preceded this send in
+	// the generating cycle, and Origin the straggler-origin id blame
+	// propagates through rollback re-execution and anti-messages. Both
+	// zero when causality recording is off (Config.Causality nil).
+	Parent causality.EventID
+	Origin causality.EventID
 }
 
 // eventHeap is a min-heap of events ordered by (T, Src, Seq) so replay

@@ -10,6 +10,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/netlist"
 	"repro/internal/obs"
+	"repro/internal/obs/causality"
 	"repro/internal/sim"
 )
 
@@ -68,6 +69,16 @@ type Config struct {
 	// rollback/GVT trace spans, and the Chrome-trace export. Nil disables
 	// instrumentation; every hot-path site then costs one branch.
 	Obs *obs.Observer
+	// Causality attaches the per-event lineage recorder (parent and
+	// straggler-origin ids riding on every event): Recorder.Analyze then
+	// yields rollback-cascade blame and the committed-event critical path
+	// after the run. Nil disables recording; every hot-path site then
+	// costs one branch.
+	Causality *causality.Recorder
+	// Probe, when non-nil, receives live liveness state from the watcher
+	// (GVT, minimum progress, straggler depth, last-activity time) — the
+	// read-only feed behind the monitoring server's /healthz.
+	Probe *Probe
 }
 
 // Stats aggregates kernel activity over a run.
@@ -144,9 +155,13 @@ func Run(cfg Config) (*Result, error) {
 	var cancelled atomic.Bool                // any-cluster failure flag
 	var gvt atomic.Uint64                    // quiescent GVT in cycles
 
+	cfg.Causality.Attach(cfg.K, cfg.Cycles)
+	cfg.Probe.attach(cfg.Cycles)
+
 	clusters := make([]*cluster, cfg.K)
 	for c := 0; c < cfg.K; c++ {
 		clusters[c] = newCluster(int32(c), &cfg, deltaRange, net.Endpoint(c), progress, &absorbed, &cancelled, &gvt, observe)
+		clusters[c].rec = cfg.Causality
 	}
 
 	runT0 := cfg.Obs.Start()
@@ -246,8 +261,18 @@ func Run(cfg Config) (*Result, error) {
 					break
 				}
 			}
-			if sent != prevSent || nowAbsorbed != prevAbsorbed || progMoved {
+			active := sent != prevSent || nowAbsorbed != prevAbsorbed || progMoved
+			if active {
 				lastActivity = time.Now()
+			}
+			if cfg.Probe != nil {
+				maxDepth := uint64(0)
+				for _, cl := range clusters {
+					if d := cl.stats.maxStragglerDepth.Load(); d > maxDepth {
+						maxDepth = d
+					}
+				}
+				cfg.Probe.note(gvt.Load(), minProg, maxDepth, active)
 			}
 			stable := prevValid && sent == prevSent && allAbsorbed && !progMoved
 			if stable {
@@ -333,12 +358,15 @@ func Run(cfg Config) (*Result, error) {
 
 	for c := 0; c < cfg.K; c++ {
 		if errs[c] != nil {
+			cfg.Probe.finish(errs[c])
 			return nil, errs[c]
 		}
 	}
 	if watcherErr != nil {
+		cfg.Probe.finish(watcherErr)
 		return nil, watcherErr
 	}
+	cfg.Probe.finish(nil)
 
 	res := &Result{
 		Observed:            make(map[netlist.NetID][]bool, len(observe)),
