@@ -15,7 +15,10 @@ TRACE_CYCLES ?= 2000
 MONITOR_PORT ?= 8315
 MONITOR_HOLD ?= 10s
 
-.PHONY: check build test vet race bench fuzz trace-demo monitor-demo
+BENCH_COUNT ?= 5
+BENCH_PATTERN ?= TimeWarp
+
+.PHONY: check build test vet race bench bench-record perf-smoke fuzz trace-demo monitor-demo
 
 check: build test vet race
 
@@ -63,3 +66,20 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# Re-record the committed perf baseline: the kernel/obs benchmark set with
+# -count=$(BENCH_COUNT), aggregated into BENCH_5.json (name → mean ns/op,
+# B/op, allocs/op). Commit the file so future PRs have a trajectory; the
+# perf-smoke CI job gates allocs/op against it.
+bench-record:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) . \
+		| tee bench-record.txt \
+		| $(GO) run ./cmd/benchrec -out BENCH_5.json
+
+# The CI allocs/op gate: fresh benchmark runs compared against the
+# committed baseline. Fails on >10% allocs/op regression; wall time is
+# advisory only (shared runners are too noisy to gate on).
+perf-smoke:
+	$(GO) test -run '^$$' -bench 'TimeWarpKernel|TimeWarpObsOff|TimeWarpObsOn' \
+		-benchmem -count=3 . \
+		| $(GO) run ./cmd/benchrec -check BENCH_5.json -max-allocs-regress 10

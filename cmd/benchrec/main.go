@@ -1,0 +1,146 @@
+// Command benchrec records and checks the repo's performance baseline.
+//
+// Record mode parses `go test -bench -benchmem` output on stdin and writes
+// a JSON baseline (benchmark name → mean ns/op, B/op, allocs/op over all
+// samples):
+//
+//	go test -run '^$' -bench 'TimeWarp' -benchmem -count=5 . | benchrec -out BENCH_5.json
+//
+// Check mode parses fresh output the same way and compares allocs/op
+// against the recorded baseline, failing (exit 1) on a regression beyond
+// the threshold. Wall time is reported but advisory only — shared CI
+// runners make ns/op too noisy to gate on:
+//
+//	go test -run '^$' -bench 'TimeWarp' -benchmem -count=3 . | benchrec -check BENCH_5.json -max-allocs-regress 10
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Record is one benchmark's aggregated baseline.
+type Record struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Samples     int     `json:"samples"`
+}
+
+// benchLine matches `BenchmarkName[-P] N ns/op B/op allocs/op` rows of
+// `go test -bench -benchmem` output.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op\s+([\d.]+) B/op\s+([\d.]+) allocs/op`)
+
+func parse(f *os.File) (map[string]Record, error) {
+	sums := map[string]*Record{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		b, _ := strconv.ParseFloat(m[3], 64)
+		allocs, _ := strconv.ParseFloat(m[4], 64)
+		r := sums[m[1]]
+		if r == nil {
+			r = &Record{}
+			sums[m[1]] = r
+		}
+		r.NsPerOp += ns
+		r.BytesPerOp += b
+		r.AllocsPerOp += allocs
+		r.Samples++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]Record, len(sums))
+	for name, r := range sums {
+		n := float64(r.Samples)
+		out[name] = Record{
+			NsPerOp:     r.NsPerOp / n,
+			BytesPerOp:  r.BytesPerOp / n,
+			AllocsPerOp: r.AllocsPerOp / n,
+			Samples:     r.Samples,
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	out := flag.String("out", "", "write the parsed baseline JSON to this file (record mode)")
+	check := flag.String("check", "", "compare stdin against this baseline JSON (check mode)")
+	maxAllocs := flag.Float64("max-allocs-regress", 10,
+		"allowed allocs/op regression in percent before check mode fails")
+	flag.Parse()
+
+	cur, err := parse(os.Stdin)
+	fatal(err)
+	if len(cur) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin (need -benchmem output)"))
+	}
+
+	switch {
+	case *out != "":
+		buf, err := json.MarshalIndent(cur, "", "  ")
+		fatal(err)
+		fatal(os.WriteFile(*out, append(buf, '\n'), 0o644))
+		fmt.Printf("recorded %d benchmarks to %s\n", len(cur), *out)
+	case *check != "":
+		raw, err := os.ReadFile(*check)
+		fatal(err)
+		base := map[string]Record{}
+		fatal(json.Unmarshal(raw, &base))
+		names := make([]string, 0, len(cur))
+		for name := range cur {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		failed := false
+		for _, name := range names {
+			c := cur[name]
+			b, ok := base[name]
+			if !ok {
+				fmt.Printf("%-32s NEW        allocs/op %.0f (no baseline)\n", name, c.AllocsPerOp)
+				continue
+			}
+			allocsDelta := pct(c.AllocsPerOp, b.AllocsPerOp)
+			nsDelta := pct(c.NsPerOp, b.NsPerOp)
+			status := "ok"
+			if allocsDelta > *maxAllocs {
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%-32s %-4s allocs/op %.0f vs %.0f (%+.1f%%, limit +%.0f%%); ns/op %+.1f%% (advisory)\n",
+				name, status, c.AllocsPerOp, b.AllocsPerOp, allocsDelta, *maxAllocs, nsDelta)
+		}
+		if failed {
+			fmt.Println("perf-smoke: allocs/op regression beyond threshold")
+			os.Exit(1)
+		}
+	default:
+		fatal(fmt.Errorf("one of -out or -check is required"))
+	}
+}
+
+func pct(cur, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base * 100
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrec:", err)
+		os.Exit(1)
+	}
+}

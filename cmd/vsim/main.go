@@ -54,6 +54,9 @@ func main() {
 		serveAddr = flag.String("serve", "", "serve live monitoring endpoints (/metrics /healthz /status /events /debug/pprof) on this host:port while the run executes (tw mode)")
 		serveHold = flag.Duration("serve-hold", 0, "keep the monitoring server up this long after the run finishes (with -serve; for scripted scrapes and demos)")
 		blame     = flag.Bool("blame", false, "record per-event causality and print the rollback-blame / critical-path report after the run (tw mode)")
+
+		chkEvery = flag.Uint64("checkpoint-every", 1, "state-saving interval in cycles; sparse checkpointing trades rollback coast-forward cost for lower saving overhead (tw mode)")
+		adaptive = flag.Bool("adaptive-checkpoint", false, "let each cluster tune its checkpoint interval from its observed rollback rate, starting at -checkpoint-every (tw mode)")
 	)
 	flag.Parse()
 	if *in == "" || *top == "" {
@@ -108,6 +111,7 @@ func main() {
 		if *mode == "tw" {
 			cfg := timewarp.Config{
 				NL: nl, GateParts: pr.GateParts, K: *k, Vectors: vs, Cycles: *cycles,
+				CheckpointEvery: *chkEvery, AdaptiveCheckpoint: *adaptive,
 				Obs: o,
 			}
 			if *chaos {

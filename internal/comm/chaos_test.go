@@ -41,6 +41,59 @@ func TestChaosPreservesPerLinkFIFO(t *testing.T) {
 	}
 }
 
+// TestChaosPreservesBatchOrder sends slice-valued payloads (the batched
+// framing the Time Warp kernel uses) mixed with single values through the
+// chaos transport: each batch must arrive intact as one message, in
+// per-link send order relative to its neighbours — the property that lets
+// a receiver unpack batches sequentially and still never see an
+// anti-message overtake its positive.
+func TestChaosPreservesBatchOrder(t *testing.T) {
+	n := NewNetworkTransport(2, Chaos(ChaosConfig{
+		Seed: 11, MaxDelay: 300 * time.Microsecond, StallEvery: 13, StallFor: time.Millisecond,
+	}))
+	defer n.CloseTransport()
+	const count = 400
+	next := 0
+	sent := 0
+	for i := 0; i < count; i++ {
+		if i%3 == 0 { // a batch of 1..4 sequenced items
+			b := make([]int, 1+i%4)
+			for j := range b {
+				b[j] = next
+				next++
+			}
+			n.Endpoint(0).Send(1, b)
+		} else {
+			n.Endpoint(0).Send(1, next)
+			next++
+		}
+		sent++
+	}
+	got := drainUntil(t, n.Endpoint(1), sent, 10*time.Second)
+	seq := 0
+	for i, m := range got {
+		switch v := m.(type) {
+		case int:
+			if v != seq {
+				t.Fatalf("message %d: got %d, want %d", i, v, seq)
+			}
+			seq++
+		case []int:
+			for _, item := range v {
+				if item != seq {
+					t.Fatalf("message %d: batch item %d, want %d", i, item, seq)
+				}
+				seq++
+			}
+		default:
+			t.Fatalf("message %d: unexpected payload %T", i, m)
+		}
+	}
+	if seq != next {
+		t.Fatalf("drained %d of %d items", seq, next)
+	}
+}
+
 func TestChaosInFlightCountsHeldMessages(t *testing.T) {
 	// Huge delays: everything sits in transport limbo, yet InFlight must
 	// count it — the kernel's termination logic depends on held messages

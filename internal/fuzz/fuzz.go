@@ -51,6 +51,9 @@ type Spec struct {
 	Cycles    uint64
 	Window    uint64
 	ChkEvery  uint64
+	Adaptive  bool              // adaptive checkpoint-interval tuning
+	Keyframe  uint64            // keyframe cadence of the delta store (0 = default)
+	NoBatch   bool              // one comm.Message per event (pre-batching framing)
 	Chaos     *comm.ChaosConfig // nil = benign direct delivery
 }
 
@@ -70,6 +73,9 @@ func NewSpec(seed int64, chaos bool) Spec {
 		Cycles:    uint64(40 + rng.Intn(120)),
 		Window:    uint64(4 + rng.Intn(12)),
 		ChkEvery:  uint64(1 + rng.Intn(6)),
+		Adaptive:  rng.Intn(3) == 0, // 1/3 of runs tune the interval live
+		Keyframe:  uint64(1 + rng.Intn(8)),
+		NoBatch:   rng.Intn(4) == 0, // 1/4 keep the unbatched wire format
 	}
 	if chaos {
 		s.Chaos = &comm.ChaosConfig{
@@ -242,17 +248,20 @@ func ExecuteObserved(spec Spec, faults *timewarp.FaultConfig, stallTimeout time.
 
 	// Time Warp under (optionally) adversarial delivery.
 	cfg := timewarp.Config{
-		NL:              nl,
-		GateParts:       parts,
-		K:               k,
-		Vectors:         vs,
-		Cycles:          spec.Cycles,
-		Window:          spec.Window,
-		CheckpointEvery: spec.ChkEvery,
-		StallTimeout:    stallTimeout,
-		RunTimeout:      4 * stallTimeout,
-		Faults:          faults,
-		Obs:             o,
+		NL:                 nl,
+		GateParts:          parts,
+		K:                  k,
+		Vectors:            vs,
+		Cycles:             spec.Cycles,
+		Window:             spec.Window,
+		CheckpointEvery:    spec.ChkEvery,
+		AdaptiveCheckpoint: spec.Adaptive,
+		KeyframeEvery:      spec.Keyframe,
+		DisableBatching:    spec.NoBatch,
+		StallTimeout:       stallTimeout,
+		RunTimeout:         4 * stallTimeout,
+		Faults:             faults,
+		Obs:                o,
 	}
 	if spec.Chaos != nil {
 		cc := *spec.Chaos

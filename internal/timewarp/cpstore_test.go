@@ -1,0 +1,338 @@
+package timewarp
+
+import (
+	"testing"
+
+	"repro/internal/elab"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// mkvals builds a value mirror of n nets with the given true positions.
+func mkvals(n int, ones ...netlist.NetID) []bool {
+	v := make([]bool, n)
+	for _, i := range ones {
+		v[i] = true
+	}
+	return v
+}
+
+func TestCPStoreRestoreOnKeyframe(t *testing.T) {
+	s := newCPStore(4)
+	vals := mkvals(64)
+	if !s.take(0, vals, nil, nil) { // keyframe (first record)
+		t.Fatal("first take refused")
+	}
+	vals[3] = true
+	s.take(1, vals, nil, []netlist.NetID{3})
+	vals[7] = true
+	s.take(2, vals, nil, []netlist.NetID{7})
+
+	// Restoring exactly on the keyframe must not apply any delta.
+	out := mkvals(64, 3, 7, 20) // scribbled state
+	cyc, carry, ok := s.restore(0, out)
+	if !ok || cyc != 0 || carry != nil {
+		t.Fatalf("restore(0) = %d,%v,%v", cyc, carry, ok)
+	}
+	for i, v := range out {
+		if v != false {
+			t.Fatalf("net %d not restored to keyframe value", i)
+		}
+	}
+}
+
+func TestCPStoreRestoreSpansDeltaSegments(t *testing.T) {
+	s := newCPStore(8)
+	n := 128
+	vals := mkvals(n)
+	s.take(0, vals, nil, nil) // keyframe
+	// Five delta segments, each touching distinct and overlapping nets.
+	writes := [][]netlist.NetID{{1, 2}, {2, 3}, {4}, {1, 5}, {6}}
+	for i, w := range writes {
+		for _, nid := range w {
+			vals[nid] = !vals[nid]
+		}
+		s.take(uint64(i+1), vals, []netlist.NetID{netlist.NetID(i)}, w)
+	}
+	snapshot := append([]bool(nil), vals...)
+
+	// Restore the newest record: must replay all five segments in order.
+	out := mkvals(n, 9, 10, 11)
+	// Start from an arbitrary scribble; restore overwrites via keyframe copy.
+	cyc, carry, ok := s.restore(99, out)
+	if !ok || cyc != 5 {
+		t.Fatalf("restore = %d,%v", cyc, ok)
+	}
+	if len(carry) != 1 || carry[0] != 4 {
+		t.Fatalf("carry = %v, want [4]", carry)
+	}
+	for i := range out {
+		if out[i] != snapshot[i] {
+			t.Fatalf("net %d: restored %v, want %v", i, out[i], snapshot[i])
+		}
+	}
+	// A mid-chain restore must stop replay at its record.
+	out2 := make([]bool, n)
+	cyc, _, _ = s.restore(2, out2)
+	if cyc != 2 {
+		t.Fatalf("mid restore cycle = %d", cyc)
+	}
+	// After segment 2: net1 toggled once (true), net2 twice (false), net3
+	// once (true); later writes (4,5,6) must NOT be applied.
+	want := mkvals(n, 1, 3)
+	for i := range out2 {
+		if out2[i] != want[i] {
+			t.Fatalf("mid restore net %d: %v, want %v", i, out2[i], want[i])
+		}
+	}
+}
+
+func TestCPStoreKeyframeCadenceAndFallback(t *testing.T) {
+	s := newCPStore(3)
+	vals := mkvals(256)
+	dirtyAll := make([]netlist.NetID, 256)
+	for i := range dirtyAll {
+		dirtyAll[i] = netlist.NetID(i)
+	}
+	s.take(0, vals, nil, nil)                   // keyframe (first)
+	s.take(1, vals, nil, []netlist.NetID{1})    // delta
+	s.take(2, vals, nil, []netlist.NetID{2})    // delta
+	s.take(3, vals, nil, []netlist.NetID{3})    // keyframe (cadence 3)
+	s.take(4, vals, nil, dirtyAll)              // keyframe (delta >= mirror)
+	s.take(5, vals, nil, []netlist.NetID{1, 2}) // delta
+	wantKey := []bool{true, false, false, true, true, false}
+	for i, w := range wantKey {
+		if s.recs[i].keyframe() != w {
+			t.Fatalf("rec %d keyframe = %v, want %v", i, s.recs[i].keyframe(), w)
+		}
+	}
+	// Re-taking an already-saved cycle (post-rollback re-execution) is a
+	// no-op.
+	if s.take(5, vals, nil, nil) || s.take(2, vals, nil, nil) {
+		t.Fatal("re-take of existing cycle must refuse")
+	}
+	if s.len() != 6 {
+		t.Fatalf("len = %d", s.len())
+	}
+}
+
+func TestCPStoreTruncateAndTrim(t *testing.T) {
+	s := newCPStore(4)
+	vals := mkvals(32)
+	for c := uint64(0); c < 12; c++ {
+		var dirty []netlist.NetID
+		if c > 0 {
+			vals[c] = true
+			dirty = []netlist.NetID{netlist.NetID(c)}
+		}
+		s.take(c, vals, nil, dirty)
+	}
+	// Rollback invalidation: drop everything after cycle 6.
+	s.truncateAfter(6)
+	if got, _ := s.latestAtOrBefore(99); got != 6 {
+		t.Fatalf("latest after truncate = %d", got)
+	}
+	// Restore of 6 must still replay correctly (keyframes at 0,4 w/ cadence
+	// 4 → governing keyframe of 6 is 4).
+	out := make([]bool, 32)
+	if cyc, _, ok := s.restore(6, out); !ok || cyc != 6 {
+		t.Fatalf("restore(6) = %d,%v", cyc, ok)
+	}
+	for i := 1; i <= 6; i++ {
+		if !out[i] {
+			t.Fatalf("net %d lost after truncate+restore", i)
+		}
+	}
+	// Fossil trim to cycle 6: the governing keyframe (4) must survive even
+	// though it is below the line; records before it must go.
+	s.trimBefore(6)
+	if s.recs[0].cycle != 4 || !s.recs[0].keyframe() {
+		t.Fatalf("front record after trim: cycle %d keyframe=%v", s.recs[0].cycle, s.recs[0].keyframe())
+	}
+	out2 := make([]bool, 32)
+	if cyc, _, ok := s.restore(6, out2); !ok || cyc != 6 {
+		t.Fatalf("restore(6) after trim = %d,%v", cyc, ok)
+	}
+	for i := range out {
+		if out[i] != out2[i] {
+			t.Fatalf("net %d differs after trim", i)
+		}
+	}
+	// Growth continues and pooling reuses released buffers.
+	misses := s.misses
+	vals[20] = true
+	s.take(12, vals, []netlist.NetID{20}, []netlist.NetID{20})
+	if s.hits == 0 {
+		t.Error("trim released buffers but take allocated fresh (no pool hit)")
+	}
+	_ = misses
+}
+
+func TestCPStoreSingleCheckpointWholeRun(t *testing.T) {
+	// CheckpointEvery larger than the run: only cycle 0 is ever saved.
+	s := newCPStore(0)
+	vals := mkvals(8, 2)
+	s.take(0, vals, []netlist.NetID{5}, nil)
+	if got, ok := s.latestAtOrBefore(1 << 40); !ok || got != 0 {
+		t.Fatalf("latest = %d,%v", got, ok)
+	}
+	out := make([]bool, 8)
+	cyc, carry, ok := s.restore(1<<40, out)
+	if !ok || cyc != 0 || len(carry) != 1 || carry[0] != 5 || !out[2] {
+		t.Fatalf("restore = %d,%v,%v out=%v", cyc, carry, ok, out)
+	}
+	if _, ok := s.latestAtOrBefore(0); !ok {
+		t.Fatal("cycle 0 must be findable")
+	}
+}
+
+// runBothCfg mirrors runBoth but lets the caller mutate the kernel Config,
+// so checkpointing/batching variants reuse the same sequential oracle.
+func runBothCfg(t *testing.T, ed *elab.Design, gateParts []int32, k int, cycles uint64,
+	seed int64, mutate func(*Config)) Stats {
+	t.Helper()
+	nl := ed.Netlist
+	vs := sim.RandomVectors{Seed: seed}
+	seq, err := sim.New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[netlist.NetID][]bool, len(nl.POs))
+	for _, po := range nl.POs {
+		want[po] = make([]bool, cycles)
+	}
+	buf := make([]bool, seq.VectorWidth())
+	for c := uint64(0); c < cycles; c++ {
+		vs.Vector(c, buf)
+		if _, err := seq.Step(buf); err != nil {
+			t.Fatal(err)
+		}
+		for _, po := range nl.POs {
+			want[po][c] = seq.Value(po)
+		}
+	}
+	cfg := Config{NL: nl, GateParts: gateParts, K: k, Vectors: vs, Cycles: cycles}
+	mutate(&cfg)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, po := range nl.POs {
+		for c := uint64(0); c < cycles; c++ {
+			if res.Observed[po][c] != want[po][c] {
+				t.Fatalf("PO %s cycle %d: timewarp %v, sequential %v",
+					nl.Nets[po].Name, c, res.Observed[po][c], want[po][c])
+			}
+		}
+	}
+	return res.Stats
+}
+
+func viterbiDesign(t *testing.T) *elab.Design {
+	t.Helper()
+	ed, err := gen.Viterbi(gen.ViterbiConfig{K: 4, W: 4, TB: 8}).Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ed
+}
+
+func TestCheckpointEveryLargerThanRun(t *testing.T) {
+	// Every rollback must coast forward from the single cycle-0 record.
+	ed := viterbiDesign(t)
+	st := runBothCfg(t, ed, randomParts(ed.Netlist, 2, 23), 2, 40, 29, func(c *Config) {
+		c.CheckpointEvery = 1_000_000
+	})
+	if st.Checkpoints != 2 { // exactly one per cluster
+		t.Errorf("expected one checkpoint per cluster, got %d", st.Checkpoints)
+	}
+}
+
+func TestRollbackAcrossKeyframesAndDeltas(t *testing.T) {
+	// Sparse checkpoints with a tiny keyframe cadence: rollbacks land both
+	// exactly on keyframes and inside delta chains, and restores span
+	// multiple delta segments. Random partitioning provokes plenty.
+	ed := viterbiDesign(t)
+	for _, kf := range []uint64{1, 2, 8} {
+		st := runBothCfg(t, ed, randomParts(ed.Netlist, 4, 31), 4, 120, 37, func(c *Config) {
+			c.CheckpointEvery = 3
+			c.KeyframeEvery = kf
+		})
+		if st.Rollbacks == 0 {
+			t.Errorf("kf=%d: expected rollbacks under random partitioning", kf)
+		}
+	}
+}
+
+func TestAdaptiveCheckpointingStillCorrect(t *testing.T) {
+	ed := viterbiDesign(t)
+	st := runBothCfg(t, ed, randomParts(ed.Netlist, 4, 41), 4, 150, 43, func(c *Config) {
+		c.AdaptiveCheckpoint = true
+	})
+	if st.Checkpoints == 0 {
+		t.Error("adaptive run took no checkpoints")
+	}
+	t.Logf("adaptive: checkpoints=%d rollbacks=%d", st.Checkpoints, st.Rollbacks)
+}
+
+func TestBatchingDisabledStillCorrect(t *testing.T) {
+	ed := viterbiDesign(t)
+	st := runBothCfg(t, ed, randomParts(ed.Netlist, 4, 47), 4, 100, 53, func(c *Config) {
+		c.DisableBatching = true
+	})
+	if st.Batches != st.BatchedEvents {
+		t.Errorf("unbatched run must ship one event per message: %d batches, %d events",
+			st.Batches, st.BatchedEvents)
+	}
+}
+
+func TestBatchingCoalesces(t *testing.T) {
+	ed := viterbiDesign(t)
+	st := runBothCfg(t, ed, randomParts(ed.Netlist, 4, 47), 4, 100, 53, func(c *Config) {})
+	if st.BatchedEvents <= st.Batches {
+		t.Errorf("batching never coalesced: %d batches for %d events", st.Batches, st.BatchedEvents)
+	}
+	t.Logf("mean batch size %.2f", float64(st.BatchedEvents)/float64(st.Batches))
+}
+
+func TestFossilCollectionRacesDeepRollback(t *testing.T) {
+	// Long sparse-checkpoint run with a wide window: GVT advances and
+	// fossil-collects while stragglers force deep rollbacks near the
+	// fossil line. Run under -race in CI; the waveform oracle plus the
+	// kernel's fossil-restore invariant check catch any unsafe trim.
+	ed := viterbiDesign(t)
+	st := runBothCfg(t, ed, randomParts(ed.Netlist, 4, 59), 4, 400, 61, func(c *Config) {
+		c.CheckpointEvery = 5
+		c.KeyframeEvery = 3
+		c.Window = 16
+	})
+	if st.Rollbacks == 0 {
+		t.Error("expected rollbacks in the fossil/rollback race test")
+	}
+	t.Logf("rollbacks=%d maxDepth=%d pooled hits=%d misses=%d bytesSaved=%d",
+		st.Rollbacks, st.MaxStragglerDepth, st.PoolHits, st.PoolMisses, st.CheckpointBytesSaved)
+}
+
+func TestAdaptiveIntervalWidens(t *testing.T) {
+	// A rollback-free run (K=1) must widen the interval and take far fewer
+	// checkpoints than cycles.
+	c := gen.LFSR(16, nil)
+	ed, err := c.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		NL: ed.Netlist, GateParts: make([]int32, len(ed.Netlist.Gates)), K: 1,
+		Vectors: sim.RandomVectors{Seed: 5}, Cycles: 400, AdaptiveCheckpoint: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interval doubles every 32 quiet cycles up to 32: well under half the
+	// dense count.
+	if res.Stats.Checkpoints*2 >= 400 {
+		t.Errorf("adaptive interval never widened: %d checkpoints over 400 cycles",
+			res.Stats.Checkpoints)
+	}
+}

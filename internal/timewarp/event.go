@@ -37,27 +37,91 @@ type event struct {
 	Origin causality.EventID
 }
 
-// eventHeap is a min-heap of events ordered by (T, Src, Seq) so replay
-// order is deterministic.
-type eventHeap []event
+// batch is the transport payload coalescing every event one cluster emits
+// to one destination within a cycle into a single comm.Message. Order
+// within the batch is send order, so per-link FIFO survives batching: the
+// receiver unpacks sequentially and an anti-message can never overtake the
+// positive it cancels.
+type batch []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].T != h[j].T {
-		return h[i].T < h[j].T
-	}
-	if h[i].Src != h[j].Src {
-		return h[i].Src < h[j].Src
-	}
-	return h[i].Seq < h[j].Seq
+// heapKey identifies a positive event for annihilation: anti-messages
+// repeat their positive's (Src, Seq).
+type heapKey struct {
+	src int32
+	seq uint64
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+
+// eventHeap is a min-heap of events ordered by (T, Src, Seq) — so replay
+// order is deterministic — backed by a (src, seq) → heap-index map
+// maintained through every sift, so anti-message annihilation
+// (removeMatching) is an O(1) lookup plus an O(log n) heap.Remove instead
+// of the former O(n) scan.
+//
+// The kernel guarantees a positive (src, seq) resides in the heap at most
+// once (exactly-once delivery; an event lives in either pending or the
+// processed log, never both — rollback moves it back atomically). Should a
+// duplicate positive key ever be pushed anyway (tests can), the heap
+// detects the collision and degrades to the scan fallback until it drains,
+// so a colliding key can never annihilate the wrong copy via a stale index.
+type eventHeap struct {
+	ev []event
+	// pos indexes positive events only; anti-marked events are never
+	// annihilation targets and stay unindexed.
+	pos map[heapKey]int
+	// dups counts positive keys pushed while already indexed. While
+	// non-zero the index is untrusted and removeMatching scans; the state
+	// resets when the heap drains.
+	dups int
+}
+
+func (h *eventHeap) Len() int { return len(h.ev) }
+func (h *eventHeap) Less(i, j int) bool {
+	a, b := &h.ev[i], &h.ev[j]
+	if a.T != b.T {
+		return a.T < b.T
+	}
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Seq < b.Seq
+}
+func (h *eventHeap) Swap(i, j int) {
+	h.ev[i], h.ev[j] = h.ev[j], h.ev[i]
+	if !h.ev[i].Anti {
+		h.pos[heapKey{h.ev[i].Src, h.ev[i].Seq}] = i
+	}
+	if !h.ev[j].Anti {
+		h.pos[heapKey{h.ev[j].Src, h.ev[j].Seq}] = j
+	}
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(event)
+	if !e.Anti {
+		if h.pos == nil {
+			h.pos = make(map[heapKey]int)
+		}
+		k := heapKey{e.Src, e.Seq}
+		if _, exists := h.pos[k]; exists {
+			h.dups++
+		} else {
+			h.pos[k] = len(h.ev)
+		}
+	}
+	h.ev = append(h.ev, e)
+}
 func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
+	n := len(h.ev)
+	e := h.ev[n-1]
+	h.ev = h.ev[:n-1]
+	if !e.Anti && h.dups == 0 {
+		delete(h.pos, heapKey{e.Src, e.Seq})
+	}
+	if len(h.ev) == 0 && (h.dups > 0 || len(h.pos) > 0) {
+		// Drained: any collision state (and stale entries it left behind)
+		// is gone; re-arm the index.
+		h.dups = 0
+		clear(h.pos)
+	}
 	return e
 }
 
@@ -65,11 +129,24 @@ func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
 
 func (h *eventHeap) popEvent() event { return heap.Pop(h).(event) }
 
-// removeMatching deletes the first event with the given (src, seq),
-// returning whether one was found.
+// min returns the heap minimum without removing it. Caller checks Len.
+func (h *eventHeap) min() *event { return &h.ev[0] }
+
+// removeMatching deletes the positive event with the given (src, seq),
+// returning whether one was found. Anti-marked events never match.
 func (h *eventHeap) removeMatching(src int32, seq uint64) bool {
-	for i := range *h {
-		if (*h)[i].Src == src && (*h)[i].Seq == seq && !(*h)[i].Anti {
+	if h.dups == 0 {
+		i, ok := h.pos[heapKey{src, seq}]
+		if !ok {
+			return false
+		}
+		heap.Remove(h, i)
+		return true
+	}
+	// Collision fallback: the index may point at either duplicate, so scan
+	// for the first match in slice order — the pre-index behaviour.
+	for i := range h.ev {
+		if h.ev[i].Src == src && h.ev[i].Seq == seq && !h.ev[i].Anti {
 			heap.Remove(h, i)
 			return true
 		}

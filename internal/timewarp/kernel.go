@@ -36,6 +36,21 @@ type Config struct {
 	// re-executing silently) for much lower state-saving overhead —
 	// the classic Time Warp trade-off.
 	CheckpointEvery uint64
+	// AdaptiveCheckpoint lets each cluster tune its own checkpoint
+	// interval at runtime, starting from CheckpointEvery: quiet windows
+	// (no rollbacks) double it up to a cap, rollback-heavy windows halve
+	// it down to 1. Off by default so fixed-interval runs stay exactly
+	// reproducible cycle-for-cycle.
+	AdaptiveCheckpoint bool
+	// KeyframeEvery is the full-mirror cadence of the incremental
+	// checkpoint store: one keyframe per this many checkpoint records,
+	// delta records (dirty nets only) in between. 0 = default (8).
+	KeyframeEvery uint64
+	// DisableBatching sends one comm.Message per event instead of
+	// coalescing per destination per cycle — the pre-batching wire
+	// format, kept reachable so the differential fuzzer can cover both
+	// framings.
+	DisableBatching bool
 	// Observe lists nets whose committed per-cycle (post-latch) values
 	// are recorded; defaults to the primary outputs.
 	Observe []netlist.NetID
@@ -93,6 +108,17 @@ type Stats struct {
 	// minus restored checkpoint) — how far behind its cluster the worst
 	// straggler arrived. Aggregated by max, not sum.
 	MaxStragglerDepth uint64
+	// Batches counts comm.Messages sent and BatchedEvents the events they
+	// carried; their ratio is the mean batch size (1.0 with batching
+	// disabled).
+	Batches       uint64
+	BatchedEvents uint64
+	// PoolHits/PoolMisses count checkpoint-buffer free-list reuse versus
+	// fresh allocations; CheckpointBytesSaved is the full-mirror bytes
+	// delta checkpoints avoided copying.
+	PoolHits             uint64
+	PoolMisses           uint64
+	CheckpointBytesSaved uint64
 }
 
 // Result is the outcome of a run.
@@ -195,6 +221,18 @@ func Run(cfg Config) (*Result, error) {
 				func() float64 { return float64(st.maxStragglerDepth.Load()) }, lbl)
 			reg.SampleFunc("tw_queue_len", "pending remote events in the cluster queue",
 				func() float64 { return float64(st.queueLen.Load()) }, lbl)
+			reg.SampleFunc("tw_batches", "inter-cluster comm messages sent (batches)",
+				func() float64 { return float64(st.batches.Load()) }, lbl)
+			reg.SampleFunc("tw_batch_events", "events carried inside sent batches",
+				func() float64 { return float64(st.batchedEvents.Load()) }, lbl)
+			reg.SampleFunc("tw_pool_hits", "checkpoint buffer free-list reuses",
+				func() float64 { return float64(st.poolHits.Load()) }, lbl)
+			reg.SampleFunc("tw_pool_misses", "checkpoint buffer fresh allocations",
+				func() float64 { return float64(st.poolMisses.Load()) }, lbl)
+			reg.SampleFunc("tw_checkpoint_bytes_saved", "mirror bytes avoided by delta checkpoints",
+				func() float64 { return float64(st.checkpointBytesSaved.Load()) }, lbl)
+			reg.SampleFunc("tw_checkpoint_interval", "live state-saving interval in cycles",
+				func() float64 { return float64(st.checkpointInterval.Load()) }, lbl)
 			ci := c
 			reg.SampleFunc("tw_gvt_lag", "cluster progress above GVT in cycles",
 				func() float64 { return float64(progress[ci].Load()) - float64(gvt.Load()) }, lbl)
@@ -211,7 +249,7 @@ func Run(cfg Config) (*Result, error) {
 	// so blocked clusters exit.
 	stop := make(chan struct{})
 	var watcher sync.WaitGroup
-	var watcherErr error          // stall-timeout abort, read after watcher.Wait
+	var watcherErr error           // stall-timeout abort, read after watcher.Wait
 	var watcherViolations []string // invariant breaks seen by the watcher
 	watcher.Add(1)
 	go func() {
@@ -393,6 +431,11 @@ func Run(cfg Config) (*Result, error) {
 		res.Stats.Events += st.Events
 		res.Stats.RolledBackEvents += st.RolledBackEvents
 		res.Stats.Checkpoints += st.Checkpoints
+		res.Stats.Batches += st.Batches
+		res.Stats.BatchedEvents += st.BatchedEvents
+		res.Stats.PoolHits += st.PoolHits
+		res.Stats.PoolMisses += st.PoolMisses
+		res.Stats.CheckpointBytesSaved += st.CheckpointBytesSaved
 		if st.MaxStragglerDepth > res.Stats.MaxStragglerDepth {
 			res.Stats.MaxStragglerDepth = st.MaxStragglerDepth
 		}

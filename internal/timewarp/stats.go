@@ -17,6 +17,18 @@ type atomicStats struct {
 	checkpoints       atomic.Uint64
 	maxStragglerDepth atomic.Uint64 // single-writer max; see noteMax
 	queueLen          atomic.Int64  // pending remote events (gauge)
+
+	// Hot-path overhaul counters. batches counts comm.Messages actually
+	// sent, batchedEvents the events they carried (ratio = mean batch
+	// size). poolHits/poolMisses mirror the checkpoint store's free-list
+	// reuse, checkpointBytesSaved the mirror bytes delta records avoided,
+	// checkpointInterval the live (possibly adaptive) interval gauge.
+	batches              atomic.Uint64
+	batchedEvents        atomic.Uint64
+	poolHits             atomic.Uint64
+	poolMisses           atomic.Uint64
+	checkpointBytesSaved atomic.Uint64
+	checkpointInterval   atomic.Uint64
 }
 
 // noteMax raises maxStragglerDepth to d if larger. The cluster goroutine
@@ -39,5 +51,11 @@ func (s *atomicStats) Snapshot() Stats {
 		RolledBackEvents:  s.rolledBackEvents.Load(),
 		Checkpoints:       s.checkpoints.Load(),
 		MaxStragglerDepth: s.maxStragglerDepth.Load(),
+
+		Batches:              s.batches.Load(),
+		BatchedEvents:        s.batchedEvents.Load(),
+		PoolHits:             s.poolHits.Load(),
+		PoolMisses:           s.poolMisses.Load(),
+		CheckpointBytesSaved: s.checkpointBytesSaved.Load(),
 	}
 }
