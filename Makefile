@@ -18,7 +18,9 @@ MONITOR_HOLD ?= 10s
 BENCH_COUNT ?= 5
 BENCH_PATTERN ?= TimeWarp
 
-.PHONY: check build test vet race bench bench-record perf-smoke fuzz trace-demo monitor-demo
+DIST_CYCLES ?= 200
+
+.PHONY: check build test vet race bench bench-record perf-smoke fuzz trace-demo monitor-demo dist-smoke
 
 check: build test vet race
 
@@ -52,6 +54,39 @@ monitor-demo:
 	curl -fsS http://127.0.0.1:$(MONITOR_PORT)/metrics | head -20; \
 	wait $$pid
 
+# Distributed smoke: the SoC workload simulated sequentially and then
+# across TWO real vsimd worker processes meshed over loopback sockets
+# (vsim -mode dist as coordinator). The run passes only if both print the
+# identical "waveforms sha256:..." digest — bit-identical committed
+# waveforms across process boundaries (DESIGN.md §14).
+dist-smoke:
+	$(GO) run ./cmd/vgen -circuit soc -o soc.v
+	$(GO) build -o vsim.dist ./cmd/vsim
+	$(GO) build -o vsimd.dist ./cmd/vsimd
+	./vsim.dist -in soc.v -top soc -cycles $(DIST_CYCLES) -seed 7 > dist-seq.out; \
+	./vsim.dist -in soc.v -top soc -cycles $(DIST_CYCLES) -seed 7 \
+		-mode dist -k 4 -workers 2 > dist-coord.out 2>&1 & \
+	pid=$$!; \
+	addr=""; \
+	for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's/^coordinator: \([0-9.:]*\).*/\1/p' dist-coord.out 2>/dev/null); \
+		if [ -n "$$addr" ]; then break; fi; \
+		sleep 0.1; \
+	done; \
+	if [ -z "$$addr" ]; then echo "coordinator never printed its address"; cat dist-coord.out; exit 1; fi; \
+	./vsimd.dist -connect $$addr > dist-w0.out 2>&1 & w0=$$!; \
+	./vsimd.dist -connect $$addr > dist-w1.out 2>&1 & w1=$$!; \
+	wait $$pid || { echo "coordinator failed:"; cat dist-coord.out; exit 1; }; \
+	wait $$w0 || { echo "worker 0 failed:"; cat dist-w0.out; exit 1; }; \
+	wait $$w1 || { echo "worker 1 failed:"; cat dist-w1.out; exit 1; }; \
+	cat dist-seq.out dist-coord.out; \
+	seq_digest=$$(grep '^waveforms ' dist-seq.out); \
+	dist_digest=$$(grep '^waveforms ' dist-coord.out); \
+	if [ "$$seq_digest" != "$$dist_digest" ]; then \
+		echo "WAVEFORM MISMATCH"; echo "seq:  $$seq_digest"; echo "dist: $$dist_digest"; exit 1; \
+	fi; \
+	echo "dist-smoke: waveforms bit-identical across 2 worker processes"
+
 build:
 	$(GO) build ./...
 
@@ -77,9 +112,13 @@ bench-record:
 		| $(GO) run ./cmd/benchrec -out BENCH_5.json
 
 # The CI allocs/op gate: fresh benchmark runs compared against the
-# committed baseline. Fails on >10% allocs/op regression; wall time is
-# advisory only (shared runners are too noisy to gate on).
+# committed baseline. Fails on >10% allocs/op regression and on any
+# run/baseline benchmark-set mismatch (benchrec refuses to silently skip
+# an added, renamed or deleted benchmark); wall time is advisory only
+# (shared runners are too noisy to gate on). The pattern must keep
+# matching exactly the benchmark set recorded in BENCH_5.json.
 perf-smoke:
-	$(GO) test -run '^$$' -bench 'TimeWarpKernel|TimeWarpObsOff|TimeWarpObsOn' \
+	$(GO) test -run '^$$' \
+		-bench 'TimeWarpKernel|TimeWarpObsOff|TimeWarpObsOn|TimeWarpCausalityOn' \
 		-benchmem -count=3 . \
 		| $(GO) run ./cmd/benchrec -check BENCH_5.json -max-allocs-regress 10

@@ -12,6 +12,15 @@
 // runners make ns/op too noisy to gate on:
 //
 //	go test -run '^$' -bench 'TimeWarp' -benchmem -count=3 . | benchrec -check BENCH_5.json -max-allocs-regress 10
+//
+// The run and the baseline must cover the same benchmark set: a benchmark
+// present in the run but absent from the baseline (someone added a
+// benchmark without re-recording), or recorded in the baseline but absent
+// from the run (renamed, deleted, or the -bench pattern silently stopped
+// matching it), fails the check loudly — a perf gate that silently skips
+// benchmarks is not a gate. Pass -subset when a partial local run against
+// the full baseline is deliberate; unmatched baseline entries are then
+// reported but tolerated (run-only benchmarks still fail).
 package main
 
 import (
@@ -80,6 +89,8 @@ func main() {
 	check := flag.String("check", "", "compare stdin against this baseline JSON (check mode)")
 	maxAllocs := flag.Float64("max-allocs-regress", 10,
 		"allowed allocs/op regression in percent before check mode fails")
+	subset := flag.Bool("subset", false,
+		"tolerate baseline benchmarks missing from this run (deliberate partial run); run-only benchmarks still fail")
 	flag.Parse()
 
 	cur, err := parse(os.Stdin)
@@ -109,7 +120,11 @@ func main() {
 			c := cur[name]
 			b, ok := base[name]
 			if !ok {
-				fmt.Printf("%-32s NEW        allocs/op %.0f (no baseline)\n", name, c.AllocsPerOp)
+				// Ungated benchmark: the run produced a result the baseline
+				// cannot judge. Re-record (make bench-record) to adopt it.
+				fmt.Printf("%-32s FAIL not in baseline (allocs/op %.0f); re-record the baseline to gate it\n",
+					name, c.AllocsPerOp)
+				failed = true
 				continue
 			}
 			allocsDelta := pct(c.AllocsPerOp, b.AllocsPerOp)
@@ -122,8 +137,27 @@ func main() {
 			fmt.Printf("%-32s %-4s allocs/op %.0f vs %.0f (%+.1f%%, limit +%.0f%%); ns/op %+.1f%% (advisory)\n",
 				name, status, c.AllocsPerOp, b.AllocsPerOp, allocsDelta, *maxAllocs, nsDelta)
 		}
+		// The reverse direction: baseline entries the run never produced.
+		// A renamed or deleted benchmark, or a -bench pattern that silently
+		// stopped matching, would otherwise turn the gate into a no-op.
+		baseNames := make([]string, 0, len(base))
+		for name := range base {
+			baseNames = append(baseNames, name)
+		}
+		sort.Strings(baseNames)
+		for _, name := range baseNames {
+			if _, ok := cur[name]; ok {
+				continue
+			}
+			if *subset {
+				fmt.Printf("%-32s skip in baseline but not in this run (-subset)\n", name)
+				continue
+			}
+			fmt.Printf("%-32s FAIL in baseline but missing from the run; renamed/deleted, or the -bench pattern no longer matches it\n", name)
+			failed = true
+		}
 		if failed {
-			fmt.Println("perf-smoke: allocs/op regression beyond threshold")
+			fmt.Println("perf-smoke: allocs/op regression or run/baseline benchmark-set mismatch")
 			os.Exit(1)
 		}
 	default:

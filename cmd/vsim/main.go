@@ -6,6 +6,9 @@
 //	-mode tw       optimistic Time Warp over k partitions (goroutines)
 //	-mode model    deterministic cluster model: modeled parallel time,
 //	               speedup, message and rollback counts
+//	-mode dist     distributed Time Warp coordinator: partitions the
+//	               design, waits for -workers vsimd processes to connect
+//	               to -listen, and drives the run over real sockets
 //
 // Examples:
 //
@@ -15,9 +18,15 @@
 //	vsim -in soc.v -top soc -mode tw -k 4 -chaos -trace soc.trace.json
 //	vsim -in soc.v -top soc -mode tw -k 4 -serve 127.0.0.1:8080
 //	vsim -in soc.v -top soc -mode tw -k 4 -chaos -blame
+//	vsim -in soc.v -top soc -mode dist -k 4 -workers 2 -listen 127.0.0.1:7700
+//
+// Every mode that produces waveforms prints a deterministic digest line
+// ("waveforms sha256:..."), so sequential, in-process and distributed
+// runs of the same design and seed can be diffed with grep alone.
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +35,7 @@ import (
 	"repro/internal/clustersim"
 	"repro/internal/comm"
 	"repro/internal/elab"
+	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/obs/causality"
 	"repro/internal/obs/serve"
@@ -55,12 +65,24 @@ func main() {
 		serveHold = flag.Duration("serve-hold", 0, "keep the monitoring server up this long after the run finishes (with -serve; for scripted scrapes and demos)")
 		blame     = flag.Bool("blame", false, "record per-event causality and print the rollback-blame / critical-path report after the run (tw mode)")
 
-		chkEvery = flag.Uint64("checkpoint-every", 1, "state-saving interval in cycles; sparse checkpointing trades rollback coast-forward cost for lower saving overhead (tw mode)")
-		adaptive = flag.Bool("adaptive-checkpoint", false, "let each cluster tune its checkpoint interval from its observed rollback rate, starting at -checkpoint-every (tw mode)")
+		chkEvery = flag.Uint64("checkpoint-every", 1, "state-saving interval in cycles; sparse checkpointing trades rollback coast-forward cost for lower saving overhead (tw/dist mode)")
+		adaptive = flag.Bool("adaptive-checkpoint", false, "let each cluster tune its checkpoint interval from its observed rollback rate, starting at -checkpoint-every (tw/dist mode)")
+
+		listen  = flag.String("listen", "127.0.0.1:0", "coordinator control-plane bind address (dist mode); the chosen address is printed for workers to -connect to")
+		workers = flag.Int("workers", 0, "number of vsimd worker processes to wait for (dist mode, required, 1..k)")
 	)
 	flag.Parse()
 	if *in == "" || *top == "" {
 		flag.Usage()
+		os.Exit(2)
+	}
+	// Explicitly-set flags, for rejecting contradictory combinations: a
+	// default value is fine, the same value typed out alongside a flag
+	// that overrides it is a user error worth stopping.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateFlags(*mode, *k, *b, *cycles, *chkEvery, *workers, set); err != nil {
+		fmt.Fprintln(os.Stderr, "vsim:", err)
 		os.Exit(2)
 	}
 
@@ -85,9 +107,25 @@ func main() {
 			vcdW, err = sim.NewVCDWriter(f, s, nl.POs)
 			fatal(err)
 		}
+		// Step manually instead of s.Run so the PO values of every cycle
+		// feed the waveform digest; the VCD writer's net-change hook sees
+		// the identical event stream either way.
+		obsWaves := make(map[netlist.NetID][]bool, len(nl.POs))
+		for _, po := range nl.POs {
+			obsWaves[po] = make([]bool, 0, *cycles)
+		}
+		buf := make([]bool, s.VectorWidth())
 		start := time.Now()
-		events, err := s.Run(vs, *cycles)
-		fatal(err)
+		var events uint64
+		for c := uint64(0); c < *cycles; c++ {
+			vs.Vector(s.Cycle(), buf)
+			ev, err := s.Step(buf)
+			fatal(err)
+			events += ev
+			for _, po := range nl.POs {
+				obsWaves[po] = append(obsWaves[po], s.Value(po))
+			}
+		}
 		wall := time.Since(start)
 		if vcdW != nil {
 			fatal(vcdW.Close())
@@ -95,6 +133,7 @@ func main() {
 		}
 		fmt.Printf("sequential: %d cycles, %d events (%.1f/cycle), %d toggles, wall %v\n",
 			*cycles, events, float64(events)/float64(*cycles), s.Toggles, wall.Round(time.Millisecond))
+		fmt.Println(waveDigest(nl.POs, obsWaves))
 
 	case "tw", "model":
 		// The observer is created only when an export (or the monitoring
@@ -143,6 +182,7 @@ func main() {
 			fmt.Printf("timewarp: events=%d rolledback=%d msgs=%d anti=%d rollbacks=%d wall %v\n",
 				st.Events, st.RolledBackEvents, st.Messages, st.AntiMessages, st.Rollbacks,
 				wall.Round(time.Millisecond))
+			fmt.Println(waveDigest(nl.POs, res.Observed))
 			if rec != nil {
 				an := rec.Analyze()
 				fmt.Print(an.String())
@@ -173,9 +213,143 @@ func main() {
 				res.CritPath, res.BoundSpeedup)
 		}
 
+	case "dist":
+		pr, err := partition.Multiway(ed, partition.Options{K: *k, B: *b})
+		fatal(err)
+		fmt.Printf("partition: k=%d b=%g cut=%d balanced=%v loads=%v\n",
+			*k, *b, pr.Cut, pr.Balanced, pr.Loads)
+		spec := &timewarp.DistSpec{
+			Source:    string(src),
+			Top:       *top,
+			GateParts: pr.GateParts,
+			K:         *k,
+			Cycles:    *cycles,
+			ChkEvery:  *chkEvery,
+			Adaptive:  *adaptive,
+			VecSeed:   *seed,
+		}
+		var probe *timewarp.Probe
+		var srv *serve.Server
+		if *serveAddr != "" {
+			probe = timewarp.NewProbe()
+			srv, err = serve.Start(*serveAddr, serve.Options{
+				Health: func() (bool, string) { return probe.State().Health(0) },
+				Status: func() any { return probe.State() },
+			})
+			fatal(err)
+			fmt.Printf("monitoring on http://%s/\n", srv.Addr())
+		}
+		co, err := timewarp.NewCoordinator(timewarp.CoordConfig{
+			Spec:    spec,
+			Workers: *workers,
+			Listen:  *listen,
+			Probe:   probe,
+		})
+		fatal(err)
+		// The exact line scripts parse to learn the port (with -listen :0).
+		fmt.Printf("coordinator: %s (waiting for %d workers)\n", co.Addr(), *workers)
+		start := time.Now()
+		res, err := co.Run()
+		fatal(err)
+		wall := time.Since(start)
+		st := res.Stats
+		fmt.Printf("timewarp-dist: workers=%d events=%d rolledback=%d msgs=%d anti=%d rollbacks=%d gvt=%d wall %v\n",
+			*workers, st.Events, st.RolledBackEvents, st.Messages, st.AntiMessages, st.Rollbacks,
+			res.FinalGVT, wall.Round(time.Millisecond))
+		if len(res.InvariantViolations) > 0 {
+			fatal(fmt.Errorf("invariant violations: %v", res.InvariantViolations))
+		}
+		fmt.Println(waveDigest(nl.POs, res.Observed))
+		if srv != nil {
+			if *serveHold > 0 {
+				fmt.Printf("holding monitoring server for %v\n", *serveHold)
+				time.Sleep(*serveHold)
+			}
+			fatal(srv.Close())
+		}
+
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
+}
+
+// waveDigest renders a deterministic fingerprint of the committed
+// primary-output waveforms: one byte per (PO, cycle) in PO-list order,
+// hashed with SHA-256. Identical waveforms — sequential, in-process Time
+// Warp, distributed — print identical lines.
+func waveDigest(pos []netlist.NetID, waves map[netlist.NetID][]bool) string {
+	h := sha256.New()
+	cycles := 0
+	for _, po := range pos {
+		vals := waves[po]
+		if len(vals) > cycles {
+			cycles = len(vals)
+		}
+		row := make([]byte, len(vals))
+		for i, v := range vals {
+			if v {
+				row[i] = 1
+			}
+		}
+		h.Write(row)
+	}
+	return fmt.Sprintf("waveforms sha256:%x (%d nets, %d cycles)", h.Sum(nil)[:12], len(pos), cycles)
+}
+
+// validateFlags rejects out-of-range values and nonsensical flag
+// combinations up front, with an actionable message — the kernel would
+// otherwise misbehave in ways that look like simulation bugs (a zero
+// checkpoint interval silently becomes 1 deep inside Config defaulting).
+func validateFlags(mode string, k int, b float64, cycles, chkEvery uint64, workers int, set map[string]bool) error {
+	if cycles < 1 {
+		return fmt.Errorf("-cycles must be >= 1 (got %d)", cycles)
+	}
+	parallel := mode == "tw" || mode == "model" || mode == "dist"
+	if parallel {
+		if k < 1 {
+			return fmt.Errorf("-k must be >= 1 (got %d)", k)
+		}
+		if b <= 0 {
+			return fmt.Errorf("-b must be > 0 percent (got %g)", b)
+		}
+	}
+	if chkEvery < 1 {
+		return fmt.Errorf("-checkpoint-every must be >= 1 cycle (got %d): the kernel checkpoints at a fixed positive interval; use -adaptive-checkpoint to let it tune the interval itself", chkEvery)
+	}
+	// Flags that only mean something to the optimistic kernel are an
+	// error elsewhere, not a silent no-op.
+	if mode != "tw" && mode != "dist" {
+		for _, f := range []string{"checkpoint-every", "adaptive-checkpoint"} {
+			if set[f] {
+				return fmt.Errorf("-%s only applies to -mode tw or dist (mode is %q)", f, mode)
+			}
+		}
+	}
+	if mode != "tw" {
+		// The chaos transport and the causality recorder live inside the
+		// in-process kernel; the distributed runtime has neither (its
+		// adversary is the real network).
+		for _, f := range []string{"chaos", "chaos-seed", "blame", "trace", "metrics", "report"} {
+			if set[f] {
+				return fmt.Errorf("-%s only applies to -mode tw (mode is %q)", f, mode)
+			}
+		}
+	}
+	if mode == "dist" {
+		if workers < 1 {
+			return fmt.Errorf("-mode dist needs -workers >= 1 (got %d): start that many vsimd processes pointed at the printed coordinator address", workers)
+		}
+		if workers > k {
+			return fmt.Errorf("-workers %d exceeds -k %d: every worker must own at least one cluster", workers, k)
+		}
+	} else {
+		for _, f := range []string{"listen", "workers"} {
+			if set[f] {
+				return fmt.Errorf("-%s only applies to -mode dist (mode is %q)", f, mode)
+			}
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,60 @@
+// Command vsimd is the worker daemon of a distributed Time Warp run. It
+// dials a vsim coordinator (-mode dist), receives its cluster assignment
+// and the run specification over the control connection, meshes with its
+// peer workers over TCP, and simulates its share of the clusters until
+// the coordinator finishes or aborts the run. It carries no design
+// inputs of its own — the coordinator ships the Verilog source and the
+// partition, and every worker re-elaborates them deterministically.
+//
+// Examples:
+//
+//	vsimd -connect 127.0.0.1:7700
+//	vsimd -connect coord.example:7700 -bind 0.0.0.0:0 -metrics worker.prom
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/timewarp"
+)
+
+func main() {
+	var (
+		connect = flag.String("connect", "", "coordinator control-plane address (required)")
+		bind    = flag.String("bind", "127.0.0.1:0", "data-plane listen address peer workers will dial; bind a routable interface for multi-host runs")
+		dialTO  = flag.Duration("dial-timeout", 5*time.Second, "coordinator and peer dial timeout")
+		metrics = flag.String("metrics", "", "write a Prometheus-style dump of the worker's wire metrics to this file after the run (\"-\" = stdout)")
+	)
+	flag.Parse()
+	if *connect == "" {
+		fmt.Fprintln(os.Stderr, "vsimd: -connect is required (the address printed by vsim -mode dist)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var o *obs.Observer
+	if *metrics != "" {
+		o = obs.New(obs.Options{})
+	}
+	err := timewarp.RunWorker(timewarp.WorkerOptions{
+		Coordinator: *connect,
+		Bind:        *bind,
+		DialTimeout: *dialTO,
+		Obs:         o,
+	})
+	if o != nil {
+		o.Snapshot()
+		if derr := o.Dump("", *metrics); derr != nil {
+			fmt.Fprintln(os.Stderr, "vsimd:", derr)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vsimd:", err)
+		os.Exit(1)
+	}
+	fmt.Println("vsimd: run complete")
+}

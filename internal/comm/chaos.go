@@ -100,8 +100,9 @@ type chaosTransport struct {
 	stalls *obs.Counter
 	held   *obs.Gauge
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 }
 
 func (c *chaosTransport) link(src, dst int) *chaosLink {
@@ -205,9 +206,11 @@ func (c *chaosTransport) flush(now time.Time, shuf *rand.Rand) {
 }
 
 // Close stops the pump and synchronously flushes everything still held,
-// regardless of release time — the no-loss guarantee.
+// regardless of release time — the no-loss guarantee. Idempotent: a
+// second Close finds the pump stopped and nothing queued, and must not
+// panic (abort paths and deferred cleanups can both reach it).
 func (c *chaosTransport) Close() {
-	close(c.stop)
+	c.stopOnce.Do(func() { close(c.stop) })
 	c.wg.Wait()
 	// Far-future "now" releases every queued message.
 	c.flush(time.Now().Add(365*24*time.Hour), nil)

@@ -34,6 +34,7 @@ type Network struct {
 	inFlight atomic.Int64
 	sent     atomic.Uint64
 	tr       Transport
+	trClosed sync.Once
 
 	// Observability (nil when uninstrumented; each hot-path use costs one
 	// branch). linkSent is a k×k matrix indexed src*k+dst.
@@ -106,7 +107,21 @@ func (n *Network) enqueue(dst int, msg Message) {
 
 // CloseTransport flushes and stops the transport. Call after the last
 // Send; messages still held by the transport are delivered synchronously.
-func (n *Network) CloseTransport() { n.tr.Close() }
+// Idempotent: abort paths and deferred cleanups may both reach it, and the
+// second call must neither panic nor lose messages the first one flushed.
+func (n *Network) CloseTransport() { n.trClosed.Do(n.tr.Close) }
+
+// NoteDeparted records that a message handed to the transport left this
+// process entirely (a wire transport shipped it to a peer network), so it
+// no longer counts against the local in-flight gauge. NoteArrived is the
+// mirror: a message from a peer network is about to be enqueued locally
+// and must count as in flight until a receiver drains it. Distributed
+// runs sum per-process InFlight to recover the true global figure.
+func (n *Network) NoteDeparted() { n.inFlight.Add(-1) }
+
+// NoteArrived records a wire message entering this network; see
+// NoteDeparted.
+func (n *Network) NoteArrived() { n.inFlight.Add(1) }
 
 // Endpoint returns endpoint i.
 func (n *Network) Endpoint(i int) *Endpoint { return n.eps[i] }
@@ -147,7 +162,9 @@ func (e *Endpoint) Send(dst int, msg Message) {
 }
 
 // TryRecvAll drains and returns all queued messages without blocking
-// (nil when empty).
+// (nil when empty). Drain-after-close is guaranteed: messages queued
+// before (or even after) Close remain receivable — Close only wakes
+// blocked receivers, it never discards the mailbox.
 func (e *Endpoint) TryRecvAll() []Message {
 	e.mu.Lock()
 	msgs := e.box
@@ -163,7 +180,9 @@ func (e *Endpoint) TryRecvAll() []Message {
 }
 
 // RecvWait blocks until at least one message is queued or the endpoint is
-// closed, then drains the mailbox. It returns nil only when closed.
+// closed, then drains the mailbox. It returns nil only when closed AND
+// the mailbox is empty — a closed endpoint first hands over everything
+// still queued (drain-after-close), so no message is lost to shutdown.
 func (e *Endpoint) RecvWait() []Message {
 	e.mu.Lock()
 	for len(e.box) == 0 && !e.closed {
@@ -185,7 +204,9 @@ func (e *Endpoint) RecvWait() []Message {
 	return msgs
 }
 
-// Close wakes any blocked receiver on this endpoint.
+// Close wakes any blocked receiver on this endpoint. Idempotent, and it
+// never discards queued messages: subsequent Receive calls drain them
+// (see RecvWait/TryRecvAll) before reporting closure.
 func (e *Endpoint) Close() {
 	e.mu.Lock()
 	e.closed = true

@@ -156,3 +156,68 @@ func TestConcurrentSendersCounted(t *testing.T) {
 		t.Errorf("in flight %d after full drain", n.InFlight())
 	}
 }
+
+func TestCloseTransportIdempotent(t *testing.T) {
+	// Network.CloseTransport must be callable more than once without
+	// panicking or losing messages the first call flushed — abort paths
+	// and deferred cleanups can both reach it. Exercised against the
+	// chaos transport, whose background pump makes double-stop the
+	// dangerous case.
+	n := NewNetworkTransport(2, Chaos(ChaosConfig{Seed: 7, MaxDelay: 50 * time.Microsecond}))
+	const sends = 20
+	for i := 0; i < sends; i++ {
+		n.Endpoint(0).Send(1, i)
+	}
+	n.CloseTransport()
+	n.CloseTransport() // must be a no-op, not a panic
+	msgs := n.Endpoint(1).TryRecvAll()
+	if len(msgs) != sends {
+		t.Fatalf("got %d messages after double CloseTransport, want %d", len(msgs), sends)
+	}
+	for i, m := range msgs {
+		if m != i {
+			t.Fatalf("FIFO broken at %d: got %v", i, m)
+		}
+	}
+}
+
+func TestDirectCloseTransportIdempotent(t *testing.T) {
+	n := NewNetwork(1)
+	n.CloseTransport()
+	n.CloseTransport()
+}
+
+func TestDrainAfterCloseUnderTransportFlush(t *testing.T) {
+	// The documented shutdown order on abort: endpoints close first, the
+	// transport flushes into them afterwards. Everything the transport
+	// held must still be receivable from the closed endpoints — Close
+	// wakes receivers, it never discards mailboxes.
+	n := NewNetworkTransport(2, Chaos(ChaosConfig{Seed: 3, MaxDelay: time.Millisecond, StallEvery: 4, StallFor: 5 * time.Millisecond}))
+	const sends = 12
+	for i := 0; i < sends; i++ {
+		n.Endpoint(0).Send(1, i)
+	}
+	ep := n.Endpoint(1)
+	ep.Close()
+	ep.Close() // double close of a mailbox with queued + in-transit messages
+	n.CloseTransport()
+	got := 0
+	for {
+		msgs := ep.RecvWait()
+		if msgs == nil {
+			break // closed and fully drained
+		}
+		for _, m := range msgs {
+			if m != got {
+				t.Fatalf("FIFO broken: got %v at position %d", m, got)
+			}
+			got++
+		}
+	}
+	if got != sends {
+		t.Fatalf("drained %d messages across close, want %d", got, sends)
+	}
+	if n.InFlight() != 0 {
+		t.Fatalf("in flight %d after full drain", n.InFlight())
+	}
+}

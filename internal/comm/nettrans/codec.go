@@ -1,0 +1,68 @@
+package nettrans
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+)
+
+// Codec serializes the application's comm.Message payloads. The wire
+// layer is payload-agnostic; the Time Warp kernel supplies its own codec
+// for event/batch values (timewarp.WireCodec). Implementations must obey
+// one law the differential tests enforce: Decode(Append(nil, m)) is
+// semantically identical to m, and Decode never panics on truncated,
+// oversized or garbage input — it errors.
+type Codec interface {
+	// Append serializes msg onto dst and returns the extended slice.
+	Append(dst []byte, msg comm.Message) ([]byte, error)
+	// Decode parses one serialized message. p is only valid for the
+	// duration of the call; retain nothing that aliases it.
+	Decode(p []byte) (comm.Message, error)
+}
+
+// Data-frame payload layout: [src u32][dst u32][era u64][message bytes].
+// The era is the Mattern GVT color of the send (always 0 on loopback
+// links, which never take part in a distributed cut).
+const dataHdrLen = 4 + 4 + 8
+
+// AppendDataFrame builds a FrameData payload.
+func AppendDataFrame(dst []byte, src, dstCluster int, era uint64, msgBytes []byte) []byte {
+	dst = AppendU32(dst, uint32(src))
+	dst = AppendU32(dst, uint32(dstCluster))
+	dst = AppendU64(dst, era)
+	return append(dst, msgBytes...)
+}
+
+// DataFrame is one decoded FrameData payload. Msg aliases the frame
+// buffer and must be consumed (or decoded via Codec) before the next
+// read on the same Conn.
+type DataFrame struct {
+	Src, Dst int
+	Era      uint64
+	Msg      []byte
+}
+
+// DecodeDataFrame splits a FrameData payload, validating cluster ids
+// against k (the network size) so a corrupt frame cannot index out of
+// range downstream.
+func DecodeDataFrame(p []byte, k int) (DataFrame, error) {
+	if len(p) < dataHdrLen {
+		return DataFrame{}, fmt.Errorf("nettrans: data frame %d bytes, need at least %d: %w",
+			len(p), dataHdrLen, ErrShortPayload)
+	}
+	d := NewDec(p)
+	f := DataFrame{
+		Src: int(d.U32()),
+		Dst: int(d.U32()),
+		Era: d.U64(),
+	}
+	f.Msg = d.Rest()
+	if err := d.Err(); err != nil {
+		return DataFrame{}, err
+	}
+	if f.Src < 0 || f.Src >= k || f.Dst < 0 || f.Dst >= k {
+		return DataFrame{}, fmt.Errorf("nettrans: data frame routes %d→%d outside %d-cluster network",
+			f.Src, f.Dst, k)
+	}
+	return f, nil
+}

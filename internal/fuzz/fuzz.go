@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/comm/nettrans"
 	"repro/internal/elab"
 	"repro/internal/gen"
 	"repro/internal/netlist"
@@ -55,6 +56,12 @@ type Spec struct {
 	Keyframe  uint64            // keyframe cadence of the delta store (0 = default)
 	NoBatch   bool              // one comm.Message per event (pre-batching framing)
 	Chaos     *comm.ChaosConfig // nil = benign direct delivery
+	// NetTrans ships every inter-cluster message through the framed TCP
+	// loopback transport (internal/comm/nettrans) instead of direct
+	// in-process delivery; combined with Chaos, the delivery adversary
+	// sits on the decode side of the socket — the full wire path under
+	// attack.
+	NetTrans bool
 }
 
 // NewSpec derives the run specification for a seed. The derivation is a
@@ -85,6 +92,9 @@ func NewSpec(seed int64, chaos bool) Spec {
 			StallFor:   time.Duration(1+rng.Intn(4)) * time.Millisecond,
 		}
 	}
+	// Drawn last so every earlier seed→field derivation (and therefore
+	// every historical replay seed) is unchanged by the knob's addition.
+	s.NetTrans = rng.Intn(4) == 0 // 1/4 of runs cross a real socket
 	return s
 }
 
@@ -263,10 +273,19 @@ func ExecuteObserved(spec Spec, faults *timewarp.FaultConfig, stallTimeout time.
 		Faults:             faults,
 		Obs:                o,
 	}
+	var inner comm.TransportFactory
 	if spec.Chaos != nil {
 		cc := *spec.Chaos
 		cc.Obs = o
-		cfg.Transport = comm.Chaos(cc)
+		inner = comm.Chaos(cc)
+		cfg.Transport = inner
+	}
+	if spec.NetTrans {
+		cfg.Transport = nettrans.Loopback(nettrans.LoopbackConfig{
+			Codec: timewarp.WireCodec(),
+			Inner: inner,
+			Obs:   o,
+		})
 	}
 	tw, err := timewarp.Run(cfg)
 	if err != nil {

@@ -59,6 +59,8 @@ func TrackName(track int32) string {
 		return "campaign"
 	case TrackComm:
 		return "comm"
+	case TrackNet:
+		return "net"
 	default:
 		return fmt.Sprintf("cluster %d", track)
 	}

@@ -1,0 +1,342 @@
+package timewarp
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/comm/nettrans"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/partition"
+	"repro/internal/sim"
+)
+
+// distWorkloads are the tier-1 differential circuits, shared with
+// TestDifferentialWorkloadsVsSequential.
+func distWorkloads() []struct {
+	name   string
+	c      *gen.Circuit
+	cycles uint64
+} {
+	return []struct {
+		name   string
+		c      *gen.Circuit
+		cycles uint64
+	}{
+		{"viterbi", gen.Viterbi(gen.ViterbiConfig{K: 4, W: 4, TB: 8}), 120},
+		{"fir", gen.FIR(gen.FIRConfig{Taps: 8, W: 6, Seed: 3}), 120},
+		{"multiplier", gen.Multiplier(6), 100},
+		{"soc", gen.ViterbiSoC(gen.SoCConfig{
+			Channels:      2,
+			Viterbi:       gen.ViterbiConfig{K: 4, W: 4, TB: 8},
+			ScramblerBits: 12,
+			CRCBits:       8,
+		}), 60},
+	}
+}
+
+// seqOracle computes the sequential per-cycle PO waveforms.
+func seqOracle(t *testing.T, nl *netlist.Netlist, cycles uint64, seed int64) map[netlist.NetID][]bool {
+	t.Helper()
+	vs := sim.RandomVectors{Seed: seed}
+	seq, err := sim.New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[netlist.NetID][]bool, len(nl.POs))
+	for _, po := range nl.POs {
+		want[po] = make([]bool, cycles)
+	}
+	buf := make([]bool, seq.VectorWidth())
+	for c := uint64(0); c < cycles; c++ {
+		vs.Vector(c, buf)
+		if _, err := seq.Step(buf); err != nil {
+			t.Fatal(err)
+		}
+		for _, po := range nl.POs {
+			want[po][c] = seq.Value(po)
+		}
+	}
+	return want
+}
+
+func compareObserved(t *testing.T, nl *netlist.Netlist, got, want map[netlist.NetID][]bool, cycles uint64, label string) {
+	t.Helper()
+	for _, po := range nl.POs {
+		g, ok := got[po]
+		if !ok {
+			t.Fatalf("%s: PO %s not observed", label, nl.Nets[po].Name)
+		}
+		for c := uint64(0); c < cycles; c++ {
+			if g[c] != want[po][c] {
+				t.Fatalf("%s: PO %s cycle %d: got %v, sequential %v",
+					label, nl.Nets[po].Name, c, g[c], want[po][c])
+			}
+		}
+	}
+}
+
+// TestDifferentialNetTransportVsSequential pins the kernel over the real
+// TCP loopback transport — every inter-cluster message framed, encoded,
+// shipped through a socket and decoded — against the sequential oracle on
+// every workload family at k ∈ {2, 4}. The waveforms must be bit-identical
+// to the in-process runs: the wire is a delivery detail, never a
+// semantics change.
+func TestDifferentialNetTransportVsSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full loopback differential is socket-heavy; covered by the plain test tier and the fuzz NetTrans knob")
+	}
+	for _, tc := range distWorkloads() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ed, err := tc.c.Elaborate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			nl := ed.Netlist
+			want := seqOracle(t, nl, tc.cycles, 29)
+			for _, k := range []int{2, 4} {
+				pr, err := partition.Multiway(ed, partition.Options{
+					K: k, B: 10, Seed: 17, Restarts: 2,
+				})
+				if err != nil {
+					t.Fatalf("k=%d: %v", k, err)
+				}
+				res, err := Run(Config{
+					NL:           nl,
+					GateParts:    pr.GateParts,
+					K:            k,
+					Vectors:      sim.RandomVectors{Seed: 29},
+					Cycles:       tc.cycles,
+					Transport:    nettrans.Loopback(nettrans.LoopbackConfig{Codec: WireCodec()}),
+					StallTimeout: 20 * time.Second,
+					RunTimeout:   80 * time.Second,
+				})
+				if err != nil {
+					t.Fatalf("k=%d: %v", k, err)
+				}
+				if len(res.InvariantViolations) > 0 {
+					t.Fatalf("k=%d: invariant violations: %v", k, res.InvariantViolations)
+				}
+				compareObserved(t, nl, res.Observed, want, tc.cycles, tc.name)
+			}
+		})
+	}
+}
+
+// distRun executes one distributed run with the coordinator and every
+// worker inside this test process — separate comm networks, separate
+// counter spaces, real TCP sockets between them — and returns the merged
+// result.
+func distRun(t *testing.T, spec *DistSpec, workers int, failAfter time.Duration) (*Result, error, []error) {
+	t.Helper()
+	probe := NewProbe()
+	co, err := NewCoordinator(CoordConfig{
+		Spec:         spec,
+		Workers:      workers,
+		RoundEvery:   200 * time.Microsecond,
+		Watchdog:     10 * time.Second,
+		StallTimeout: 20 * time.Second,
+		RunTimeout:   80 * time.Second,
+		Probe:        probe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	workerErrs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		opts := WorkerOptions{Coordinator: co.Addr()}
+		if w == workers-1 {
+			opts.FailAfter = failAfter
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			workerErrs[w] = RunWorker(opts)
+		}()
+	}
+	res, runErr := co.Run()
+	wg.Wait()
+	if runErr != nil && !probe.State().Failed {
+		t.Errorf("coordinator failed (%v) but probe does not report failure", runErr)
+	}
+	return res, runErr, workerErrs
+}
+
+// TestDistributedDifferential is the acceptance check of the multi-process
+// path: every workload family, k ∈ {2, 4} clusters spread over two worker
+// processes meshed over real sockets, waveforms bit-identical to the
+// sequential oracle, no invariant violations, clean worker exits.
+func TestDistributedDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed runs are socket-heavy; skipped in -short")
+	}
+	for _, tc := range distWorkloads() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ed, err := tc.c.Elaborate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			nl := ed.Netlist
+			want := seqOracle(t, nl, tc.cycles, 29)
+			for _, k := range []int{2, 4} {
+				pr, err := partition.Multiway(ed, partition.Options{
+					K: k, B: 10, Seed: 17, Restarts: 2,
+				})
+				if err != nil {
+					t.Fatalf("k=%d: %v", k, err)
+				}
+				spec := &DistSpec{
+					Source:    tc.c.Source,
+					Top:       tc.c.Top,
+					GateParts: pr.GateParts,
+					K:         k,
+					Cycles:    tc.cycles,
+					VecSeed:   29,
+				}
+				res, runErr, workerErrs := distRun(t, spec, 2, 0)
+				if runErr != nil {
+					t.Fatalf("k=%d: coordinator: %v (workers: %v)", k, runErr, workerErrs)
+				}
+				for w, werr := range workerErrs {
+					if werr != nil {
+						t.Fatalf("k=%d: worker %d: %v", k, w, werr)
+					}
+				}
+				if len(res.InvariantViolations) > 0 {
+					t.Fatalf("k=%d: invariant violations: %v", k, res.InvariantViolations)
+				}
+				if res.FinalGVT != tc.cycles {
+					t.Errorf("k=%d: final GVT %d, want %d", k, res.FinalGVT, tc.cycles)
+				}
+				compareObserved(t, nl, res.Observed, want, tc.cycles, tc.name)
+				t.Logf("%s k=%d workers=2: msgs=%d rollbacks=%d gvt=%d",
+					tc.name, k, res.Stats.Messages, res.Stats.Rollbacks, res.FinalGVT)
+			}
+		})
+	}
+}
+
+// TestDistributedWorkerCrashAborts kills one worker mid-run (all its
+// sockets drop, exactly like a process death) and requires the
+// coordinator to abort the whole run with a diagnosis — through the probe
+// too — well inside the watchdog, and the surviving worker to exit
+// instead of hanging on its dead peer.
+func TestDistributedWorkerCrashAborts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed runs are socket-heavy; skipped in -short")
+	}
+	c := gen.Viterbi(gen.ViterbiConfig{K: 4, W: 4, TB: 8})
+	ed, err := c.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := partition.Multiway(ed, partition.Options{K: 4, B: 10, Seed: 17, Restarts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &DistSpec{
+		Source:    c.Source,
+		Top:       c.Top,
+		GateParts: pr.GateParts,
+		K:         4,
+		// Far more cycles than 50ms of simulation: the run must still be
+		// in flight when the crash hits.
+		Cycles:  50_000_000,
+		VecSeed: 29,
+	}
+	type outcome struct {
+		res  *Result
+		err  error
+		werr []error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, runErr, workerErrs := distRun(t, spec, 2, 50*time.Millisecond)
+		done <- outcome{res, runErr, workerErrs}
+	}()
+	select {
+	case o := <-done:
+		if o.err == nil {
+			t.Fatalf("coordinator returned success despite a crashed worker (result: %+v)", o.res)
+		}
+		if !strings.Contains(o.err.Error(), "worker") {
+			t.Errorf("abort diagnosis does not name the worker: %v", o.err)
+		}
+		for w, werr := range o.werr {
+			if werr == nil {
+				t.Errorf("worker %d exited clean from an aborted run", w)
+			}
+		}
+		t.Logf("abort: %v", o.err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("crashed worker hung the run: no abort within 30s (watchdog is 10s)")
+	}
+}
+
+func TestDistSpecRoundTrip(t *testing.T) {
+	s := &DistSpec{
+		Source:    "module m(); endmodule",
+		Top:       "m",
+		GateParts: []int32{0, 1, 1, 0},
+		K:         2,
+		Cycles:    77,
+		Window:    6,
+		ChkEvery:  3,
+		Adaptive:  true,
+		Keyframe:  4,
+		NoBatch:   true,
+		VecSeed:   -12345,
+	}
+	blob := AppendDistSpec(nil, s)
+	got, err := DecodeDistSpec(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Source != s.Source || got.Top != s.Top || got.K != s.K ||
+		got.Cycles != 77 || got.Window != 6 || got.ChkEvery != 3 ||
+		!got.Adaptive || got.Keyframe != 4 || !got.NoBatch || got.VecSeed != -12345 ||
+		len(got.GateParts) != 4 || got.GateParts[1] != 1 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+
+	// Every strict prefix must fail (truncation), and a flipped content
+	// byte must fail the fingerprint.
+	for cut := 0; cut < len(blob); cut++ {
+		if _, err := DecodeDistSpec(blob[:cut]); err == nil {
+			t.Fatalf("truncated spec (%d/%d bytes) accepted", cut, len(blob))
+		}
+	}
+	bad := append([]byte(nil), blob...)
+	bad[9] ^= 0x01 // inside Source
+	if _, err := DecodeDistSpec(bad); err == nil {
+		t.Fatal("corrupted spec accepted (fingerprint did not catch it)")
+	}
+}
+
+// FuzzDistProtoDecode hardens every distributed control payload decoder
+// against arbitrary bytes: errors are fine, panics and absurd
+// allocations are not.
+func FuzzDistProtoDecode(f *testing.F) {
+	f.Add(AppendDistSpec(nil, &DistSpec{Source: "s", Top: "t", GateParts: []int32{0}, K: 1, Cycles: 1}))
+	f.Add(appendReport(nil, distReport{Round: 3,
+		Progress: []clusterProgress{{Cluster: 0, Cycle: 9}},
+		WireSent: []eraCount{{Era: 2, Count: 5}}}))
+	f.Add(appendResult(nil, distResult{Sent: 1, Absorbed: 1,
+		Clusters: []clusterResult{{Cluster: 0, Stats: Stats{Messages: 2}}},
+		Observed: []observedNet{{Net: 1, Cycles: 3, Values: []bool{true, false, true}}}}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeDistSpec(data)
+		_, _ = decodeReport(data, 8)
+		_, _ = decodeResult(data, 8)
+		_, _ = decodeCut(data)
+		_, _ = decodeGVT(data)
+		_, _ = decodeAbort(data)
+	})
+}

@@ -1,0 +1,570 @@
+package timewarp
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"time"
+
+	"repro/internal/comm/nettrans"
+	"repro/internal/netlist"
+)
+
+// CoordConfig configures the coordinator of a distributed run.
+type CoordConfig struct {
+	// Spec is the complete run description shipped to every worker
+	// (required).
+	Spec *DistSpec
+	// Workers is how many worker processes the run spans (required,
+	// 1 ≤ Workers ≤ Spec.K — every worker must own at least one cluster).
+	Workers int
+	// Listen is the control-plane bind address (default "127.0.0.1:0";
+	// read the chosen port back with Addr).
+	Listen string
+	// RoundEvery is the GVT round cadence (default 500µs).
+	RoundEvery time.Duration
+	// Watchdog bounds every per-worker wait: handshake, round reports and
+	// final results. A worker that exceeds it is declared dead and the
+	// run aborts — the crash/timeout path (default 5s).
+	Watchdog time.Duration
+	// StallTimeout and RunTimeout mirror Config: inactivity abort and
+	// hard wall-clock cap (0 = unbounded).
+	StallTimeout time.Duration
+	RunTimeout   time.Duration
+	// Probe receives live liveness state, exactly as Config.Probe does
+	// for the in-process kernel; an abort surfaces through it as a
+	// failed state with the diagnosis.
+	Probe *Probe
+}
+
+// Coordinator drives a distributed Time Warp run: it assigns clusters to
+// workers, runs the Mattern-style GVT rounds (era-colored cuts with
+// piggybacked wire counts), detects crashed or wedged workers, and merges
+// the per-worker results into the same Result the in-process kernel
+// returns.
+type Coordinator struct {
+	cfg       CoordConfig
+	ln        net.Listener
+	placement []int32
+}
+
+// NewCoordinator validates the config and opens the control listener so
+// the address is known before any worker starts.
+func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
+	if cfg.Spec == nil {
+		return nil, fmt.Errorf("timewarp: coordinator needs a spec")
+	}
+	if cfg.Workers < 1 || cfg.Workers > cfg.Spec.K {
+		return nil, fmt.Errorf("timewarp: %d workers for k=%d clusters (need 1 ≤ workers ≤ k)",
+			cfg.Workers, cfg.Spec.K)
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	if cfg.RoundEvery <= 0 {
+		cfg.RoundEvery = 500 * time.Microsecond
+	}
+	if cfg.Watchdog <= 0 {
+		cfg.Watchdog = 5 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("timewarp: coordinator listen: %w", err)
+	}
+	// Contiguous balanced blocks: cluster c belongs to worker c·W/K, so
+	// partitioner-adjacent clusters co-locate and every worker gets
+	// ⌊K/W⌋ or ⌈K/W⌉ clusters.
+	placement := make([]int32, cfg.Spec.K)
+	for c := range placement {
+		placement[c] = int32(c * cfg.Workers / cfg.Spec.K)
+	}
+	return &Coordinator{cfg: cfg, ln: ln, placement: placement}, nil
+}
+
+// Addr is the control-plane address workers must dial.
+func (co *Coordinator) Addr() string { return co.ln.Addr().String() }
+
+// workerFrame is one frame (or terminal error) from one worker's control
+// connection, funneled into the coordinator's single event loop.
+type workerFrame struct {
+	worker  int
+	typ     byte
+	payload []byte
+	err     error
+}
+
+// Run accepts the workers, drives the run to completion and returns the
+// merged result. It blocks until the run finishes or aborts; on abort
+// every surviving worker is told why, the probe records the failure, and
+// the error carries the diagnosis.
+func (co *Coordinator) Run() (*Result, error) {
+	cfg := co.cfg
+	defer co.ln.Close()
+
+	// Phase 1: handshake. Workers connect in any order; ids are assigned
+	// in accept order.
+	conns := make([]*nettrans.Conn, cfg.Workers)
+	dataAddrs := make([]string, cfg.Workers)
+	deadline := time.Now().Add(cfg.Watchdog)
+	for i := 0; i < cfg.Workers; i++ {
+		if tl, ok := co.ln.(*net.TCPListener); ok {
+			tl.SetDeadline(deadline)
+		}
+		raw, err := co.ln.Accept()
+		if err != nil {
+			co.abortAll(conns, fmt.Sprintf("only %d of %d workers connected within %v", i, cfg.Workers, cfg.Watchdog))
+			return co.fail(fmt.Errorf("timewarp: %d of %d workers connected within %v: %w",
+				i, cfg.Workers, cfg.Watchdog, err))
+		}
+		conn := nettrans.NewConn(raw)
+		typ, payload, err := conn.Recv()
+		if err == nil && typ != nettrans.FrameHello {
+			err = fmt.Errorf("expected hello, got frame type 0x%02x", typ)
+		}
+		var hello nettrans.Hello
+		if err == nil {
+			hello, err = nettrans.DecodeHello(payload)
+		}
+		if err != nil {
+			conn.Close()
+			co.abortAll(conns, "bad worker handshake")
+			return co.fail(fmt.Errorf("timewarp: worker handshake: %w", err))
+		}
+		conns[i] = conn
+		dataAddrs[i] = hello.DataAddr
+	}
+
+	specBlob := AppendDistSpec(nil, cfg.Spec)
+	for i, conn := range conns {
+		w := nettrans.Welcome{
+			WorkerID:   i,
+			NumWorkers: cfg.Workers,
+			K:          cfg.Spec.K,
+			Placement:  co.placement,
+			PeerAddrs:  dataAddrs,
+			Config:     specBlob,
+		}
+		if err := conn.Send(nettrans.FrameWelcome, nettrans.AppendWelcome(nil, w)); err != nil {
+			co.abortAll(conns, "worker unreachable during welcome")
+			return co.fail(fmt.Errorf("timewarp: welcome worker %d: %w", i, err))
+		}
+	}
+
+	// One reader per worker funnels every control frame into the event
+	// loop, so crashes surface as read errors no matter what phase the
+	// protocol is in.
+	frames := make(chan workerFrame, 4*cfg.Workers)
+	for i, conn := range conns {
+		i, conn := i, conn
+		go func() {
+			for {
+				typ, payload, err := conn.Recv()
+				frames <- workerFrame{worker: i, typ: typ, payload: payload, err: err}
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	// Phase 2: wait for every worker's Ready (mesh established), then
+	// fire the synchronized start.
+	ready := make([]bool, cfg.Workers)
+	for n := 0; n < cfg.Workers; {
+		f, err := co.nextFrame(frames, cfg.Watchdog, conns)
+		if err != nil {
+			return co.fail(err)
+		}
+		switch f.typ {
+		case nettrans.FrameReady:
+			if !ready[f.worker] {
+				ready[f.worker] = true
+				n++
+			}
+		default:
+			co.abortAll(conns, fmt.Sprintf("worker %d sent frame 0x%02x before ready", f.worker, f.typ))
+			return co.fail(fmt.Errorf("timewarp: worker %d sent frame 0x%02x before ready", f.worker, f.typ))
+		}
+	}
+	for i, conn := range conns {
+		if err := conn.Send(nettrans.FrameStart, nil); err != nil {
+			co.abortAll(conns, "worker unreachable at start")
+			return co.fail(fmt.Errorf("timewarp: start worker %d: %w", i, err))
+		}
+	}
+
+	cfg.Probe.attach(cfg.Spec.Cycles)
+	res, err := co.rounds(conns, frames)
+	if err != nil {
+		return co.fail(err)
+	}
+	cfg.Probe.finish(nil)
+	return res, nil
+}
+
+// fail records the abort on the probe and returns it.
+func (co *Coordinator) fail(err error) (*Result, error) {
+	co.cfg.Probe.finish(err)
+	return nil, err
+}
+
+// abortAll best-effort broadcasts the abort diagnosis and closes every
+// control connection, so surviving workers stop promptly instead of
+// waiting on a dead mesh.
+func (co *Coordinator) abortAll(conns []*nettrans.Conn, reason string) {
+	payload := appendAbort(nil, distAbort{Reason: reason})
+	for _, conn := range conns {
+		if conn != nil {
+			conn.Send(nettrans.FrameAbort, payload)
+			conn.Close()
+		}
+	}
+}
+
+// nextFrame waits for one control frame, turning worker errors, worker
+// death and watchdog expiry into run aborts.
+func (co *Coordinator) nextFrame(frames chan workerFrame, timeout time.Duration, conns []*nettrans.Conn) (workerFrame, error) {
+	select {
+	case f := <-frames:
+		if f.err != nil {
+			co.abortAll(conns, fmt.Sprintf("worker %d died: %v", f.worker, f.err))
+			return f, fmt.Errorf("timewarp: worker %d died: %w", f.worker, f.err)
+		}
+		if f.typ == nettrans.FrameError {
+			a, _ := decodeAbort(f.payload)
+			co.abortAll(conns, fmt.Sprintf("worker %d failed: %s", f.worker, a.Reason))
+			return f, fmt.Errorf("timewarp: worker %d failed: %s", f.worker, a.Reason)
+		}
+		return f, nil
+	case <-time.After(timeout):
+		co.abortAll(conns, fmt.Sprintf("watchdog: no worker activity within %v", timeout))
+		return workerFrame{}, fmt.Errorf("timewarp: watchdog: no worker activity within %v", timeout)
+	}
+}
+
+// workerRound is the per-worker freeze-comparison state: the counters of
+// the worker's previous report.
+type workerRound struct {
+	valid    bool
+	sent     uint64
+	absorbed uint64
+	progress map[int32]uint64
+}
+
+// rounds is the Mattern GVT loop: periodic cuts, report collection,
+// freeze detection, GVT broadcast, termination and the stall/crash
+// watchdogs. It owns the run from start to finish/abort.
+func (co *Coordinator) rounds(conns []*nettrans.Conn, frames chan workerFrame) (*Result, error) {
+	cfg := co.cfg
+	k := cfg.Spec.K
+
+	var (
+		round        uint64
+		gvt          uint64
+		violations   []string
+		prev         = make([]workerRound, cfg.Workers)
+		progress     = make(map[int32]uint64, k)
+		cumWireSent  = make(map[uint64]uint64)
+		cumWireRecv  = make(map[uint64]uint64)
+		doneStreak   int
+		started      = time.Now()
+		lastActivity = started
+	)
+
+	for {
+		// Idle between rounds, but keep listening: a worker crash or a
+		// FrameError must cut the nap short.
+		select {
+		case f := <-frames:
+			if f.err != nil {
+				co.abortAll(conns, fmt.Sprintf("worker %d died: %v", f.worker, f.err))
+				return nil, fmt.Errorf("timewarp: worker %d died: %w", f.worker, f.err)
+			}
+			if f.typ == nettrans.FrameError {
+				a, _ := decodeAbort(f.payload)
+				co.abortAll(conns, fmt.Sprintf("worker %d failed: %s", f.worker, a.Reason))
+				return nil, fmt.Errorf("timewarp: worker %d failed: %s", f.worker, a.Reason)
+			}
+			co.abortAll(conns, fmt.Sprintf("worker %d sent unsolicited frame 0x%02x", f.worker, f.typ))
+			return nil, fmt.Errorf("timewarp: worker %d sent unsolicited frame 0x%02x", f.worker, f.typ)
+		case <-time.After(cfg.RoundEvery):
+		}
+
+		// Cut: flip every worker's send color to this round's number.
+		round++
+		cutPayload := appendCut(nil, distCut{Round: round})
+		for i, conn := range conns {
+			if err := conn.Send(nettrans.FrameCut, cutPayload); err != nil {
+				co.abortAll(conns, fmt.Sprintf("worker %d unreachable at cut %d", i, round))
+				return nil, fmt.Errorf("timewarp: worker %d unreachable at cut %d: %w", i, round, err)
+			}
+		}
+
+		// Collect one report per worker. Per-connection FIFO means a
+		// report for any other round is a protocol violation, not skew.
+		reports := make([]*distReport, cfg.Workers)
+		for n := 0; n < cfg.Workers; {
+			f, err := co.nextFrame(frames, cfg.Watchdog, conns)
+			if err != nil {
+				return nil, err
+			}
+			if f.typ != nettrans.FrameReport {
+				co.abortAll(conns, fmt.Sprintf("worker %d sent frame 0x%02x during round %d", f.worker, f.typ, round))
+				return nil, fmt.Errorf("timewarp: worker %d sent frame 0x%02x during round %d", f.worker, f.typ, round)
+			}
+			r, err := decodeReport(f.payload, k)
+			if err != nil {
+				co.abortAll(conns, err.Error())
+				return nil, err
+			}
+			if r.Round != round || reports[f.worker] != nil {
+				co.abortAll(conns, fmt.Sprintf("worker %d answered round %d during round %d", f.worker, r.Round, round))
+				return nil, fmt.Errorf("timewarp: worker %d answered round %d during round %d", f.worker, r.Round, round)
+			}
+			reports[f.worker] = &r
+			n++
+		}
+
+		// Fold this round into the freeze/drain state.
+		var sumSent, sumAbsorbed, maxStraggler uint64
+		frozen := true
+		active := false
+		for i, r := range reports {
+			sumSent += r.Sent
+			sumAbsorbed += r.Absorbed
+			if r.MaxStraggler > maxStraggler {
+				maxStraggler = r.MaxStraggler
+			}
+			quiet := len(r.WireSent) == 0 && len(r.WireRecv) == 0
+			for _, e := range r.WireSent {
+				cumWireSent[e.Era] += e.Count
+			}
+			for _, e := range r.WireRecv {
+				cumWireRecv[e.Era] += e.Count
+			}
+			p := &prev[i]
+			same := p.valid && p.sent == r.Sent && p.absorbed == r.Absorbed && quiet
+			if same {
+				for _, cp := range r.Progress {
+					if p.progress[cp.Cluster] != cp.Cycle {
+						same = false
+						break
+					}
+				}
+			}
+			if !same {
+				frozen = false
+			}
+			if !p.valid || p.sent != r.Sent || p.absorbed != r.Absorbed || !quiet {
+				active = true
+			}
+			if p.progress == nil {
+				p.progress = make(map[int32]uint64, len(r.Progress))
+			}
+			for _, cp := range r.Progress {
+				if p.progress[cp.Cluster] != cp.Cycle {
+					active = true
+				}
+				p.progress[cp.Cluster] = cp.Cycle
+				progress[cp.Cluster] = cp.Cycle
+			}
+			p.valid, p.sent, p.absorbed = true, r.Sent, r.Absorbed
+		}
+		if sumSent != sumAbsorbed {
+			frozen = false
+		}
+		if len(progress) < k {
+			frozen = false // first rounds: not every cluster reported yet
+		}
+
+		// Mattern drain check: every frame colored before this cut must
+		// have been received. Undrained while frozen means a frame
+		// vanished — nothing is moving, so it never will arrive.
+		drained := true
+		for era, sent := range cumWireSent {
+			if era < round && cumWireRecv[era] != sent {
+				drained = false
+				break
+			}
+		}
+		for era, recv := range cumWireRecv {
+			if era < round && cumWireSent[era] != recv {
+				drained = false
+				break
+			}
+		}
+		if frozen && !drained {
+			reason := "wire frame lost: era counts unbalanced at a frozen cut"
+			co.abortAll(conns, reason)
+			return nil, fmt.Errorf("timewarp: %s", reason)
+		}
+
+		minProg, allDone := uint64(math.MaxUint64), len(progress) == k
+		for _, cyc := range progress {
+			if cyc < minProg {
+				minProg = cyc
+			}
+			if cyc < cfg.Spec.Cycles {
+				allDone = false
+			}
+		}
+		if len(progress) == 0 {
+			minProg = 0
+		}
+
+		if active {
+			lastActivity = time.Now()
+		}
+		cfg.Probe.note(gvt, minProg, maxStraggler, active)
+
+		if frozen && drained {
+			// Two identical, fully-drained rounds: the progress minimum
+			// held at a provably quiescent instant. Same argument as the
+			// in-process watcher, with the wire drained by era counting.
+			if minProg > gvt {
+				gvt = minProg
+				gvtPayload := appendGVT(nil, distGVT{Value: gvt})
+				for i, conn := range conns {
+					if err := conn.Send(nettrans.FrameGVT, gvtPayload); err != nil {
+						co.abortAll(conns, fmt.Sprintf("worker %d unreachable at gvt broadcast", i))
+						return nil, fmt.Errorf("timewarp: worker %d unreachable at gvt broadcast: %w", i, err)
+					}
+				}
+			} else if minProg < gvt {
+				violations = append(violations, fmt.Sprintf(
+					"GVT regression: quiescent minimum %d below established GVT %d", minProg, gvt))
+			}
+			if allDone {
+				doneStreak++
+				if doneStreak >= 2 {
+					return co.finish(conns, frames, gvt, violations)
+				}
+			} else {
+				doneStreak = 0
+			}
+		} else {
+			doneStreak = 0
+		}
+
+		if cfg.StallTimeout > 0 && !(allDone && sumSent == sumAbsorbed) &&
+			time.Since(lastActivity) > cfg.StallTimeout {
+			reason := fmt.Sprintf(
+				"run stalled for %v (progress min %d of %d cycles, %d of %d messages absorbed): wedged worker or lost message",
+				cfg.StallTimeout, minProg, cfg.Spec.Cycles, sumAbsorbed, sumSent)
+			co.abortAll(conns, reason)
+			return nil, fmt.Errorf("timewarp: %s", reason)
+		}
+		if cfg.RunTimeout > 0 && time.Since(started) > cfg.RunTimeout {
+			reason := fmt.Sprintf(
+				"run exceeded hard cap %v while still active (progress min %d of %d cycles): livelocked run",
+				cfg.RunTimeout, minProg, cfg.Spec.Cycles)
+			co.abortAll(conns, reason)
+			return nil, fmt.Errorf("timewarp: %s", reason)
+		}
+	}
+}
+
+// finish tells every worker to wrap up, collects their results and
+// merges them into the kernel's Result shape.
+func (co *Coordinator) finish(conns []*nettrans.Conn, frames chan workerFrame, gvt uint64, violations []string) (*Result, error) {
+	cfg := co.cfg
+	for i, conn := range conns {
+		if err := conn.Send(nettrans.FrameFinish, nil); err != nil {
+			co.abortAll(conns, fmt.Sprintf("worker %d unreachable at finish", i))
+			return nil, fmt.Errorf("timewarp: worker %d unreachable at finish: %w", i, err)
+		}
+	}
+	results := make([]*distResult, cfg.Workers)
+	for n := 0; n < cfg.Workers; {
+		var f workerFrame
+		select {
+		case f = <-frames:
+		case <-time.After(cfg.Watchdog):
+			reason := fmt.Sprintf("watchdog: %d of %d results within %v", n, cfg.Workers, cfg.Watchdog)
+			co.abortAll(conns, reason)
+			return nil, fmt.Errorf("timewarp: %s", reason)
+		}
+		if f.err != nil {
+			if results[f.worker] != nil {
+				// A worker closes its control connection right after its
+				// result; that EOF is the normal exit, not a death.
+				continue
+			}
+			co.abortAll(conns, fmt.Sprintf("worker %d died: %v", f.worker, f.err))
+			return nil, fmt.Errorf("timewarp: worker %d died before its result: %w", f.worker, f.err)
+		}
+		if f.typ == nettrans.FrameError {
+			a, _ := decodeAbort(f.payload)
+			co.abortAll(conns, fmt.Sprintf("worker %d failed: %s", f.worker, a.Reason))
+			return nil, fmt.Errorf("timewarp: worker %d failed: %s", f.worker, a.Reason)
+		}
+		if f.typ != nettrans.FrameResult {
+			co.abortAll(conns, fmt.Sprintf("worker %d sent frame 0x%02x instead of result", f.worker, f.typ))
+			return nil, fmt.Errorf("timewarp: worker %d sent frame 0x%02x instead of result", f.worker, f.typ)
+		}
+		r, err := decodeResult(f.payload, cfg.Spec.K)
+		if err != nil {
+			co.abortAll(conns, err.Error())
+			return nil, err
+		}
+		if results[f.worker] != nil {
+			co.abortAll(conns, fmt.Sprintf("worker %d sent two results", f.worker))
+			return nil, fmt.Errorf("timewarp: worker %d sent two results", f.worker)
+		}
+		results[f.worker] = &r
+		n++
+	}
+	for _, conn := range conns {
+		conn.Close()
+	}
+
+	res := &Result{
+		Observed:            make(map[netlist.NetID][]bool),
+		PerCluster:          make([]Stats, cfg.Spec.K),
+		FinalGVT:            gvt,
+		InvariantViolations: violations,
+	}
+	var sumSent, sumAbsorbed uint64
+	var sumInFlight int64
+	for _, r := range results {
+		sumSent += r.Sent
+		sumAbsorbed += r.Absorbed
+		sumInFlight += r.InFlight
+		for _, c := range r.Clusters {
+			st := c.Stats
+			res.PerCluster[c.Cluster] = st
+			res.Stats.Messages += st.Messages
+			res.Stats.AntiMessages += st.AntiMessages
+			res.Stats.Rollbacks += st.Rollbacks
+			res.Stats.Events += st.Events
+			res.Stats.RolledBackEvents += st.RolledBackEvents
+			res.Stats.Checkpoints += st.Checkpoints
+			res.Stats.Batches += st.Batches
+			res.Stats.BatchedEvents += st.BatchedEvents
+			res.Stats.PoolHits += st.PoolHits
+			res.Stats.PoolMisses += st.PoolMisses
+			res.Stats.CheckpointBytesSaved += st.CheckpointBytesSaved
+			if st.MaxStragglerDepth > res.Stats.MaxStragglerDepth {
+				res.Stats.MaxStragglerDepth = st.MaxStragglerDepth
+			}
+		}
+		for _, o := range r.Observed {
+			if _, dup := res.Observed[o.Net]; dup {
+				res.InvariantViolations = append(res.InvariantViolations,
+					fmt.Sprintf("net %d observed by two workers", o.Net))
+			}
+			res.Observed[o.Net] = o.Values
+		}
+	}
+	// Global termination invariants, summed across processes — the same
+	// checks the in-process kernel makes against its shared counters.
+	if sumInFlight != 0 {
+		res.InvariantViolations = append(res.InvariantViolations,
+			fmt.Sprintf("%d messages still in flight at termination", sumInFlight))
+	}
+	if sumAbsorbed != sumSent {
+		res.InvariantViolations = append(res.InvariantViolations,
+			fmt.Sprintf("absorbed %d of %d sent messages at termination", sumAbsorbed, sumSent))
+	}
+	return res, nil
+}

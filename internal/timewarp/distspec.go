@@ -1,0 +1,139 @@
+package timewarp
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/comm/nettrans"
+	"repro/internal/elab"
+	"repro/internal/verilog"
+)
+
+// DistSpec is the complete, self-contained description of a distributed
+// run — everything a worker process needs to reconstruct its share of the
+// simulation from bytes alone. The coordinator ships it as the opaque
+// Config blob of the nettrans Welcome; workers re-elaborate the same
+// Verilog source with the same deterministic code path, so coordinator
+// and workers agree on every NetID and GateID without ever serializing
+// the netlist itself. The Fingerprint pins that agreement: a worker whose
+// elaboration disagrees (version skew, corrupted source) aborts at
+// handshake time instead of desynchronizing mid-run.
+type DistSpec struct {
+	// Source is the Verilog source text and Top the module to elaborate —
+	// the same inputs cmd/vsim takes.
+	Source string
+	Top    string
+	// GateParts maps every gate to its cluster, exactly as Config.GateParts.
+	// Shipped explicitly because partitioning is seeded-random; only the
+	// coordinator runs the partitioner.
+	GateParts []int32
+	K         int
+	Cycles    uint64
+	Window    uint64
+	ChkEvery  uint64
+	Adaptive  bool
+	Keyframe  uint64
+	NoBatch   bool
+	// VecSeed seeds sim.RandomVectors; stimulus is derived, not shipped.
+	VecSeed int64
+}
+
+// Fingerprint digests the parts of the spec every participant must agree
+// on byte-for-byte. It is cheap (FNV-1a over source, top and partition)
+// and is carried inside the encoded spec; DecodeDistSpec recomputes and
+// compares, so a truncated or skewed blob fails closed.
+func (s *DistSpec) Fingerprint() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s.Source))
+	h.Write([]byte{0})
+	h.Write([]byte(s.Top))
+	h.Write([]byte{0})
+	var b [4]byte
+	for _, p := range s.GateParts {
+		b[0], b[1], b[2], b[3] = byte(p>>24), byte(p>>16), byte(p>>8), byte(p)
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// Elaborate parses and elaborates the spec's source, validating the gate
+// partition against the resulting netlist.
+func (s *DistSpec) Elaborate() (*elab.Design, error) {
+	d, err := verilog.Parse(s.Source)
+	if err != nil {
+		return nil, fmt.Errorf("timewarp: dist spec source does not parse: %w", err)
+	}
+	ed, err := elab.Elaborate(d, s.Top)
+	if err != nil {
+		return nil, fmt.Errorf("timewarp: dist spec does not elaborate: %w", err)
+	}
+	if len(s.GateParts) != len(ed.Netlist.Gates) {
+		return nil, fmt.Errorf("timewarp: dist spec partition covers %d gates, elaboration produced %d — coordinator/worker elaboration disagree",
+			len(s.GateParts), len(ed.Netlist.Gates))
+	}
+	return ed, nil
+}
+
+// AppendDistSpec serializes the spec, fingerprint included.
+func AppendDistSpec(dst []byte, s *DistSpec) []byte {
+	dst = nettrans.AppendU64(dst, s.Fingerprint())
+	dst = nettrans.AppendStr(dst, s.Source)
+	dst = nettrans.AppendStr(dst, s.Top)
+	dst = nettrans.AppendU32(dst, uint32(len(s.GateParts)))
+	for _, p := range s.GateParts {
+		dst = nettrans.AppendU32(dst, uint32(p))
+	}
+	dst = nettrans.AppendU32(dst, uint32(s.K))
+	dst = nettrans.AppendU64(dst, s.Cycles)
+	dst = nettrans.AppendU64(dst, s.Window)
+	dst = nettrans.AppendU64(dst, s.ChkEvery)
+	dst = nettrans.AppendBool(dst, s.Adaptive)
+	dst = nettrans.AppendU64(dst, s.Keyframe)
+	dst = nettrans.AppendBool(dst, s.NoBatch)
+	dst = nettrans.AppendI64(dst, s.VecSeed)
+	return dst
+}
+
+// DecodeDistSpec parses and validates a spec blob, verifying the
+// embedded fingerprint against a recomputation.
+func DecodeDistSpec(p []byte) (*DistSpec, error) {
+	d := nettrans.NewDec(p)
+	want := d.U64()
+	s := &DistSpec{
+		Source: d.Str(),
+		Top:    d.Str(),
+	}
+	n := d.U32()
+	if d.Err() == nil {
+		if uint64(n)*4 > uint64(len(p)) {
+			return nil, fmt.Errorf("timewarp: dist spec claims %d gates in a %d-byte blob", n, len(p))
+		}
+		s.GateParts = make([]int32, n)
+		for i := range s.GateParts {
+			s.GateParts[i] = int32(d.U32())
+		}
+	}
+	s.K = int(int32(d.U32()))
+	s.Cycles = d.U64()
+	s.Window = d.U64()
+	s.ChkEvery = d.U64()
+	s.Adaptive = d.Bool()
+	s.Keyframe = d.U64()
+	s.NoBatch = d.Bool()
+	s.VecSeed = d.I64()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("timewarp: malformed dist spec: %w", err)
+	}
+	if s.K < 1 {
+		return nil, fmt.Errorf("timewarp: dist spec k=%d", s.K)
+	}
+	for i, p := range s.GateParts {
+		if p < 0 || int(p) >= s.K {
+			return nil, fmt.Errorf("timewarp: dist spec assigns gate %d to cluster %d (k=%d)", i, p, s.K)
+		}
+	}
+	if got := s.Fingerprint(); got != want {
+		return nil, fmt.Errorf("timewarp: dist spec fingerprint mismatch: blob says %016x, content hashes to %016x", want, got)
+	}
+	return s, nil
+}

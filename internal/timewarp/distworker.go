@@ -1,0 +1,674 @@
+package timewarp
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/comm/nettrans"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// WorkerOptions configures one worker process of a distributed run.
+type WorkerOptions struct {
+	// Coordinator is the control-plane address to dial (required).
+	Coordinator string
+	// Bind is the data-plane listen address peers will dial
+	// (default "127.0.0.1:0").
+	Bind string
+	// Obs, when enabled, publishes per-peer wire metrics (frames/bytes
+	// sent and received per link) on the net track.
+	Obs *obs.Observer
+	// DialTimeout bounds the coordinator and peer dials (default 5s).
+	DialTimeout time.Duration
+	// FailAfter, when positive, drops every connection abruptly after
+	// this duration — the injected crash the kill-a-worker test uses to
+	// prove the coordinator aborts instead of hanging. Never set it
+	// outside tests.
+	FailAfter time.Duration
+}
+
+// RunWorker joins a distributed run as one worker: it dials the
+// coordinator, receives its cluster assignment and the run spec, meshes
+// with its peer workers over TCP, simulates its share of the clusters,
+// and obeys the coordinator's GVT/finish/abort protocol. It returns nil
+// after a clean finish and an error when the run aborted (locally or by
+// coordinator decision).
+func RunWorker(opts WorkerOptions) error {
+	if opts.Coordinator == "" {
+		return fmt.Errorf("timewarp: worker needs a coordinator address")
+	}
+	if opts.Bind == "" {
+		opts.Bind = "127.0.0.1:0"
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+
+	ln, err := net.Listen("tcp", opts.Bind)
+	if err != nil {
+		return fmt.Errorf("timewarp: worker data listen: %w", err)
+	}
+	defer ln.Close()
+
+	rawCoord, err := net.DialTimeout("tcp", opts.Coordinator, opts.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("timewarp: dial coordinator %s: %w", opts.Coordinator, err)
+	}
+	coord := nettrans.NewConn(rawCoord)
+	defer coord.Close()
+
+	if err := coord.Send(nettrans.FrameHello,
+		nettrans.AppendHello(nil, nettrans.Hello{DataAddr: ln.Addr().String()})); err != nil {
+		return fmt.Errorf("timewarp: send hello: %w", err)
+	}
+	typ, payload, err := coord.Recv()
+	if err != nil {
+		return fmt.Errorf("timewarp: waiting for welcome: %w", err)
+	}
+	if typ == nettrans.FrameAbort {
+		a, _ := decodeAbort(payload)
+		return fmt.Errorf("timewarp: coordinator rejected worker: %s", a.Reason)
+	}
+	if typ != nettrans.FrameWelcome {
+		return fmt.Errorf("timewarp: expected welcome, got frame type 0x%02x", typ)
+	}
+	welcome, err := nettrans.DecodeWelcome(payload)
+	if err != nil {
+		return err
+	}
+	spec, err := DecodeDistSpec(welcome.Config)
+	if err != nil {
+		return err
+	}
+	if spec.K != welcome.K || len(welcome.Placement) != spec.K {
+		return fmt.Errorf("timewarp: welcome says k=%d with %d placements, spec says k=%d",
+			welcome.K, len(welcome.Placement), spec.K)
+	}
+
+	w := &distWorker{
+		opts:      opts,
+		id:        welcome.WorkerID,
+		numW:      welcome.NumWorkers,
+		spec:      spec,
+		placement: welcome.Placement,
+		coord:     coord,
+		ln:        ln,
+		peers:     make([]*nettrans.Conn, welcome.NumWorkers),
+	}
+	return w.run(welcome.PeerAddrs)
+}
+
+// distWorker is the state of one worker process.
+type distWorker struct {
+	opts      WorkerOptions
+	id        int
+	numW      int
+	spec      *DistSpec
+	placement []int32
+	coord     *nettrans.Conn
+	ln        net.Listener
+	peers     []*nettrans.Conn // indexed by worker id; nil at own slot
+
+	mesh      *meshTransport
+	net       *comm.Network
+	progress  []atomic.Uint64
+	absorbed  atomic.Uint64
+	cancelled atomic.Bool
+	gvt       atomic.Uint64
+	clusters  []*cluster // local clusters only
+	clusterWG sync.WaitGroup
+
+	errMu      sync.Mutex
+	clusterErr error // first local cluster failure
+
+	stopGossip chan struct{}
+	gossipWG   sync.WaitGroup
+}
+
+func (w *distWorker) noteClusterErr(err error) {
+	w.errMu.Lock()
+	if w.clusterErr == nil {
+		w.clusterErr = err
+	}
+	w.errMu.Unlock()
+}
+
+func (w *distWorker) firstClusterErr() error {
+	w.errMu.Lock()
+	defer w.errMu.Unlock()
+	return w.clusterErr
+}
+
+// run drives the worker after a successful handshake.
+func (w *distWorker) run(peerAddrs []string) error {
+	ed, err := w.spec.Elaborate()
+	if err != nil {
+		return err
+	}
+	nl := ed.Netlist
+	depth, err := nl.Depth()
+	if err != nil {
+		return err
+	}
+	deltaRange := uint64(depth) + 4
+
+	if err := w.meshUp(peerAddrs); err != nil {
+		return fmt.Errorf("timewarp: worker %d mesh: %w", w.id, err)
+	}
+	defer w.closePeers()
+
+	cfg := &Config{
+		NL:                 nl,
+		GateParts:          w.spec.GateParts,
+		K:                  w.spec.K,
+		Vectors:            sim.RandomVectors{Seed: w.spec.VecSeed},
+		Cycles:             w.spec.Cycles,
+		Window:             w.spec.Window,
+		CheckpointEvery:    w.spec.ChkEvery,
+		AdaptiveCheckpoint: w.spec.Adaptive,
+		KeyframeEvery:      w.spec.Keyframe,
+		DisableBatching:    w.spec.NoBatch,
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 8
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 1
+	}
+	observe := nl.POs
+
+	w.progress = make([]atomic.Uint64, w.spec.K)
+	w.mesh = newMeshTransport(w)
+	w.net = comm.NewNetworkTransport(w.spec.K, w.mesh.factory())
+	w.mesh.net = w.net
+
+	for c := 0; c < w.spec.K; c++ {
+		if int(w.placement[c]) != w.id {
+			continue
+		}
+		cl := newCluster(int32(c), cfg, deltaRange, w.net.Endpoint(c),
+			w.progress, &w.absorbed, &w.cancelled, &w.gvt, observe)
+		w.clusters = append(w.clusters, cl)
+	}
+
+	// Peer readers deliver remote events and progress gossip from here on.
+	for p, conn := range w.peers {
+		if conn == nil {
+			continue
+		}
+		w.gossipWG.Add(1)
+		go w.peerReadLoop(p, conn)
+	}
+
+	// The injected crash: drop everything mid-run, exactly as a killed
+	// process would, and let the coordinator's watchdog prove itself.
+	if w.opts.FailAfter > 0 {
+		time.AfterFunc(w.opts.FailAfter, func() {
+			w.cancelled.Store(true)
+			w.coord.Close()
+			w.ln.Close()
+			w.closePeers()
+		})
+	}
+
+	if err := w.coord.Send(nettrans.FrameReady, nil); err != nil {
+		return fmt.Errorf("timewarp: send ready: %w", err)
+	}
+	typ, payload, err := w.coord.Recv()
+	if err != nil {
+		return fmt.Errorf("timewarp: waiting for start: %w", err)
+	}
+	if typ == nettrans.FrameAbort {
+		a, _ := decodeAbort(payload)
+		return fmt.Errorf("timewarp: aborted before start: %s", a.Reason)
+	}
+	if typ != nettrans.FrameStart {
+		return fmt.Errorf("timewarp: expected start, got frame type 0x%02x", typ)
+	}
+
+	for _, cl := range w.clusters {
+		cl := cl
+		w.clusterWG.Add(1)
+		go func() {
+			defer w.clusterWG.Done()
+			if err := cl.run(); err != nil {
+				w.noteClusterErr(err)
+				w.cancelled.Store(true)
+				w.closeEndpoints()
+				// Best effort: tell the coordinator why; it aborts the
+				// whole run and relays the reason to every other worker.
+				w.coord.Send(nettrans.FrameError,
+					appendAbort(nil, distAbort{Reason: err.Error()}))
+			}
+		}()
+	}
+
+	w.stopGossip = make(chan struct{})
+	w.gossipWG.Add(1)
+	go w.gossipLoop()
+
+	err = w.controlLoop()
+
+	// Whatever ended the run, unwind in one order: stop gossip, wake the
+	// clusters, wait for them, then stop the transport (flushing nothing
+	// on the clean path, draining into closed endpoints on abort).
+	close(w.stopGossip)
+	w.closeEndpoints()
+	w.clusterWG.Wait()
+	w.net.CloseTransport()
+
+	if cerr := w.firstClusterErr(); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+// controlLoop obeys the coordinator until finish or abort. The return
+// value is the run outcome from this worker's perspective.
+func (w *distWorker) controlLoop() error {
+	for {
+		typ, payload, err := w.coord.Recv()
+		if err != nil {
+			w.cancelled.Store(true)
+			if cerr := w.firstClusterErr(); cerr != nil {
+				return cerr // our own failure: the conn close is fallout
+			}
+			return fmt.Errorf("timewarp: worker %d lost coordinator: %w", w.id, err)
+		}
+		switch typ {
+		case nettrans.FrameCut:
+			cut, err := decodeCut(payload)
+			if err != nil {
+				return err
+			}
+			w.mesh.flipEra(cut.Round)
+			if err := w.coord.Send(nettrans.FrameReport,
+				appendReport(nil, w.report(cut.Round))); err != nil {
+				w.cancelled.Store(true)
+				return fmt.Errorf("timewarp: worker %d send report: %w", w.id, err)
+			}
+		case nettrans.FrameGVT:
+			g, err := decodeGVT(payload)
+			if err != nil {
+				return err
+			}
+			w.gvt.Store(g.Value)
+		case nettrans.FrameFinish:
+			// Quiescent and done: wake the clusters, let them drain out,
+			// then ship the merged local result.
+			w.closeEndpoints()
+			w.clusterWG.Wait()
+			if err := w.coord.Send(nettrans.FrameResult,
+				appendResult(nil, w.result())); err != nil {
+				return fmt.Errorf("timewarp: worker %d send result: %w", w.id, err)
+			}
+			return nil
+		case nettrans.FrameAbort:
+			a, err := decodeAbort(payload)
+			if err != nil {
+				return err
+			}
+			w.cancelled.Store(true)
+			return fmt.Errorf("timewarp: run aborted: %s", a.Reason)
+		default:
+			return fmt.Errorf("timewarp: worker %d: unexpected control frame 0x%02x", w.id, typ)
+		}
+	}
+}
+
+// report snapshots the worker-local counters for one GVT round.
+func (w *distWorker) report(round uint64) distReport {
+	r := distReport{
+		Round:    round,
+		Sent:     w.net.TotalSent(),
+		Absorbed: w.absorbed.Load(),
+		InFlight: w.net.InFlight(),
+	}
+	for _, cl := range w.clusters {
+		r.Progress = append(r.Progress, clusterProgress{
+			Cluster: cl.id,
+			Cycle:   w.progress[cl.id].Load(),
+		})
+		if d := cl.stats.maxStragglerDepth.Load(); d > r.MaxStraggler {
+			r.MaxStraggler = d
+		}
+	}
+	r.WireSent, r.WireRecv = w.mesh.takeEraDeltas()
+	return r
+}
+
+// result gathers the final local contribution after the clusters exited.
+func (w *distWorker) result() distResult {
+	res := distResult{
+		Sent:     w.net.TotalSent(),
+		Absorbed: w.absorbed.Load(),
+		InFlight: w.net.InFlight(),
+	}
+	for _, cl := range w.clusters {
+		res.Clusters = append(res.Clusters, clusterResult{
+			Cluster: cl.id,
+			Stats:   cl.stats.Snapshot(),
+		})
+		for n, vals := range cl.obsLog {
+			res.Observed = append(res.Observed, observedNet{
+				Net:    n,
+				Cycles: uint64(len(vals)),
+				Values: vals,
+			})
+		}
+	}
+	return res
+}
+
+// gossipLoop broadcasts local cluster progress to every peer so their
+// optimism windows see this worker's clusters. Frequency trades window
+// staleness (a throttle, never a correctness input) against wire chatter.
+func (w *distWorker) gossipLoop() {
+	defer w.gossipWG.Done()
+	last := make([]uint64, len(w.clusters))
+	buf := []byte(nil)
+	for {
+		select {
+		case <-w.stopGossip:
+			return
+		case <-time.After(300 * time.Microsecond):
+		}
+		changed := false
+		ps := make([]clusterProgress, len(w.clusters))
+		for i, cl := range w.clusters {
+			v := w.progress[cl.id].Load()
+			ps[i] = clusterProgress{Cluster: cl.id, Cycle: v}
+			if v != last[i] {
+				changed = true
+				last[i] = v
+			}
+		}
+		if !changed {
+			continue
+		}
+		buf = appendProgressList(buf[:0], ps)
+		for _, conn := range w.peers {
+			if conn != nil {
+				conn.Send(nettrans.FrameProgress, buf) // error = peer gone; abort arrives via control
+			}
+		}
+	}
+}
+
+// peerReadLoop drains one mesh connection: data frames become local
+// deliveries, progress frames update the shared progress view.
+func (w *distWorker) peerReadLoop(peer int, conn *nettrans.Conn) {
+	defer w.gossipWG.Done()
+	codec := WireCodec()
+	for {
+		typ, payload, err := conn.Recv()
+		if err != nil {
+			return // peer closed (finish) or died (coordinator will abort)
+		}
+		switch typ {
+		case nettrans.FrameData:
+			df, err := nettrans.DecodeDataFrame(payload, w.spec.K)
+			if err != nil {
+				w.failLink(peer, err)
+				return
+			}
+			msg, err := codec.Decode(df.Msg)
+			if err != nil {
+				w.failLink(peer, err)
+				return
+			}
+			w.mesh.noteRecv(df.Era, len(payload))
+			w.net.NoteArrived()
+			w.mesh.deliver(df.Dst, msg)
+		case nettrans.FrameProgress:
+			d := nettrans.NewDec(payload)
+			ps, err := decodeProgressList(d, w.spec.K)
+			if err != nil {
+				w.failLink(peer, err)
+				return
+			}
+			for _, p := range ps {
+				if int(w.placement[p.Cluster]) != w.id {
+					w.progress[p.Cluster].Store(p.Cycle)
+				}
+			}
+		default:
+			w.failLink(peer, fmt.Errorf("unexpected frame type 0x%02x", typ))
+			return
+		}
+	}
+}
+
+// failLink reports a poisoned mesh link to the coordinator; a garbled
+// data plane can neither be trusted nor repaired, so the run must abort.
+func (w *distWorker) failLink(peer int, err error) {
+	w.coord.Send(nettrans.FrameError, appendAbort(nil, distAbort{
+		Reason: fmt.Sprintf("worker %d: bad frame from peer %d: %v", w.id, peer, err),
+	}))
+}
+
+// meshUp establishes the full worker mesh: this worker dials every lower
+// id and accepts a connection from every higher id, so each pair shares
+// exactly one duplex TCP stream.
+func (w *distWorker) meshUp(peerAddrs []string) error {
+	type acceptRes struct {
+		id   int
+		conn *nettrans.Conn
+		err  error
+	}
+	expect := w.numW - 1 - w.id
+	acceptCh := make(chan acceptRes, expect)
+	if expect > 0 {
+		go func() {
+			for i := 0; i < expect; i++ {
+				raw, err := w.ln.Accept()
+				if err != nil {
+					acceptCh <- acceptRes{err: err}
+					return
+				}
+				conn := nettrans.NewConn(raw)
+				typ, payload, err := conn.Recv()
+				if err == nil && typ != nettrans.FramePeerHello {
+					err = fmt.Errorf("expected peer hello, got frame type 0x%02x", typ)
+				}
+				if err != nil {
+					conn.Close()
+					acceptCh <- acceptRes{err: err}
+					return
+				}
+				ph, err := nettrans.DecodePeerHello(payload, w.numW)
+				if err != nil {
+					conn.Close()
+					acceptCh <- acceptRes{err: err}
+					return
+				}
+				acceptCh <- acceptRes{id: ph.WorkerID, conn: conn}
+			}
+		}()
+	}
+	for j := 0; j < w.id; j++ {
+		raw, err := net.DialTimeout("tcp", peerAddrs[j], w.opts.DialTimeout)
+		if err != nil {
+			return fmt.Errorf("dial peer %d at %s: %w", j, peerAddrs[j], err)
+		}
+		conn := nettrans.NewConn(raw)
+		if err := conn.Send(nettrans.FramePeerHello,
+			nettrans.AppendPeerHello(nil, nettrans.PeerHello{WorkerID: w.id})); err != nil {
+			conn.Close()
+			return fmt.Errorf("peer hello to %d: %w", j, err)
+		}
+		w.peers[j] = conn
+	}
+	for i := 0; i < expect; i++ {
+		select {
+		case r := <-acceptCh:
+			if r.err != nil {
+				return fmt.Errorf("accept peer: %w", r.err)
+			}
+			if r.id <= w.id || w.peers[r.id] != nil {
+				r.conn.Close()
+				return fmt.Errorf("unexpected peer hello from worker %d", r.id)
+			}
+			w.peers[r.id] = r.conn
+		case <-time.After(w.opts.DialTimeout):
+			return fmt.Errorf("timed out waiting for %d peer connections", expect-i)
+		}
+	}
+	return nil
+}
+
+func (w *distWorker) closeEndpoints() {
+	for c := 0; c < w.spec.K; c++ {
+		w.net.Endpoint(c).Close()
+	}
+}
+
+func (w *distWorker) closePeers() {
+	for _, conn := range w.peers {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+}
+
+// meshTransport is the comm.Transport of a worker's K-cluster network:
+// cluster-to-cluster sends stay in-process when both ends are local and
+// become era-colored data frames on the owning peer's mesh connection
+// otherwise. The era tallies it keeps are the piggybacked white/black
+// counts the coordinator's Mattern rounds consume.
+type meshTransport struct {
+	w       *distWorker
+	net     *comm.Network // set after construction, before any traffic
+	deliver comm.DeliverFunc
+
+	era atomic.Uint64
+
+	encMu  sync.Mutex
+	encBuf []byte
+
+	tallyMu    sync.Mutex
+	sentByEra  map[uint64]uint64
+	recvByEra  map[uint64]uint64
+	framesSent []*obs.Counter // per peer worker; nil when uninstrumented
+	bytesSent  []*obs.Counter
+	framesRecv *obs.Counter
+	bytesRecv  *obs.Counter
+}
+
+func newMeshTransport(w *distWorker) *meshTransport {
+	t := &meshTransport{
+		w:         w,
+		sentByEra: make(map[uint64]uint64),
+		recvByEra: make(map[uint64]uint64),
+	}
+	if w.opts.Obs.Enabled() {
+		reg := w.opts.Obs.Registry()
+		t.framesSent = make([]*obs.Counter, w.numW)
+		t.bytesSent = make([]*obs.Counter, w.numW)
+		for p := 0; p < w.numW; p++ {
+			if p == w.id {
+				continue
+			}
+			lbl := obs.L("peer", p)
+			t.framesSent[p] = reg.Counter("net_frames_sent_total", "wire frames written", lbl)
+			t.bytesSent[p] = reg.Counter("net_bytes_sent_total", "wire payload bytes written", lbl)
+		}
+		t.framesRecv = reg.Counter("net_frames_recv_total", "wire frames read and delivered",
+			obs.L("peer", "any"))
+		t.bytesRecv = reg.Counter("net_bytes_recv_total", "wire payload bytes read",
+			obs.L("peer", "any"))
+	}
+	return t
+}
+
+// factory adapts the transport to comm.TransportFactory, capturing the
+// network's delivery sink.
+func (t *meshTransport) factory() comm.TransportFactory {
+	return func(k int, deliver comm.DeliverFunc) comm.Transport {
+		t.deliver = deliver
+		return t
+	}
+}
+
+func (t *meshTransport) flipEra(era uint64) { t.era.Store(era) }
+
+// noteRecv tallies one received data frame under its wire color.
+func (t *meshTransport) noteRecv(era uint64, bytes int) {
+	t.tallyMu.Lock()
+	t.recvByEra[era]++
+	t.tallyMu.Unlock()
+	if t.framesRecv != nil {
+		t.framesRecv.Inc()
+		t.bytesRecv.Add(uint64(bytes))
+	}
+}
+
+// takeEraDeltas drains the per-era tallies accumulated since the last
+// report. The coordinator folds them into cumulative global counts.
+func (t *meshTransport) takeEraDeltas() (sent, recv []eraCount) {
+	t.tallyMu.Lock()
+	defer t.tallyMu.Unlock()
+	for era, n := range t.sentByEra {
+		sent = append(sent, eraCount{Era: era, Count: n})
+		delete(t.sentByEra, era)
+	}
+	for era, n := range t.recvByEra {
+		recv = append(recv, eraCount{Era: era, Count: n})
+		delete(t.recvByEra, era)
+	}
+	return sent, recv
+}
+
+// Send routes one kernel message: local destinations deliver in-process,
+// remote ones serialize onto the owning worker's mesh stream. Per-link
+// FIFO holds because each cluster goroutine emits its messages in order
+// onto a single TCP stream per destination worker.
+func (t *meshTransport) Send(src, dst int, msg comm.Message) {
+	owner := int(t.w.placement[dst])
+	if owner == t.w.id {
+		t.deliver(dst, msg)
+		return
+	}
+	conn := t.w.peers[owner]
+	era := t.era.Load()
+
+	t.encMu.Lock()
+	buf := t.encBuf[:0]
+	buf = nettrans.AppendDataFrame(buf, src, dst, era, nil)
+	var err error
+	buf, err = WireCodec().Append(buf, msg)
+	if err != nil {
+		t.encMu.Unlock()
+		// Unencodable payloads are programming errors, same contract as
+		// the loopback transport.
+		panic(fmt.Sprintf("timewarp: wire-encode %T: %v", msg, err))
+	}
+	sendErr := conn.Send(nettrans.FrameData, buf)
+	t.encBuf = buf
+	n := len(buf)
+	t.encMu.Unlock()
+
+	// Departed this process — whether the write succeeded or the peer is
+	// already gone (in which case the coordinator is about to abort and
+	// the counters stop mattering), it no longer counts as locally held.
+	t.net.NoteDeparted()
+	if sendErr != nil {
+		return
+	}
+	t.tallyMu.Lock()
+	t.sentByEra[era]++
+	t.tallyMu.Unlock()
+	if t.framesSent != nil {
+		t.framesSent[owner].Inc()
+		t.bytesSent[owner].Add(uint64(n))
+	}
+}
+
+// Close is a no-op: the worker owns the mesh connections and closes them
+// in its own shutdown order (readers drained before sockets drop).
+func (t *meshTransport) Close() {}
