@@ -111,6 +111,15 @@ bench-record:
 		| tee bench-record.txt \
 		| $(GO) run ./cmd/benchrec -out BENCH_5.json
 
+# Re-record the packed-vs-scalar pre-simulation pair (BENCH_7.json): the
+# soc@k4 cluster model run scalar and through the 64-wide bit-parallel
+# engine. The recorded ratio is the documented packed speedup; perf-smoke
+# gates its allocs/op like the kernel set.
+bench-record-packed:
+	$(GO) test -run '^$$' -bench 'PresimScalar|PresimPacked' -benchmem -count=$(BENCH_COUNT) . \
+		| tee bench-record-packed.txt \
+		| $(GO) run ./cmd/benchrec -out BENCH_7.json
+
 # The CI allocs/op gate: fresh benchmark runs compared against the
 # committed baseline. Fails on >10% allocs/op regression and on any
 # run/baseline benchmark-set mismatch (benchrec refuses to silently skip
@@ -122,3 +131,7 @@ perf-smoke:
 		-bench 'TimeWarpKernel|TimeWarpObsOff|TimeWarpObsOn|TimeWarpCausalityOn' \
 		-benchmem -count=3 . \
 		| $(GO) run ./cmd/benchrec -check BENCH_5.json -max-allocs-regress 10
+	$(GO) test -run '^$$' \
+		-bench 'PresimScalar|PresimPacked' \
+		-benchmem -count=3 . \
+		| $(GO) run ./cmd/benchrec -check BENCH_7.json -max-allocs-regress 10

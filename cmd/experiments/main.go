@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/clustersim"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/obs/serve"
@@ -36,6 +37,7 @@ func main() {
 		fullC     = flag.Uint64("full", 100000, "full-run vectors (paper: 1,000,000)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "grid worker pool size (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+		packed    = flag.Bool("packed", true, "use the 64-wide bit-parallel cluster model (results are identical to -packed=false)")
 		jsonOut   = flag.Bool("json", false, "run the pre-simulation grid and emit machine-readable JSON on stdout (suppresses tables)")
 		trace     = flag.String("trace", "", "write a Chrome trace of the partitioner/grid work to this file (\"-\" = stdout)")
 		metrics   = flag.String("metrics", "", "write a Prometheus-style metrics dump to this file (\"-\" = stdout)")
@@ -49,6 +51,10 @@ func main() {
 	ctx.FullCycles = *fullC
 	ctx.Seed = *seed
 	ctx.Workers = *workers
+	ctx.Packed = clustersim.PackedOn
+	if !*packed {
+		ctx.Packed = clustersim.PackedOff
+	}
 	var o *obs.Observer
 	if *trace != "" || *metrics != "" || *serveAddr != "" {
 		o = obs.New(obs.Options{})

@@ -54,6 +54,7 @@ func main() {
 		mode   = flag.String("mode", "seq", "seq | tw | model")
 		k      = flag.Int("k", 2, "partitions (tw/model)")
 		b      = flag.Float64("b", 10, "balance factor in percent (tw/model)")
+		packed = flag.Bool("packed", true, "use the 64-wide bit-parallel engine for the cluster model; results are identical to -packed=false (model mode)")
 		vcd    = flag.String("vcd", "", "dump primary-output waveforms to this VCD file (seq mode)")
 
 		trace     = flag.String("trace", "", "write a Chrome trace (chrome://tracing, Perfetto) of the run to this file (tw mode; \"-\" = stdout)")
@@ -204,8 +205,13 @@ func main() {
 				fatal(srv.Close())
 			}
 		} else {
+			pm := clustersim.PackedOn
+			if !*packed {
+				pm = clustersim.PackedOff
+			}
 			res, err := clustersim.Run(clustersim.Config{
 				NL: nl, GateParts: pr.GateParts, K: *k, Vectors: vs, Cycles: *cycles,
+				Packed: pm,
 			})
 			fatal(err)
 			fmt.Printf("model: seqTime=%.0f parTime=%.0f speedup=%.2f msgs=%d rollbacks=%d reexec=%d critPath=%.0f boundSpeedup=%.2f\n",
@@ -315,6 +321,10 @@ func validateFlags(mode string, k int, b float64, cycles, chkEvery uint64, worke
 	}
 	if chkEvery < 1 {
 		return fmt.Errorf("-checkpoint-every must be >= 1 cycle (got %d): the kernel checkpoints at a fixed positive interval; use -adaptive-checkpoint to let it tune the interval itself", chkEvery)
+	}
+	// The packed engine backs the deterministic cluster model only.
+	if mode != "model" && set["packed"] {
+		return fmt.Errorf("-packed only applies to -mode model (mode is %q)", mode)
 	}
 	// Flags that only mean something to the optimistic kernel are an
 	// error elsewhere, not a silent no-op.

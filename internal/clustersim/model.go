@@ -74,6 +74,20 @@ func (c *Costs) fill() {
 	}
 }
 
+// PackedMode selects the trace-generation engine.
+type PackedMode int
+
+const (
+	// PackedAuto (the zero value) uses the 64-wide bit-parallel engine —
+	// the default, since its traces are bit-identical to the scalar
+	// generator's (differentially tested) at a fraction of the cost.
+	PackedAuto PackedMode = iota
+	// PackedOn forces the packed engine (same as PackedAuto today).
+	PackedOn
+	// PackedOff forces the scalar per-event engine.
+	PackedOff
+)
+
 // Config describes one modeled run.
 type Config struct {
 	NL        *netlist.Netlist
@@ -90,6 +104,18 @@ type Config struct {
 	// This is the classic alternative to Time Warp and the ablation that
 	// shows what optimism buys.
 	Synchronous bool
+	// Packed selects the word-parallel trace generator (packedgen.go):
+	// 64 cycles per wave, one uint64 lane-word per net, per-machine
+	// counters accumulated by change-mask popcounts instead of per-event
+	// callbacks. Results are bit-identical to the scalar path.
+	Packed PackedMode
+	// Waves optionally shares a pre-recorded wave bank across runs (it
+	// must have been built from this NL and Vectors, covering at least
+	// Cycles). A pre-simulation campaign builds one bank and passes it to
+	// every (k, b) point, so the scalar scout pass runs once per design
+	// rather than once per point. Nil → the run records its own waves
+	// (and trims them as it goes). Ignored on the scalar path.
+	Waves *sim.WaveBank
 }
 
 // Result reports the modeled run.
@@ -144,6 +170,15 @@ type cycleTrace struct {
 	recvHops uint32
 }
 
+// traceSource streams the true event history cycle by cycle; traceGen is
+// the scalar per-event implementation, packedGen (packedgen.go) the
+// 64-wide bit-parallel one. Both produce bit-identical traces.
+type traceSource interface {
+	cycle(c uint64) ([]cycleTrace, error)
+	discardBelow(c uint64)
+	critPath() float64
+}
+
 // traceGen streams the true event history cycle by cycle.
 type traceGen struct {
 	s      *sim.Simulator
@@ -180,9 +215,6 @@ func newTraceGen(cfg *Config) (*traceGen, error) {
 	nl := cfg.NL
 	s.OnGateEval = func(gid netlist.GateID, _ sim.VTime) {
 		g.cur[cfg.GateParts[gid]].evals++
-	}
-	if cfg.K > 64 {
-		return nil, fmt.Errorf("clustersim: K > 64 not supported")
 	}
 	g.hopSeen = make([]map[uint64]bool, cfg.K)
 	for i := range g.hopSeen {
@@ -359,11 +391,20 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("clustersim: GateParts covers %d gates, netlist has %d",
 			len(cfg.GateParts), len(cfg.NL.Gates))
 	}
+	if cfg.K > 64 {
+		return nil, fmt.Errorf("clustersim: K > 64 not supported")
+	}
 	cfg.Costs.fill()
 	if cfg.Window == 0 {
 		cfg.Window = 4
 	}
-	gen, err := newTraceGen(&cfg)
+	var gen traceSource
+	var err error
+	if cfg.Packed != PackedOff {
+		gen, err = newPackedGen(&cfg)
+	} else {
+		gen, err = newTraceGen(&cfg)
+	}
 	if err != nil {
 		return nil, err
 	}

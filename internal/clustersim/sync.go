@@ -6,7 +6,7 @@ package clustersim
 // the maximum machine cost plus one barrier latency; mid-cycle hop chains
 // stall exactly as in the optimistic model (a combinational value must
 // cross before dependent logic can proceed), but no work is ever wasted.
-func runSynchronous(cfg *Config, gen *traceGen) (*Result, error) {
+func runSynchronous(cfg *Config, gen traceSource) (*Result, error) {
 	res := &Result{
 		MachineBusy:   make([]float64, cfg.K),
 		MachineEvents: make([]uint64, cfg.K),

@@ -34,10 +34,19 @@ func profileActivity(c *Context, cycles uint64) ([]int, error) {
 
 // evalParts models a run over an explicit gate partition.
 func (c *Context) evalParts(gateParts []int32, k int, cycles uint64) (*GridPoint, error) {
-	res, err := clustersim.Run(clustersim.Config{
+	scfg := clustersim.Config{
 		NL: c.ED.Netlist, GateParts: gateParts, K: k,
 		Vectors: sim.RandomVectors{Seed: c.Seed}, Cycles: cycles, Costs: c.Costs,
-	})
+		Packed: c.Packed,
+	}
+	if c.Packed != clustersim.PackedOff && cycles == c.PresimCycles {
+		bank, err := c.presimWaveBank()
+		if err != nil {
+			return nil, err
+		}
+		scfg.Waves = bank
+	}
+	res, err := clustersim.Run(scfg)
 	if err != nil {
 		return nil, err
 	}

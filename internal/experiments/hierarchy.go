@@ -65,11 +65,19 @@ func (c *Context) SyncVsOptimistic(points []*GridPoint) (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		syn, err := clustersim.Run(clustersim.Config{
+		scfg := clustersim.Config{
 			NL: c.ED.Netlist, GateParts: rec.gateParts, K: p.K,
 			Vectors: sim.RandomVectors{Seed: c.Seed}, Cycles: c.PresimCycles,
-			Costs: c.Costs, Synchronous: true,
-		})
+			Costs: c.Costs, Synchronous: true, Packed: c.Packed,
+		}
+		if c.Packed != clustersim.PackedOff {
+			bank, err := c.presimWaveBank()
+			if err != nil {
+				return nil, err
+			}
+			scfg.Waves = bank
+		}
+		syn, err := clustersim.Run(scfg)
 		if err != nil {
 			return nil, err
 		}

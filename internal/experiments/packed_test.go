@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/clustersim"
+)
+
+// TestPackedGridBitIdentical runs the pre-simulation grid and the
+// full-length runs with the scalar and the packed cluster model and
+// requires identical points and tables — the experiments layer of the
+// scalar-vs-packed differential. The packed grid shares one wave bank
+// across every point; the full runs exercise the private-bank path.
+func TestPackedGridBitIdentical(t *testing.T) {
+	run := func(mode clustersim.PackedMode) ([]*GridPoint, []float64) {
+		ctx := smallContext(t)
+		ctx.Packed = mode
+		points, err := ctx.PresimGrid()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, series, err := ctx.FullRuns(points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return points, series
+	}
+	sp, ss := run(clustersim.PackedOff)
+	pp, ps := run(clustersim.PackedOn)
+	if !reflect.DeepEqual(sp, pp) {
+		t.Errorf("grid points diverge:\nscalar: %v\npacked: %v", dump(sp), dump(pp))
+	}
+	if !reflect.DeepEqual(ss, ps) {
+		t.Errorf("full-run series diverge:\nscalar: %v\npacked: %v", ss, ps)
+	}
+}
+
+func dump(points []*GridPoint) []GridPoint {
+	out := make([]GridPoint, len(points))
+	for i, p := range points {
+		out[i] = *p
+	}
+	return out
+}

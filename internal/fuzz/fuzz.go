@@ -17,8 +17,10 @@ package fuzz
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"time"
 
+	"repro/internal/clustersim"
 	"repro/internal/comm"
 	"repro/internal/comm/nettrans"
 	"repro/internal/elab"
@@ -62,6 +64,11 @@ type Spec struct {
 	// sits on the decode side of the socket — the full wire path under
 	// attack.
 	NetTrans bool
+	// Packed additionally runs the cluster model twice — scalar and
+	// 64-wide bit-parallel trace generators — and fails on any Result
+	// divergence: the packed engine differential, fuzzed over the same
+	// random circuits and partitions the kernel differential sees.
+	Packed bool
 }
 
 // NewSpec derives the run specification for a seed. The derivation is a
@@ -95,6 +102,8 @@ func NewSpec(seed int64, chaos bool) Spec {
 	// Drawn last so every earlier seed→field derivation (and therefore
 	// every historical replay seed) is unchanged by the knob's addition.
 	s.NetTrans = rng.Intn(4) == 0 // 1/4 of runs cross a real socket
+	// Drawn after NetTrans, same rule: historical seeds stay stable.
+	s.Packed = rng.Intn(3) == 0 // 1/3 of runs also diff the packed model
 	return s
 }
 
@@ -312,5 +321,41 @@ func ExecuteObserved(spec Spec, faults *timewarp.FaultConfig, stallTimeout time.
 			}
 		}
 	}
+
+	if spec.Packed {
+		if msg := diffPackedModel(spec, nl, parts, k); msg != "" {
+			res.Mismatch = msg
+		}
+	}
 	return res
+}
+
+// diffPackedModel runs the cluster model with the scalar and the packed
+// trace generators and reports the first Result divergence ("" if
+// bit-identical). K > sim.Lanes cannot be packed and is skipped — the
+// spec generator never draws such a K, but shrunk/hand-written specs may.
+func diffPackedModel(spec Spec, nl *netlist.Netlist, parts []int32, k int) string {
+	if k > sim.Lanes {
+		return ""
+	}
+	run := func(mode clustersim.PackedMode) (*clustersim.Result, error) {
+		return clustersim.Run(clustersim.Config{
+			NL: nl, GateParts: parts, K: k,
+			Vectors: sim.RandomVectors{Seed: spec.GenSeed},
+			Cycles:  spec.Cycles, Window: spec.Window, Packed: mode,
+		})
+	}
+	scalar, err := run(clustersim.PackedOff)
+	if err != nil {
+		return fmt.Sprintf("clustersim scalar: %v", err)
+	}
+	packed, err := run(clustersim.PackedOn)
+	if err != nil {
+		return fmt.Sprintf("clustersim packed: %v", err)
+	}
+	if !reflect.DeepEqual(scalar, packed) {
+		return fmt.Sprintf("packed cluster model diverges from scalar (family=%s k=%d):\nscalar: %+v\npacked: %+v",
+			spec.Family, k, scalar, packed)
+	}
+	return ""
 }

@@ -84,6 +84,11 @@ func shrinkCandidates(spec Spec) []Spec {
 		c.NetTrans = false
 		cands = append(cands, c)
 	}
+	if spec.Packed {
+		c := spec
+		c.Packed = false
+		cands = append(cands, c)
+	}
 	return cands
 }
 
@@ -100,9 +105,9 @@ func ReproSnippet(spec Spec, failure string) string {
 	fmt.Fprintf(&b, "\t\tK: %d, Partition: %q, B: %g,\n", spec.K, spec.Partition, spec.B)
 	fmt.Fprintf(&b, "\t\tCycles: %d, Window: %d, ChkEvery: %d,\n",
 		spec.Cycles, spec.Window, spec.ChkEvery)
-	if spec.Adaptive || spec.Keyframe != 0 || spec.NoBatch || spec.NetTrans {
-		fmt.Fprintf(&b, "\t\tAdaptive: %v, Keyframe: %d, NoBatch: %v, NetTrans: %v,\n",
-			spec.Adaptive, spec.Keyframe, spec.NoBatch, spec.NetTrans)
+	if spec.Adaptive || spec.Keyframe != 0 || spec.NoBatch || spec.NetTrans || spec.Packed {
+		fmt.Fprintf(&b, "\t\tAdaptive: %v, Keyframe: %d, NoBatch: %v, NetTrans: %v, Packed: %v,\n",
+			spec.Adaptive, spec.Keyframe, spec.NoBatch, spec.NetTrans, spec.Packed)
 	}
 	if c := spec.Chaos; c != nil {
 		fmt.Fprintf(&b, "\t\tChaos: &comm.ChaosConfig{Seed: %d, MaxDelay: %d, StallEvery: %d, StallFor: %d},\n",

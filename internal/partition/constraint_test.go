@@ -60,8 +60,8 @@ func TestCeilFloorEps(t *testing.T) {
 	}{
 		{10, 10, 10},
 		{10.5, 11, 10},
-		{10.0000001, 11, 10},        // genuine fraction, above noise
-		{9.9999999, 10, 9},          // genuine fraction, below 10
+		{10.0000001, 11, 10},             // genuine fraction, above noise
+		{9.9999999, 10, 9},               // genuine fraction, below 10
 		{math.Nextafter(10, 11), 10, 10}, // one ulp of noise above
 		{math.Nextafter(10, 9), 10, 10},  // one ulp of noise below
 		{0, 0, 0},

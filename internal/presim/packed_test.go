@@ -1,0 +1,122 @@
+package presim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/clustersim"
+	"repro/internal/elab"
+	"repro/internal/gen"
+)
+
+// packedDesigns mirrors the acceptance criterion: the differential must
+// pin viterbi, fir, multiplier, and soc Point results bit-identical with
+// Packed on and off.
+func packedDesigns(t *testing.T) []struct {
+	name string
+	ed   *elab.Design
+} {
+	t.Helper()
+	mk := func(name string, c *gen.Circuit) struct {
+		name string
+		ed   *elab.Design
+	} {
+		ed, err := c.Elaborate()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return struct {
+			name string
+			ed   *elab.Design
+		}{name, ed}
+	}
+	return []struct {
+		name string
+		ed   *elab.Design
+	}{
+		mk("viterbi", gen.Viterbi(gen.ViterbiConfig{K: 4, W: 4, TB: 8})),
+		mk("fir", gen.FIR(gen.FIRConfig{Taps: 6, W: 6, Seed: 5})),
+		mk("multiplier", gen.Multiplier(5)),
+		mk("soc", gen.ViterbiSoC(gen.SoCConfig{
+			Channels:      2,
+			Viterbi:       gen.ViterbiConfig{K: 4, W: 4, TB: 8},
+			ScramblerBits: 12,
+			CRCBits:       8,
+		})),
+	}
+}
+
+// TestPackedCampaignBitIdentical runs the full brute-force campaign over
+// a small grid with the scalar and the packed cluster model and requires
+// every Point — cut, speedup, messages, rollbacks, critical path — to be
+// bit-identical. This is the presim layer of the scalar-vs-packed
+// differential: the packed path shares one wave bank across all points,
+// the scalar path replays the simulator per point, and neither may be
+// observable in the numbers.
+func TestPackedCampaignBitIdentical(t *testing.T) {
+	for _, d := range packedDesigns(t) {
+		t.Run(d.name, func(t *testing.T) {
+			run := func(mode clustersim.PackedMode) []*Point {
+				cfg := &Config{
+					Design: d.ed,
+					Ks:     []int{2, 4},
+					Bs:     []float64{5, 10},
+					Cycles: 150,
+					Seed:   3,
+					Packed: mode,
+				}
+				points, _, err := BruteForce(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return points
+			}
+			scalar := run(clustersim.PackedOff)
+			packed := run(clustersim.PackedOn)
+			if len(scalar) != len(packed) {
+				t.Fatalf("point counts differ: %d vs %d", len(scalar), len(packed))
+			}
+			for i := range scalar {
+				s, p := *scalar[i], *packed[i]
+				// Wall clocks are the only fields allowed to differ.
+				s.PartWall, p.PartWall = 0, 0
+				s.SimWall, p.SimWall = 0, 0
+				if !reflect.DeepEqual(s, p) {
+					t.Errorf("point k=%d b=%g diverges:\nscalar: %s\npacked: %s",
+						s.K, s.B, pointString(&s), pointString(&p))
+				}
+			}
+		})
+	}
+}
+
+func pointString(p *Point) string {
+	return fmt.Sprintf("cut=%d bal=%v sim=%g seq=%g speedup=%g msgs=%d rb=%d crit=%g bound=%g",
+		p.Cut, p.Balanced, p.SimTime, p.SeqTime, p.Speedup,
+		p.Messages, p.Rollbacks, p.CritPath, p.BoundSpeedup)
+}
+
+// TestPackedDefaultOn pins the documented default: the zero-value Packed
+// (PackedAuto) takes the packed path, which means a config that never
+// mentions Packed still ends up with the shared wave bank built.
+func TestPackedDefaultOn(t *testing.T) {
+	cfg := testConfig(t)
+	if _, err := Evaluate(cfg, 2, 10); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.waves == nil {
+		t.Fatal("default (PackedAuto) evaluation did not build the shared wave bank")
+	}
+	if cfg.waves.Cycles() != cfg.Cycles {
+		t.Fatalf("shared bank covers %d cycles, want %d", cfg.waves.Cycles(), cfg.Cycles)
+	}
+	off := testConfig(t)
+	off.Packed = clustersim.PackedOff
+	if _, err := Evaluate(off, 2, 10); err != nil {
+		t.Fatal(err)
+	}
+	if off.waves != nil {
+		t.Fatal("PackedOff evaluation built a wave bank it never uses")
+	}
+}

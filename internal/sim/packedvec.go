@@ -1,0 +1,252 @@
+// Lane-word plumbing for the 64-wide packed simulator (packed.go): bit ↔
+// word packing helpers, word-parallel per-lane counters, and the WaveBank
+// that records a scalar run as replayable 64-cycle waves.
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"repro/internal/netlist"
+)
+
+// Lanes is the packed simulator's width: one simulation per bit of a
+// uint64 lane-word.
+const Lanes = 64
+
+// LaneMask returns the mask with the low n lane bits set (n in 0..64).
+func LaneMask(n int) uint64 {
+	if n >= Lanes {
+		return ^uint64(0)
+	}
+	return 1<<uint(n) - 1
+}
+
+// LaneBit reports bit `lane` of a lane-word.
+func LaneBit(w uint64, lane int) bool { return w>>uint(lane)&1 == 1 }
+
+// broadcastWord returns the lane-word with every lane set to v.
+func broadcastWord(v bool) uint64 {
+	if v {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// LaneCounter is a word-parallel counter: 64 independent tallies, one per
+// lane, stored bit-sliced (plane p holds bit p of every lane's count).
+// Add increments every lane in mask by one using an amortized-O(1) carry
+// chain of word ops — the packed replacement for 64 scalar callbacks.
+type LaneCounter struct {
+	planes [Lanes]uint64
+	hi     int // planes at index >= hi are zero
+}
+
+// Add increments the count of every lane whose bit is set in mask.
+func (c *LaneCounter) Add(mask uint64) {
+	p := 0
+	for ; mask != 0; p++ {
+		carry := c.planes[p] & mask
+		c.planes[p] ^= mask
+		mask = carry
+	}
+	if p > c.hi {
+		c.hi = p
+	}
+}
+
+// Count returns one lane's tally.
+func (c *LaneCounter) Count(lane int) uint64 {
+	var n uint64
+	for p := 0; p < c.hi; p++ {
+		n |= c.planes[p] >> uint(lane) & 1 << uint(p)
+	}
+	return n
+}
+
+// Total returns the sum over all lanes.
+func (c *LaneCounter) Total() uint64 {
+	var n uint64
+	for p, w := range c.planes[:c.hi] {
+		n += uint64(bits.OnesCount64(w)) << uint(p)
+	}
+	return n
+}
+
+// Reset zeroes every lane.
+func (c *LaneCounter) Reset() {
+	for p := 0; p < c.hi; p++ {
+		c.planes[p] = 0
+	}
+	c.hi = 0
+}
+
+// MaskedNet pairs a net with the lanes (as a bit mask) an update applies
+// to.
+type MaskedNet struct {
+	Net  netlist.NetID
+	Mask uint64
+}
+
+// Wave is one replayable 64-cycle slice of a scalar run: lane l carries
+// cycle Base+l. Words hold each net's entry value per lane (the settled
+// state the cycle starts from, before its vector is applied), Pending the
+// q-output changes latched by each lane's predecessor cycle (they mark
+// sinks dirty at the lane's delta 0), and Vecs the packed stimulus, one
+// lane-word per vector PI. Waves are immutable once built and safe to
+// replay concurrently.
+type Wave struct {
+	Base    uint64 // first cycle of the wave
+	Lanes   int    // populated lanes (1..64; the final wave may be ragged)
+	Words   []uint64
+	Pending []MaskedNet
+	Vecs    []uint64
+}
+
+// WaveBank lazily converts a scalar simulation into waves: a scalar
+// "scout" run advances cycle by cycle while its net-change stream is
+// transposed into lane-words. Waves are partition-independent, so one
+// bank built from (netlist, vectors, cycles) serves every (k, b) point of
+// a pre-simulation campaign — the scout runs once, each point only
+// replays. Safe for concurrent use; wave construction is serialized.
+type WaveBank struct {
+	mu     sync.Mutex
+	scout  *Simulator
+	src    VectorSource
+	cycles uint64
+	waves  []*Wave
+	floor  int // waves below this index have been discarded
+	vecBuf []bool
+	err    error // sticky scout failure
+}
+
+// NewWaveBank prepares a bank covering `cycles` cycles of the given
+// stimulus. No simulation happens until the first Wave call.
+func NewWaveBank(nl *netlist.Netlist, src VectorSource, cycles uint64) (*WaveBank, error) {
+	scout, err := New(nl)
+	if err != nil {
+		return nil, err
+	}
+	return &WaveBank{
+		scout:  scout,
+		src:    src,
+		cycles: cycles,
+		vecBuf: make([]bool, scout.VectorWidth()),
+	}, nil
+}
+
+// Cycles returns the stimulus length the bank covers.
+func (b *WaveBank) Cycles() uint64 { return b.cycles }
+
+// NumWaves returns the total wave count (ceil(cycles/64)).
+func (b *WaveBank) NumWaves() int { return int((b.cycles + Lanes - 1) / Lanes) }
+
+// Netlist returns the netlist the bank's waves describe.
+func (b *WaveBank) Netlist() *netlist.Netlist { return b.scout.NL }
+
+// Wave returns wave i, running the scout forward as needed. Waves must
+// not have been discarded below i.
+func (b *WaveBank) Wave(i int) (*Wave, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil {
+		return nil, b.err
+	}
+	if i < 0 || i >= b.NumWaves() {
+		return nil, fmt.Errorf("sim: wave %d out of range (bank has %d)", i, b.NumWaves())
+	}
+	if i < b.floor {
+		return nil, fmt.Errorf("sim: wave %d already discarded", i)
+	}
+	for len(b.waves) <= i {
+		if err := b.buildNext(); err != nil {
+			b.err = err
+			return nil, err
+		}
+	}
+	return b.waves[i], nil
+}
+
+// DiscardBelow releases waves below index i (single-consumer banks trim
+// behind themselves; shared campaign banks retain everything).
+func (b *WaveBank) DiscardBelow(i int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for w := b.floor; w < i && w < len(b.waves); w++ {
+		b.waves[w] = nil
+	}
+	if i > b.floor {
+		b.floor = i
+	}
+}
+
+// buildNext advances the scout 64 cycles (fewer on the ragged tail) and
+// transposes the traversed states into the next wave. The transposition
+// is incremental: the wave starts as a broadcast of the first cycle's
+// entry state, and every net change the scout reports overwrites the
+// remaining higher lanes — processing changes in order leaves each lane
+// holding exactly its cycle's entry value, glitches included, at O(events)
+// rather than O(lanes × nets) cost.
+func (b *WaveBank) buildNext() error {
+	nl := b.scout.NL
+	base := uint64(len(b.waves)) * Lanes
+	lanes := Lanes
+	if rem := b.cycles - base; rem < Lanes {
+		lanes = int(rem)
+	}
+	w := &Wave{
+		Base:  base,
+		Lanes: lanes,
+		Words: make([]uint64, len(nl.Nets)),
+		Vecs:  make([]uint64, b.scout.VectorWidth()),
+	}
+	for n, v := range b.scout.Values() {
+		w.Words[n] = broadcastWord(v)
+	}
+	pend := make(map[netlist.NetID]uint64)
+	for _, n := range b.scout.PendingChanges() {
+		pend[n] |= 1
+	}
+	defer func() { b.scout.OnNetChange = nil }()
+	for l := 0; l < lanes; l++ {
+		cyc := base + uint64(l)
+		b.src.Vector(cyc, b.vecBuf)
+		for i, v := range b.vecBuf {
+			if v {
+				w.Vecs[i] |= 1 << uint(l)
+			}
+		}
+		// hi covers the lanes after l: any change during cycle `cyc`
+		// updates the entry state of every later cycle in the wave.
+		var hi uint64
+		if l+1 < Lanes {
+			hi = ^uint64(0) << uint(l+1)
+		}
+		// A change applied at the next cycle's delta 0 is a latched q
+		// toggle: it must also mark sinks dirty at the next lane's delta 0.
+		qTime := (cyc + 1) * b.scout.DeltaRange
+		nextLane := l + 1
+		b.scout.OnNetChange = func(n netlist.NetID, t VTime, v bool) {
+			if v {
+				w.Words[n] |= hi
+			} else {
+				w.Words[n] &^= hi
+			}
+			if t == qTime && nextLane < Lanes {
+				pend[n] |= 1 << uint(nextLane)
+			}
+		}
+		if _, err := b.scout.Step(b.vecBuf); err != nil {
+			return err
+		}
+	}
+	w.Pending = make([]MaskedNet, 0, len(pend))
+	for n, m := range pend {
+		w.Pending = append(w.Pending, MaskedNet{Net: n, Mask: m})
+	}
+	sort.Slice(w.Pending, func(i, j int) bool { return w.Pending[i].Net < w.Pending[j].Net })
+	b.waves = append(b.waves, w)
+	return nil
+}

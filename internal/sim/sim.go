@@ -13,6 +13,13 @@
 //     (the synchronous clock tick — clock nets carry no events);
 //   - new q values propagate at delta 0 of the next cycle.
 //
+// Delta semantics are two-phase (pure unit delay): every gate evaluated at
+// delta d reads the net values as they stood when delta d began, and all
+// resulting output changes are applied together at d+1. Evaluation order
+// within a delta therefore cannot influence any value, event count, or
+// hook sequence — the property that makes the 64-lane PackedSimulator
+// (packed.go) bit-for-bit equivalent to independent scalar runs.
+//
 // Virtual time is cycle*DeltaRange + delta, shared verbatim with the Time
 // Warp kernel so the two simulators are step-for-step comparable.
 package sim
@@ -48,6 +55,8 @@ type Simulator struct {
 	markStamp   uint64
 	topoOrder   []netlist.GateID // for the power-on settle
 	latchBuf    []netlist.NetID  // q nets toggling at the current latch
+	applyNets   []netlist.NetID  // outputs changing in the current delta
+	applyVals   []bool           // their new values (applied after all evals)
 
 	// Trace hooks (nil when not tracing).
 	OnGateEval  func(g netlist.GateID, t VTime)
@@ -140,6 +149,17 @@ func (s *Simulator) Reset() {
 // Value returns the current value of a net.
 func (s *Simulator) Value(n netlist.NetID) bool { return s.values[n] }
 
+// Values returns the simulator's live net-value slice, indexed by NetID.
+// It is the entry state of the next cycle (between Steps, all values are
+// settled). Read-only: callers must not mutate it; contents change on the
+// next Step. The packed wave recorder (WaveBank) snapshots from it.
+func (s *Simulator) Values() []bool { return s.values }
+
+// PendingChanges returns the nets whose changes are waiting for the next
+// Step's delta 0 — the q outputs that toggled at the end of the previous
+// cycle's latch. Read-only and valid only until the next Step.
+func (s *Simulator) PendingChanges() []netlist.NetID { return s.changedNets }
+
 // Cycle returns the number of completed cycles.
 func (s *Simulator) Cycle() uint64 { return s.cycle }
 
@@ -203,9 +223,12 @@ func (s *Simulator) Step(vector []bool) (uint64, error) {
 	return s.Events - start, nil
 }
 
-// propagateDelta processes all net changes batched at time t: every gate
-// reading a changed net is evaluated once; outputs that differ are applied
-// at t+1 (batched for the next delta).
+// propagateDelta processes all net changes batched at time t in two
+// phases: every gate reading a changed net is evaluated once against the
+// values as they stood when the delta began, then all outputs that differ
+// are applied together at t+1 (batched for the next delta). Deferring the
+// writes keeps evaluation order irrelevant — a gate evaluated later in
+// the same delta can never observe an earlier gate's same-delta output.
 func (s *Simulator) propagateDelta(t VTime) {
 	s.markStamp++
 	s.dirtyGates = s.dirtyGates[:0]
@@ -221,6 +244,8 @@ func (s *Simulator) propagateDelta(t VTime) {
 		}
 	}
 	s.changedNets = s.changedNets[:0]
+	s.applyNets = s.applyNets[:0]
+	s.applyVals = s.applyVals[:0]
 	for _, gi := range s.dirtyGates {
 		g := &s.NL.Gates[gi]
 		s.Events++
@@ -230,8 +255,12 @@ func (s *Simulator) propagateDelta(t VTime) {
 		}
 		out := evalGate(g, s.values)
 		if s.values[g.Output] != out {
-			s.setNet(g.Output, out, t+1)
+			s.applyNets = append(s.applyNets, g.Output)
+			s.applyVals = append(s.applyVals, out)
 		}
+	}
+	for i, n := range s.applyNets {
+		s.setNet(n, s.applyVals[i], t+1)
 	}
 }
 
