@@ -19,8 +19,9 @@ BENCH_COUNT ?= 5
 BENCH_PATTERN ?= TimeWarp
 
 DIST_CYCLES ?= 200
+DIST_MONITOR_PORT ?= 8316
 
-.PHONY: check build test vet race bench bench-record perf-smoke fuzz trace-demo monitor-demo dist-smoke
+.PHONY: check build test vet race bench bench-record bench-record-packed bench-record-dist perf-smoke fuzz trace-demo monitor-demo dist-smoke dist-postmortem
 
 check: build test vet race
 
@@ -58,14 +59,21 @@ monitor-demo:
 # across TWO real vsimd worker processes meshed over loopback sockets
 # (vsim -mode dist as coordinator). The run passes only if both print the
 # identical "waveforms sha256:..." digest — bit-identical committed
-# waveforms across process boundaries (DESIGN.md §14).
+# waveforms across process boundaries (DESIGN.md §14) — and the
+# observability plane checks out: the coordinator's /metrics scrape
+# federates every worker's registry (validated and required to carry
+# worker labels via obscheck), and the merged cluster trace decodes
+# cleanly (DESIGN.md §16).
 dist-smoke:
 	$(GO) run ./cmd/vgen -circuit soc -o soc.v
 	$(GO) build -o vsim.dist ./cmd/vsim
 	$(GO) build -o vsimd.dist ./cmd/vsimd
+	$(GO) build -o obscheck.dist ./cmd/obscheck
 	./vsim.dist -in soc.v -top soc -cycles $(DIST_CYCLES) -seed 7 > dist-seq.out; \
 	./vsim.dist -in soc.v -top soc -cycles $(DIST_CYCLES) -seed 7 \
-		-mode dist -k 4 -workers 2 > dist-coord.out 2>&1 & \
+		-mode dist -k 4 -workers 2 \
+		-serve 127.0.0.1:$(DIST_MONITOR_PORT) -serve-hold $(MONITOR_HOLD) \
+		-trace dist.trace.json -metrics dist.metrics.prom > dist-coord.out 2>&1 & \
 	pid=$$!; \
 	addr=""; \
 	for i in $$(seq 1 100); do \
@@ -76,16 +84,64 @@ dist-smoke:
 	if [ -z "$$addr" ]; then echo "coordinator never printed its address"; cat dist-coord.out; exit 1; fi; \
 	./vsimd.dist -connect $$addr > dist-w0.out 2>&1 & w0=$$!; \
 	./vsimd.dist -connect $$addr > dist-w1.out 2>&1 & w1=$$!; \
-	wait $$pid || { echo "coordinator failed:"; cat dist-coord.out; exit 1; }; \
 	wait $$w0 || { echo "worker 0 failed:"; cat dist-w0.out; exit 1; }; \
 	wait $$w1 || { echo "worker 1 failed:"; cat dist-w1.out; exit 1; }; \
+	scraped=0; \
+	for i in $$(seq 1 100); do \
+		if curl -fsS http://127.0.0.1:$(DIST_MONITOR_PORT)/metrics > dist-scrape.prom 2>/dev/null; then scraped=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	if [ $$scraped -ne 1 ]; then echo "coordinator /metrics never answered"; cat dist-coord.out; exit 1; fi; \
+	./obscheck.dist -prom dist-scrape.prom -require 'worker="' \
+		|| { echo "federated /metrics scrape invalid"; exit 1; }; \
+	wait $$pid || { echo "coordinator failed:"; cat dist-coord.out; exit 1; }; \
+	./obscheck.dist -prom dist.metrics.prom -require 'worker="' -trace dist.trace.json \
+		|| { echo "observability artifacts invalid"; exit 1; }; \
 	cat dist-seq.out dist-coord.out; \
 	seq_digest=$$(grep '^waveforms ' dist-seq.out); \
 	dist_digest=$$(grep '^waveforms ' dist-coord.out); \
 	if [ "$$seq_digest" != "$$dist_digest" ]; then \
 		echo "WAVEFORM MISMATCH"; echo "seq:  $$seq_digest"; echo "dist: $$dist_digest"; exit 1; \
 	fi; \
-	echo "dist-smoke: waveforms bit-identical across 2 worker processes"
+	echo "dist-smoke: waveforms bit-identical across 2 worker processes, observability plane validated"
+
+# Post-mortem drill: start a distributed run with the flight recorder
+# armed, kill one worker process mid-run (SIGKILL: sockets drop exactly
+# like a machine death), and require the coordinator to abort AND leave a
+# complete post-mortem bundle behind — federated metrics, the merged
+# trace tail (decodable), probe states and the GVT-round history.
+dist-postmortem:
+	$(GO) run ./cmd/vgen -circuit soc -o soc.v
+	$(GO) build -o vsim.dist ./cmd/vsim
+	$(GO) build -o vsimd.dist ./cmd/vsimd
+	$(GO) build -o obscheck.dist ./cmd/obscheck
+	rm -rf dist-postmortem.bundle; \
+	./vsim.dist -in soc.v -top soc -cycles 50000000 -seed 7 \
+		-mode dist -k 4 -workers 2 \
+		-postmortem-dir dist-postmortem.bundle > dist-pm-coord.out 2>&1 & \
+	pid=$$!; \
+	addr=""; \
+	for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's/^coordinator: \([0-9.:]*\).*/\1/p' dist-pm-coord.out 2>/dev/null); \
+		if [ -n "$$addr" ]; then break; fi; \
+		sleep 0.1; \
+	done; \
+	if [ -z "$$addr" ]; then echo "coordinator never printed its address"; cat dist-pm-coord.out; exit 1; fi; \
+	./vsimd.dist -connect $$addr -metrics /dev/null > dist-pm-w0.out 2>&1 & w0=$$!; \
+	./vsimd.dist -connect $$addr -metrics /dev/null > dist-pm-w1.out 2>&1 & w1=$$!; \
+	sleep 2; \
+	kill -9 $$w1; \
+	if wait $$pid; then echo "coordinator survived a killed worker"; exit 1; fi; \
+	wait $$w0 2>/dev/null; true; \
+	for f in metrics.prom trace.json probes.json rounds.json; do \
+		if [ ! -s dist-postmortem.bundle/$$f ]; then \
+			echo "post-mortem bundle missing $$f"; ls -la dist-postmortem.bundle 2>/dev/null; exit 1; \
+		fi; \
+	done; \
+	./obscheck.dist -prom dist-postmortem.bundle/metrics.prom -trace dist-postmortem.bundle/trace.json \
+		|| { echo "post-mortem artifacts invalid"; exit 1; }; \
+	grep -q '"reason"' dist-postmortem.bundle/probes.json || { echo "probes.json has no abort reason"; exit 1; }; \
+	echo "dist-postmortem: bundle complete and valid after worker kill"
 
 build:
 	$(GO) build ./...
@@ -120,6 +176,15 @@ bench-record-packed:
 		| tee bench-record-packed.txt \
 		| $(GO) run ./cmd/benchrec -out BENCH_7.json
 
+# Re-record the distributed-federation pair (BENCH_8.json): a full
+# 2-worker distributed run with observability off and with full metrics +
+# trace federation on. The Off/On delta is the documented federation
+# overhead; perf-smoke gates the pair's allocs/op like the kernel set.
+bench-record-dist:
+	$(GO) test -run '^$$' -bench 'DistFederationObsOff|DistFederationObsOn' -benchmem -count=$(BENCH_COUNT) . \
+		| tee bench-record-dist.txt \
+		| $(GO) run ./cmd/benchrec -out BENCH_8.json
+
 # The CI allocs/op gate: fresh benchmark runs compared against the
 # committed baseline. Fails on >10% allocs/op regression and on any
 # run/baseline benchmark-set mismatch (benchrec refuses to silently skip
@@ -135,3 +200,7 @@ perf-smoke:
 		-bench 'PresimScalar|PresimPacked' \
 		-benchmem -count=3 . \
 		| $(GO) run ./cmd/benchrec -check BENCH_7.json -max-allocs-regress 10
+	$(GO) test -run '^$$' \
+		-bench 'DistFederationObsOff|DistFederationObsOn' \
+		-benchmem -count=3 . \
+		| $(GO) run ./cmd/benchrec -check BENCH_8.json -max-allocs-regress 10

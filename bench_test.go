@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/clustersim"
 	"repro/internal/cone"
@@ -632,3 +633,65 @@ func benchObsTimeWarp(b *testing.B, instrumented, causality bool) {
 func BenchmarkTimeWarpObsOff(b *testing.B)      { benchObsTimeWarp(b, false, false) }
 func BenchmarkTimeWarpObsOn(b *testing.B)       { benchObsTimeWarp(b, true, false) }
 func BenchmarkTimeWarpCausalityOn(b *testing.B) { benchObsTimeWarp(b, true, true) }
+
+// ---- distributed federation overhead (DESIGN.md §16) ------------------------
+
+// benchDistFederation runs a full 2-worker distributed round trip in one
+// process: coordinator handshake, worker elaboration, TCP mesh, the GVT
+// round protocol, result merge. The instrumented variant additionally
+// federates every worker's registry snapshot and trace-ring tail to the
+// coordinator on each round — the delta between the pair is the whole
+// price of cluster-wide observability, and the Off side is gated in
+// perf-smoke against BENCH_8.json.
+func benchDistFederation(b *testing.B, instrumented bool) {
+	ed := workload(b)
+	pr, err := partition.Multiway(ed, partition.Options{K: 4, B: 10, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := &timewarp.DistSpec{
+		Source:    fixtureSrc,
+		Top:       "viterbi",
+		GateParts: pr.GateParts,
+		K:         4,
+		Cycles:    200,
+		VecSeed:   1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := timewarp.CoordConfig{
+			Spec:       spec,
+			Workers:    2,
+			RoundEvery: 200 * time.Microsecond,
+			Watchdog:   10 * time.Second,
+		}
+		if instrumented {
+			cfg.Obs = obs.New(obs.Options{})
+		}
+		co, err := timewarp.NewCoordinator(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 2; w++ {
+			opts := timewarp.WorkerOptions{Coordinator: co.Addr()}
+			if instrumented {
+				opts.Obs = obs.New(obs.Options{})
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if werr := timewarp.RunWorker(opts); werr != nil {
+					b.Error(werr)
+				}
+			}()
+		}
+		if _, err := co.Run(); err != nil {
+			b.Fatal(err)
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkDistFederationObsOff(b *testing.B) { benchDistFederation(b, false) }
+func BenchmarkDistFederationObsOn(b *testing.B)  { benchDistFederation(b, true) }

@@ -1,0 +1,85 @@
+// Command obscheck validates observability artifacts from the command
+// line — the CI half of the observability plane. It checks a Prometheus
+// text exposition with the same parser the obs test-suite uses, and
+// round-trips a Chrome trace through the package's own decoder, so a
+// scraped /metrics body or an exported (merged) trace file can be gated
+// in shell scripts without a Prometheus server or a browser.
+//
+// Examples:
+//
+//	curl -fsS http://127.0.0.1:8080/metrics | obscheck -prom -
+//	obscheck -prom metrics.prom -require 'worker="1"'
+//	obscheck -trace cluster.trace.json
+//
+// Exit status 0 when every requested check passes, 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		prom    = flag.String("prom", "", "validate this Prometheus text exposition file (\"-\" = stdin)")
+		trace   = flag.String("trace", "", "decode this Chrome trace file (\"-\" = stdin) and report its contents")
+		require = flag.String("require", "", "with -prom: additionally require this substring to appear in the exposition (e.g. a label like worker=\"1\")")
+	)
+	flag.Parse()
+	if *prom == "" && *trace == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to do: pass -prom and/or -trace")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *prom != "" {
+		data, err := readInput(*prom)
+		fatal(err)
+		n, err := obs.ValidatePrometheusText(data)
+		if err != nil {
+			fatal(fmt.Errorf("prometheus exposition invalid: %w", err))
+		}
+		if *require != "" && !strings.Contains(string(data), *require) {
+			fatal(fmt.Errorf("exposition valid but does not contain %q", *require))
+		}
+		fmt.Printf("obscheck: prometheus ok: %d samples\n", n)
+	}
+
+	if *trace != "" {
+		f, err := openInput(*trace)
+		fatal(err)
+		dec, err := obs.DecodeChromeTrace(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("chrome trace invalid: %w", err))
+		}
+		fmt.Printf("obscheck: trace ok: %d events, %d processes, %d named tracks, %d dropped\n",
+			len(dec.Events), len(dec.ProcessNames), len(dec.ThreadNames), dec.Dropped)
+	}
+}
+
+func readInput(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+func openInput(path string) (*os.File, error) {
+	if path == "-" {
+		return os.Stdin, nil
+	}
+	return os.Open(path)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obscheck:", err)
+		os.Exit(1)
+	}
+}

@@ -19,6 +19,8 @@
 //	vsim -in soc.v -top soc -mode tw -k 4 -serve 127.0.0.1:8080
 //	vsim -in soc.v -top soc -mode tw -k 4 -chaos -blame
 //	vsim -in soc.v -top soc -mode dist -k 4 -workers 2 -listen 127.0.0.1:7700
+//	vsim -in soc.v -top soc -mode dist -k 4 -workers 2 -serve 127.0.0.1:8080 \
+//	     -trace cluster.trace.json -postmortem-dir crashdump
 //
 // Every mode that produces waveforms prints a deterministic digest line
 // ("waveforms sha256:..."), so sequential, in-process and distributed
@@ -69,8 +71,9 @@ func main() {
 		chkEvery = flag.Uint64("checkpoint-every", 1, "state-saving interval in cycles; sparse checkpointing trades rollback coast-forward cost for lower saving overhead (tw/dist mode)")
 		adaptive = flag.Bool("adaptive-checkpoint", false, "let each cluster tune its checkpoint interval from its observed rollback rate, starting at -checkpoint-every (tw/dist mode)")
 
-		listen  = flag.String("listen", "127.0.0.1:0", "coordinator control-plane bind address (dist mode); the chosen address is printed for workers to -connect to")
-		workers = flag.Int("workers", 0, "number of vsimd worker processes to wait for (dist mode, required, 1..k)")
+		listen     = flag.String("listen", "127.0.0.1:0", "coordinator control-plane bind address (dist mode); the chosen address is printed for workers to -connect to")
+		workers    = flag.Int("workers", 0, "number of vsimd worker processes to wait for (dist mode, required, 1..k)")
+		postmortem = flag.String("postmortem-dir", "", "write a flight-recorder bundle (merged metrics, merged trace tail, probe states, GVT-round history) into this directory if the run aborts (dist mode)")
 	)
 	flag.Parse()
 	if *in == "" || *top == "" {
@@ -220,7 +223,15 @@ func main() {
 		}
 
 	case "dist":
-		pr, err := partition.Multiway(ed, partition.Options{K: *k, B: *b})
+		// The coordinator's observer is the federation sink: worker
+		// snapshots merge into it under a worker label, so one -metrics
+		// dump or /metrics scrape covers the whole cluster. The flight
+		// recorder (-postmortem-dir) needs it too.
+		var o *obs.Observer
+		if *trace != "" || *metrics != "" || *report || *serveAddr != "" || *postmortem != "" {
+			o = obs.New(obs.Options{})
+		}
+		pr, err := partition.Multiway(ed, partition.Options{K: *k, B: *b, Obs: o})
 		fatal(err)
 		fmt.Printf("partition: k=%d b=%g cut=%d balanced=%v loads=%v\n",
 			*k, *b, pr.Cut, pr.Balanced, pr.Loads)
@@ -239,6 +250,7 @@ func main() {
 		if *serveAddr != "" {
 			probe = timewarp.NewProbe()
 			srv, err = serve.Start(*serveAddr, serve.Options{
+				Obs:    o,
 				Health: func() (bool, string) { return probe.State().Health(0) },
 				Status: func() any { return probe.State() },
 			})
@@ -246,10 +258,12 @@ func main() {
 			fmt.Printf("monitoring on http://%s/\n", srv.Addr())
 		}
 		co, err := timewarp.NewCoordinator(timewarp.CoordConfig{
-			Spec:    spec,
-			Workers: *workers,
-			Listen:  *listen,
-			Probe:   probe,
+			Spec:          spec,
+			Workers:       *workers,
+			Listen:        *listen,
+			Probe:         probe,
+			Obs:           o,
+			PostMortemDir: *postmortem,
 		})
 		fatal(err)
 		// The exact line scripts parse to learn the port (with -listen :0).
@@ -262,10 +276,34 @@ func main() {
 		fmt.Printf("timewarp-dist: workers=%d events=%d rolledback=%d msgs=%d anti=%d rollbacks=%d gvt=%d wall %v\n",
 			*workers, st.Events, st.RolledBackEvents, st.Messages, st.AntiMessages, st.Rollbacks,
 			res.FinalGVT, wall.Round(time.Millisecond))
+		if st.Messages > 0 || res.WireFramesSent > 0 {
+			fmt.Printf("wire: frames sent=%d recv=%d\n", res.WireFramesSent, res.WireFramesRecv)
+		}
 		if len(res.InvariantViolations) > 0 {
 			fatal(fmt.Errorf("invariant violations: %v", res.InvariantViolations))
 		}
 		fmt.Println(waveDigest(nl.POs, res.Observed))
+		// -trace writes the merged cluster trace (one Chrome-trace process
+		// per node, worker clocks rebased onto the coordinator's); the
+		// metrics dump and report render the federated registry.
+		if *trace != "" {
+			w := os.Stdout
+			if *trace != "-" {
+				f, err := os.Create(*trace)
+				fatal(err)
+				defer f.Close()
+				w = f
+			}
+			fatal(co.WriteMergedTrace(w))
+			if *trace != "-" {
+				fmt.Printf("wrote %s\n", *trace)
+			}
+		}
+		o.Snapshot()
+		fatal(o.Dump("", *metrics))
+		if *report {
+			fmt.Print(o.Report())
+		}
 		if srv != nil {
 			if *serveHold > 0 {
 				fmt.Printf("holding monitoring server for %v\n", *serveHold)
@@ -339,9 +377,19 @@ func validateFlags(mode string, k int, b float64, cycles, chkEvery uint64, worke
 		// The chaos transport and the causality recorder live inside the
 		// in-process kernel; the distributed runtime has neither (its
 		// adversary is the real network).
-		for _, f := range []string{"chaos", "chaos-seed", "blame", "trace", "metrics", "report"} {
+		for _, f := range []string{"chaos", "chaos-seed", "blame"} {
 			if set[f] {
 				return fmt.Errorf("-%s only applies to -mode tw (mode is %q)", f, mode)
+			}
+		}
+	}
+	if mode != "tw" && mode != "dist" {
+		// The observability exports work for both the in-process kernel
+		// and the distributed coordinator (where one scrape federates
+		// every worker's registry and the trace merges all clocks).
+		for _, f := range []string{"trace", "metrics", "report"} {
+			if set[f] {
+				return fmt.Errorf("-%s only applies to -mode tw or dist (mode is %q)", f, mode)
 			}
 		}
 	}
@@ -353,7 +401,7 @@ func validateFlags(mode string, k int, b float64, cycles, chkEvery uint64, worke
 			return fmt.Errorf("-workers %d exceeds -k %d: every worker must own at least one cluster", workers, k)
 		}
 	} else {
-		for _, f := range []string{"listen", "workers"} {
+		for _, f := range []string{"listen", "workers", "postmortem-dir"} {
 			if set[f] {
 				return fmt.Errorf("-%s only applies to -mode dist (mode is %q)", f, mode)
 			}

@@ -6,10 +6,19 @@
 // inputs of its own — the coordinator ships the Verilog source and the
 // partition, and every worker re-elaborates them deterministically.
 //
+// With -serve the worker exposes the obs monitoring server: /metrics
+// scrapes its local registry (per-cluster kernel series plus per-peer
+// wire counters), and /healthz answers 503 as soon as the worker's
+// kernel probe reports the run wedged or failed — the hook a process
+// supervisor or Kubernetes liveness check wants. The same registry is
+// federated to the coordinator regardless, so -serve is for operators
+// who want to interrogate one worker directly.
+//
 // Examples:
 //
 //	vsimd -connect 127.0.0.1:7700
 //	vsimd -connect coord.example:7700 -bind 0.0.0.0:0 -metrics worker.prom
+//	vsimd -connect coord.example:7700 -serve 0.0.0.0:9110
 package main
 
 import (
@@ -19,15 +28,19 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/serve"
 	"repro/internal/timewarp"
 )
 
 func main() {
 	var (
-		connect = flag.String("connect", "", "coordinator control-plane address (required)")
-		bind    = flag.String("bind", "127.0.0.1:0", "data-plane listen address peer workers will dial; bind a routable interface for multi-host runs")
-		dialTO  = flag.Duration("dial-timeout", 5*time.Second, "coordinator and peer dial timeout")
-		metrics = flag.String("metrics", "", "write a Prometheus-style dump of the worker's wire metrics to this file after the run (\"-\" = stdout)")
+		connect    = flag.String("connect", "", "coordinator control-plane address (required)")
+		bind       = flag.String("bind", "127.0.0.1:0", "data-plane listen address peer workers will dial; bind a routable interface for multi-host runs")
+		dialTO     = flag.Duration("dial-timeout", 5*time.Second, "coordinator and peer dial timeout")
+		metrics    = flag.String("metrics", "", "write a Prometheus-style dump of the worker's wire metrics to this file after the run (\"-\" = stdout)")
+		serveAddr  = flag.String("serve", "", "serve /metrics, /healthz, /status and pprof on this address while the worker runs (e.g. 127.0.0.1:9110)")
+		stallAfter = flag.Duration("stall-after", 0, "report unhealthy on /healthz after this long without progress (0 = 10s default)")
+		obsOn      = flag.Bool("obs", true, "instrument the worker and federate its metrics and trace ring to the coordinator; -obs=false runs bare (and disables -metrics/-serve content)")
 	)
 	flag.Parse()
 	if *connect == "" {
@@ -36,17 +49,41 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The observer feeds three consumers from one registry: the -metrics
+	// dump, the -serve endpoint, and the federation stream the worker
+	// ships to the coordinator. It is on by default — a worker daemon's
+	// registry is what makes the coordinator's single /metrics scrape and
+	// post-mortem bundle worth anything — and -obs=false drops all three.
 	var o *obs.Observer
-	if *metrics != "" {
+	if *obsOn {
 		o = obs.New(obs.Options{})
 	}
+	probe := timewarp.NewProbe()
+
+	if *serveAddr != "" {
+		srv, err := serve.Start(*serveAddr, serve.Options{
+			Obs: o,
+			Health: func() (bool, string) {
+				return probe.State().Health(*stallAfter)
+			},
+			Status: func() any { return probe.State() },
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vsimd:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("vsimd: monitor: http://%s/\n", srv.Addr())
+	}
+
 	err := timewarp.RunWorker(timewarp.WorkerOptions{
 		Coordinator: *connect,
 		Bind:        *bind,
 		DialTimeout: *dialTO,
 		Obs:         o,
+		Probe:       probe,
 	})
-	if o != nil {
+	if *metrics != "" {
 		o.Snapshot()
 		if derr := o.Dump("", *metrics); derr != nil {
 			fmt.Fprintln(os.Stderr, "vsimd:", derr)

@@ -61,6 +61,14 @@ const (
 	FrameAbort byte = 0x0D
 	// FrameError reports a worker-local failure to the coordinator.
 	FrameError byte = 0x0E
+	// FrameMetrics ships a worker's metrics-registry snapshot (the
+	// compact binary form of obs.AppendSnapshot) to the coordinator,
+	// piggybacked on GVT-round reports and on termination.
+	FrameMetrics byte = 0x0F
+	// FrameTrace streams a bounded batch of the worker's trace ring
+	// (obs.AppendTraceEvents) to the coordinator for the merged cluster
+	// trace and the crash flight recorder.
+	FrameTrace byte = 0x10
 )
 
 // MaxFrame caps a frame payload. Large enough for a full-mirror result

@@ -20,6 +20,13 @@ const (
 // which the coordinator redistributes so workers can mesh directly.
 type Hello struct {
 	DataAddr string
+	// StartUnixNano is the wall-clock instant of the worker observer's
+	// run start (0 when the worker runs uninstrumented). The coordinator
+	// uses the exchanged values to rebase worker trace clocks onto its
+	// own in the merged cluster trace. Appended after the original
+	// fields; decoders tolerate its absence, so old and new workers
+	// interoperate.
+	StartUnixNano int64
 }
 
 // AppendHello serializes a Hello.
@@ -27,6 +34,7 @@ func AppendHello(dst []byte, h Hello) []byte {
 	dst = AppendU32(dst, Magic)
 	dst = AppendU32(dst, Version)
 	dst = AppendStr(dst, h.DataAddr)
+	dst = AppendI64(dst, h.StartUnixNano)
 	return dst
 }
 
@@ -40,6 +48,10 @@ func DecodeHello(p []byte) (Hello, error) {
 		return Hello{}, fmt.Errorf("nettrans: protocol version %d, this build speaks %d", v, Version)
 	}
 	h := Hello{DataAddr: d.Str()}
+	if d.Err() == nil && d.Len() >= 8 {
+		// Optional trailing field from an observability-aware worker.
+		h.StartUnixNano = d.I64()
+	}
 	if err := d.Err(); err != nil {
 		return Hello{}, fmt.Errorf("nettrans: malformed hello: %w", err)
 	}

@@ -11,8 +11,14 @@ import (
 // structure: which tracks exist, which spans and counter samples were
 // recorded.
 type DecodedTrace struct {
-	// ThreadNames maps tid → thread_name metadata.
+	// ThreadNames maps tid → thread_name metadata. Merged multi-process
+	// traces may reuse a tid across pids; the last name written wins here —
+	// use Events' Pid to separate processes.
 	ThreadNames map[int]string
+	// ProcessNames maps pid → process_name metadata (one entry per worker
+	// in a merged cluster trace; empty for single-process traces, which
+	// emit no process metadata).
+	ProcessNames map[int]string
 	// Events holds the non-metadata events in file order.
 	Events []DecodedEvent
 	// Dropped mirrors the exporter's ring-overwrite count.
@@ -23,6 +29,7 @@ type DecodedTrace struct {
 type DecodedEvent struct {
 	Name  string
 	Phase string
+	Pid   int
 	Tid   int
 	Ts    int64
 	Dur   int64
@@ -40,7 +47,11 @@ func DecodeChromeTrace(r io.Reader) (*DecodedTrace, error) {
 	if err := dec.Decode(&ct); err != nil {
 		return nil, fmt.Errorf("obs: trace container: %w", err)
 	}
-	out := &DecodedTrace{ThreadNames: make(map[int]string), Dropped: ct.Dropped}
+	out := &DecodedTrace{
+		ThreadNames:  make(map[int]string),
+		ProcessNames: make(map[int]string),
+		Dropped:      ct.Dropped,
+	}
 	for i, raw := range ct.TraceEvents {
 		var e struct {
 			Name  string         `json:"name"`
@@ -60,9 +71,14 @@ func DecodeChromeTrace(r io.Reader) (*DecodedTrace, error) {
 			return nil, fmt.Errorf("obs: trace event %d: missing ph", i)
 		}
 		if e.Phase == "M" {
-			if e.Name == "thread_name" {
+			switch e.Name {
+			case "thread_name":
 				if n, ok := e.Args["name"].(string); ok {
 					out.ThreadNames[e.Tid] = n
+				}
+			case "process_name":
+				if n, ok := e.Args["name"].(string); ok {
+					out.ProcessNames[e.Pid] = n
 				}
 			}
 			continue
@@ -70,7 +86,7 @@ func DecodeChromeTrace(r io.Reader) (*DecodedTrace, error) {
 		if (e.Phase == "s" || e.Phase == "t") && e.ID == 0 {
 			return nil, fmt.Errorf("obs: trace event %d: flow event missing id", i)
 		}
-		de := DecodedEvent{Name: e.Name, Phase: e.Phase, Tid: e.Tid, Ts: e.Ts, Dur: e.Dur, ID: e.ID}
+		de := DecodedEvent{Name: e.Name, Phase: e.Phase, Pid: e.Pid, Tid: e.Tid, Ts: e.Ts, Dur: e.Dur, ID: e.ID}
 		for k, v := range e.Args {
 			f, ok := v.(float64)
 			if !ok {

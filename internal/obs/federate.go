@@ -1,0 +1,355 @@
+package obs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Metrics federation: a compact binary codec for registry snapshots and a
+// registry-side merge of external (per-worker) snapshots under an
+// injected label. The distributed coordinator decodes each worker's
+// shipped snapshot and installs it with SetExternal, so one /metrics
+// scrape, one Snapshot and one Report cover the whole multi-process run.
+//
+// The codec lives here rather than in nettrans because nettrans already
+// imports obs (the loopback transport is instrumented); the few binary
+// helpers below are deliberately self-contained to keep the import graph
+// acyclic. The decode side is hostile-input hardened exactly like the
+// nettrans payloads: every malformed input is an error, never a panic,
+// and no length prefix drives an allocation bigger than the payload that
+// carries it.
+
+// Kind classifies a metric family for exposition typing, carried through
+// the snapshot wire format so a merged dump can emit correct TYPE lines.
+type Kind byte
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Family is one metric family's metadata: the base name (histogram
+// samples carry suffixed names), its help string, and its type.
+type Family struct {
+	Name string
+	Help string
+	Kind Kind
+}
+
+// snapshotVersion versions the snapshot wire format; decoders reject
+// anything else, so a skewed peer fails loudly instead of misparsing.
+const snapshotVersion byte = 1
+
+// Sample-name suffix codes of the wire format.
+const (
+	suffixNone byte = iota
+	suffixBucket
+	suffixCount
+	suffixSum
+)
+
+var suffixStrings = [...]string{suffixNone: "", suffixBucket: "_bucket", suffixCount: "_count", suffixSum: "_sum"}
+
+// maxSnapshotEntries bounds the family and sample counts a decoded
+// snapshot may claim, over and above the per-entry size check — no
+// plausible registry has a million series, so anything bigger is garbage.
+const maxSnapshotEntries = 1 << 20
+
+// AppendSnapshot serializes a snapshot (families and samples) into the
+// compact binary form the distributed runtime ships over FrameMetrics.
+func AppendSnapshot(dst []byte, s Snapshot) []byte {
+	famIdx := make(map[string]int, len(s.Families))
+	dst = append(dst, snapshotVersion)
+	dst = fedAppendU64(dst, uint64(s.At/time.Microsecond))
+	dst = fedAppendU32(dst, uint32(len(s.Families)))
+	for i, f := range s.Families {
+		famIdx[f.Name] = i
+		dst = fedAppendStr(dst, f.Name)
+		dst = fedAppendStr(dst, f.Help)
+		dst = append(dst, byte(f.Kind))
+	}
+	dst = fedAppendU32(dst, uint32(len(s.Samples)))
+	for _, sm := range s.Samples {
+		idx, suffix := resolveFamily(sm.Name, famIdx)
+		dst = fedAppendU32(dst, uint32(idx))
+		dst = append(dst, suffix)
+		dst = fedAppendStr(dst, sm.Labels)
+		dst = fedAppendU64(dst, math.Float64bits(sm.Value))
+	}
+	return dst
+}
+
+// resolveFamily maps a (possibly suffixed) sample name to its family
+// index. Samples without a known family are impossible for snapshots the
+// registry built (Snapshot always emits a family per metric), but a
+// hand-built snapshot gets index 0 rather than a panic.
+func resolveFamily(name string, famIdx map[string]int) (int, byte) {
+	if i, ok := famIdx[name]; ok {
+		return i, suffixNone
+	}
+	for code, suffix := range suffixStrings {
+		if suffix == "" {
+			continue
+		}
+		if base, found := strings.CutSuffix(name, suffix); found {
+			if i, ok := famIdx[base]; ok {
+				return i, byte(code)
+			}
+		}
+	}
+	return 0, suffixNone
+}
+
+// DecodeSnapshot parses a snapshot produced by AppendSnapshot,
+// validating every count against the remaining payload before
+// allocating.
+func DecodeSnapshot(p []byte) (Snapshot, error) {
+	d := fedDec{p: p}
+	var s Snapshot
+	if v := d.u8(); d.err == nil && v != snapshotVersion {
+		return Snapshot{}, fmt.Errorf("obs: snapshot version %d, this build speaks %d", v, snapshotVersion)
+	}
+	s.At = time.Duration(d.u64()) * time.Microsecond
+	nf := d.u32()
+	if d.err == nil {
+		// A family needs at least 9 bytes (two length prefixes + kind).
+		if nf > maxSnapshotEntries || uint64(nf)*9 > uint64(len(d.p)) {
+			return Snapshot{}, fmt.Errorf("obs: snapshot claims %d families in %d bytes", nf, len(d.p))
+		}
+		s.Families = make([]Family, nf)
+		for i := range s.Families {
+			s.Families[i].Name = d.str()
+			s.Families[i].Help = d.str()
+			k := d.u8()
+			if d.err == nil && k > byte(KindHistogram) {
+				return Snapshot{}, fmt.Errorf("obs: snapshot family %d has kind %d", i, k)
+			}
+			s.Families[i].Kind = Kind(k)
+		}
+	}
+	ns := d.u32()
+	if d.err == nil {
+		// A sample needs at least 17 bytes (index, suffix, labels prefix, value).
+		if ns > maxSnapshotEntries || uint64(ns)*17 > uint64(len(d.p)) {
+			return Snapshot{}, fmt.Errorf("obs: snapshot claims %d samples in %d bytes", ns, len(d.p))
+		}
+		s.Samples = make([]Sample, ns)
+		for i := range s.Samples {
+			idx := d.u32()
+			suffix := d.u8()
+			labels := d.str()
+			bits := d.u64()
+			if d.err != nil {
+				break
+			}
+			if int(idx) >= len(s.Families) {
+				return Snapshot{}, fmt.Errorf("obs: snapshot sample %d names family %d of %d", i, idx, len(s.Families))
+			}
+			if suffix > suffixSum {
+				return Snapshot{}, fmt.Errorf("obs: snapshot sample %d has suffix code %d", i, suffix)
+			}
+			s.Samples[i] = Sample{
+				Name:   s.Families[idx].Name + suffixStrings[suffix],
+				Labels: labels,
+				Value:  math.Float64frombits(bits),
+			}
+		}
+	}
+	if d.err != nil {
+		return Snapshot{}, fmt.Errorf("obs: malformed snapshot: %w", d.err)
+	}
+	if d.len() != 0 {
+		return Snapshot{}, fmt.Errorf("obs: snapshot has %d trailing bytes", d.len())
+	}
+	return s, nil
+}
+
+// SetExternal installs (or replaces) the sample set of one external
+// source, distinguished by an injected label — the coordinator calls
+// SetExternal("worker", "0", snap) as worker snapshots arrive. External
+// samples are merged into Snapshot, WritePrometheus and Report with the
+// label inserted in key-sorted position, so the merged output is
+// deterministic regardless of snapshot arrival order. A nil registry
+// ignores the call.
+func (r *Registry) SetExternal(labelKey, labelValue string, s Snapshot) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.external == nil {
+		r.external = make(map[string]externalSource)
+	}
+	r.external[labelKey+"\x00"+labelValue] = externalSource{
+		key: labelKey, value: labelValue, snap: s,
+	}
+}
+
+// externalSource is one federated snapshot held by the registry.
+type externalSource struct {
+	key, value string
+	snap       Snapshot
+}
+
+// externalSorted returns the installed external sources sorted by
+// (label key, label value) — the arrival-order-independent iteration
+// every merged rendering uses. Caller must hold r.mu.
+func (r *Registry) externalSorted() []externalSource {
+	if len(r.external) == 0 {
+		return nil
+	}
+	out := make([]externalSource, 0, len(r.external))
+	for _, src := range r.external {
+		out = append(out, src)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].key != out[j].key {
+			return out[i].key < out[j].key
+		}
+		return out[i].value < out[j].value
+	})
+	return out
+}
+
+// insertLabel inserts one label into an already-rendered label set,
+// keeping the keys sorted so the merged identity is canonical. It parses
+// the rendered form (written by renderLabels with %q) and re-renders.
+func insertLabel(rendered, key, value string) string {
+	ls := parseRenderedLabels(rendered)
+	ls = append(ls, Label{Key: key, Value: value})
+	return renderLabels(ls)
+}
+
+// parseRenderedLabels inverts renderLabels; malformed input (impossible
+// for sets this package rendered) yields the parseable prefix.
+func parseRenderedLabels(rendered string) []Label {
+	if len(rendered) < 2 || rendered[0] != '{' {
+		return nil
+	}
+	s := rendered[1 : len(rendered)-1]
+	var out []Label
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return out
+		}
+		key := s[:eq]
+		rest := s[eq+1:]
+		// Find the closing quote, honouring backslash escapes.
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return out
+		}
+		val, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			return out
+		}
+		out = append(out, Label{Key: key, Value: val})
+		s = rest[end+1:]
+		s = strings.TrimPrefix(s, ",")
+	}
+	return out
+}
+
+// Self-contained binary helpers (big-endian, sticky-error decode),
+// mirroring the nettrans conventions without the import.
+
+func fedAppendU32(dst []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(dst, v) }
+func fedAppendU64(dst []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(dst, v) }
+func fedAppendStr(dst []byte, s string) []byte {
+	dst = fedAppendU32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+var errSnapshotShort = errors.New("snapshot payload truncated")
+
+type fedDec struct {
+	p   []byte
+	err error
+}
+
+func (d *fedDec) len() int {
+	if d.err != nil {
+		return 0
+	}
+	return len(d.p)
+}
+
+func (d *fedDec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.p) < n {
+		d.err = errSnapshotShort
+		return nil
+	}
+	v := d.p[:n]
+	d.p = d.p[n:]
+	return v
+}
+
+func (d *fedDec) u8() byte {
+	v := d.take(1)
+	if v == nil {
+		return 0
+	}
+	return v[0]
+}
+
+func (d *fedDec) u32() uint32 {
+	v := d.take(4)
+	if v == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(v)
+}
+
+func (d *fedDec) u64() uint64 {
+	v := d.take(8)
+	if v == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(v)
+}
+
+func (d *fedDec) str() string {
+	n := d.u32()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(n) > uint64(len(d.p)) {
+		d.err = errSnapshotShort
+		return ""
+	}
+	return string(d.take(int(n)))
+}

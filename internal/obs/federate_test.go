@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testSnapshot builds a registry with every instrument kind and returns
+// its snapshot.
+func testSnapshot() Snapshot {
+	o := New(Options{})
+	reg := o.Registry()
+	reg.Counter("tw_events_total", "gate evaluations", L("cluster", 0)).Add(42)
+	reg.Counter("tw_events_total", "gate evaluations", L("cluster", 1)).Add(7)
+	reg.Gauge("tw_gvt", "global virtual time").Set(19)
+	h := reg.Histogram("tw_rollback_depth", "rollback depth in cycles", []float64{1, 4, 16})
+	h.Observe(2)
+	h.Observe(100)
+	reg.SampleFunc("tw_queue_len", "pending", func() float64 { return 3 })
+	s := reg.Snapshot()
+	s.At = 1234 * time.Microsecond
+	return s
+}
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	want := testSnapshot()
+	blob := AppendSnapshot(nil, want)
+	got, err := DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSnapshotCodecEmpty(t *testing.T) {
+	blob := AppendSnapshot(nil, Snapshot{})
+	got, err := DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatalf("decode empty: %v", err)
+	}
+	if len(got.Families) != 0 || len(got.Samples) != 0 {
+		t.Fatalf("empty snapshot decoded non-empty: %+v", got)
+	}
+}
+
+// TestSnapshotCodecTruncation demands every strict prefix of a valid
+// encoding fail to decode — the hostile-input bar all wire payloads in
+// this repo meet.
+func TestSnapshotCodecTruncation(t *testing.T) {
+	blob := AppendSnapshot(nil, testSnapshot())
+	for n := 0; n < len(blob); n++ {
+		if _, err := DecodeSnapshot(blob[:n]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", n, len(blob))
+		}
+	}
+	// Trailing garbage must be rejected too.
+	if _, err := DecodeSnapshot(append(append([]byte(nil), blob...), 0)); err == nil {
+		t.Fatal("snapshot with trailing byte decoded without error")
+	}
+}
+
+func TestSnapshotCodecHostile(t *testing.T) {
+	cases := map[string][]byte{
+		"bad version":    {99},
+		"huge families":  AppendSnapshot(nil, Snapshot{})[:13], // cut before family count...
+		"garbage counts": append(AppendSnapshot(nil, Snapshot{}), 0xFF, 0xFF),
+	}
+	// A snapshot claiming 2^20 families in a tiny payload.
+	huge := []byte{snapshotVersion}
+	huge = fedAppendU64(huge, 0)
+	huge = fedAppendU32(huge, 1<<20)
+	cases["family count overflow"] = huge
+	for name, blob := range cases {
+		if _, err := DecodeSnapshot(blob); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// TestFederatedMergeDeterministic installs two external worker snapshots
+// in both arrival orders and demands byte-identical Prometheus output —
+// the satellite fix for arrival-order-dependent merged dumps.
+func TestFederatedMergeDeterministic(t *testing.T) {
+	w0 := func() Snapshot {
+		o := New(Options{})
+		o.Registry().Counter("tw_events_total", "gate evaluations").Add(10)
+		o.Registry().Gauge("tw_gvt", "global virtual time").Set(5)
+		return o.Registry().Snapshot()
+	}()
+	w1 := func() Snapshot {
+		o := New(Options{})
+		o.Registry().Counter("tw_events_total", "gate evaluations").Add(20)
+		o.Registry().Gauge("tw_gvt", "global virtual time").Set(6)
+		return o.Registry().Snapshot()
+	}()
+
+	render := func(install func(r *Registry)) string {
+		o := New(Options{})
+		o.Registry().Gauge("dist_round", "GVT round").Set(3)
+		install(o.Registry())
+		var buf bytes.Buffer
+		if err := o.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	a := render(func(r *Registry) {
+		r.SetExternal("worker", "0", w0)
+		r.SetExternal("worker", "1", w1)
+	})
+	b := render(func(r *Registry) {
+		r.SetExternal("worker", "1", w1)
+		r.SetExternal("worker", "0", w0)
+	})
+	if a != b {
+		t.Fatalf("merged dump depends on arrival order:\n--- 0 then 1 ---\n%s--- 1 then 0 ---\n%s", a, b)
+	}
+	for _, want := range []string{
+		`tw_events_total{worker="0"} 10`,
+		`tw_events_total{worker="1"} 20`,
+		`tw_gvt{worker="0"} 5`,
+		`tw_gvt{worker="1"} 6`,
+		"dist_round 3",
+		"# TYPE tw_events_total counter",
+		"# TYPE tw_gvt gauge",
+	} {
+		if !strings.Contains(a, want) {
+			t.Errorf("merged dump missing %q:\n%s", want, a)
+		}
+	}
+	if _, err := ValidatePrometheusText([]byte(a)); err != nil {
+		t.Fatalf("merged dump fails validation: %v\n%s", err, a)
+	}
+}
+
+// TestFederatedMergeGolden pins the merged exposition byte for byte: a
+// coordinator gauge plus two workers' counters and a histogram, shipped
+// through the wire codec, with the worker label inserted in key-sorted
+// position and buckets in numeric order.
+func TestFederatedMergeGolden(t *testing.T) {
+	worker := func(n uint64) Snapshot {
+		o := New(Options{})
+		o.Registry().Counter("net_frames_sent_total", "frames sent", L("peer", 1)).Add(n)
+		h := o.Registry().Histogram("tw_rollback_depth", "rollback depth in cycles", []float64{2, 16})
+		h.Observe(float64(n))
+		blob := AppendSnapshot(nil, o.Registry().Snapshot())
+		s, err := DecodeSnapshot(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	o := New(Options{})
+	o.Registry().Gauge("dist_round", "GVT round").Set(9)
+	o.Registry().SetExternal("worker", "1", worker(20))
+	o.Registry().SetExternal("worker", "0", worker(1))
+	var buf bytes.Buffer
+	if err := o.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP dist_round GVT round
+# TYPE dist_round gauge
+dist_round 9
+# HELP net_frames_sent_total frames sent
+# TYPE net_frames_sent_total counter
+net_frames_sent_total{peer="1",worker="0"} 1
+net_frames_sent_total{peer="1",worker="1"} 20
+# HELP tw_rollback_depth rollback depth in cycles
+# TYPE tw_rollback_depth histogram
+tw_rollback_depth_bucket{le="2",worker="0"} 1
+tw_rollback_depth_bucket{le="16",worker="0"} 1
+tw_rollback_depth_bucket{le="+Inf",worker="0"} 1
+tw_rollback_depth_bucket{le="2",worker="1"} 0
+tw_rollback_depth_bucket{le="16",worker="1"} 0
+tw_rollback_depth_bucket{le="+Inf",worker="1"} 1
+tw_rollback_depth_count{worker="0"} 1
+tw_rollback_depth_count{worker="1"} 1
+tw_rollback_depth_sum{worker="0"} 1
+tw_rollback_depth_sum{worker="1"} 20
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("merged golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestFederatedReplace demands SetExternal with the same source replace,
+// not accumulate.
+func TestFederatedReplace(t *testing.T) {
+	mk := func(v uint64) Snapshot {
+		o := New(Options{})
+		o.Registry().Counter("c_total", "h").Add(v)
+		return o.Registry().Snapshot()
+	}
+	o := New(Options{})
+	o.Registry().SetExternal("worker", "0", mk(1))
+	o.Registry().SetExternal("worker", "0", mk(2))
+	snap := o.Registry().Snapshot()
+	v, ok := snap.Get("c_total", `{worker="0"}`)
+	if !ok || v != 2 {
+		t.Fatalf("got %v (present=%v), want replaced value 2; samples: %+v", v, ok, snap.Samples)
+	}
+	if n := len(snap.Samples); n != 1 {
+		t.Fatalf("replacement accumulated: %d samples", n)
+	}
+}
+
+func TestInsertLabelSorted(t *testing.T) {
+	cases := []struct{ rendered, key, value, want string }{
+		{"", "worker", "0", `{worker="0"}`},
+		{`{peer="1"}`, "worker", "0", `{peer="1",worker="0"}`},
+		{`{zz="1"}`, "worker", "0", `{worker="0",zz="1"}`},
+		{`{le="+Inf",src="a b"}`, "worker", "3", `{le="+Inf",src="a b",worker="3"}`},
+		{`{a="quo\"te"}`, "worker", "0", `{a="quo\"te",worker="0"}`},
+	}
+	for _, c := range cases {
+		if got := insertLabel(c.rendered, c.key, c.value); got != c.want {
+			t.Errorf("insertLabel(%q, %q, %q) = %q, want %q", c.rendered, c.key, c.value, got, c.want)
+		}
+	}
+}
+
+func FuzzDecodeSnapshot(f *testing.F) {
+	f.Add(AppendSnapshot(nil, testSnapshot()))
+	f.Add(AppendSnapshot(nil, Snapshot{}))
+	f.Add([]byte{snapshotVersion})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		s, err := DecodeSnapshot(p)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode and decode to the same value.
+		again, err := DecodeSnapshot(AppendSnapshot(nil, s))
+		if err != nil {
+			t.Fatalf("re-decode of valid snapshot failed: %v", err)
+		}
+		if !reflect.DeepEqual(s, again) {
+			t.Fatalf("re-encode not stable:\n%+v\nvs\n%+v", s, again)
+		}
+	})
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Merged cluster traces: a wire codec for shipping trace-ring batches
+// across the socket boundary (FrameTrace payloads) and a writer that
+// folds the coordinator's own ring plus every worker's shipped events
+// into one Chrome trace — one process track per worker, worker clocks
+// rebased onto the coordinator's via the handshake-exchanged start
+// timestamps.
+
+// traceVersion versions the trace-batch wire format.
+const traceVersion byte = 1
+
+// maxTraceEvents bounds the event count a decoded batch may claim.
+const maxTraceEvents = 1 << 20
+
+// AppendTraceEvents serializes a batch of trace events plus the ring's
+// cumulative drop count into the compact binary form shipped over
+// FrameTrace.
+func AppendTraceEvents(dst []byte, events []Event, dropped uint64) []byte {
+	dst = append(dst, traceVersion)
+	dst = fedAppendU64(dst, dropped)
+	dst = fedAppendU32(dst, uint32(len(events)))
+	for _, e := range events {
+		dst = fedAppendU64(dst, uint64(e.Ts))
+		dst = fedAppendU64(dst, uint64(e.Dur))
+		dst = fedAppendU32(dst, uint32(e.Track))
+		dst = append(dst, e.Phase)
+		dst = fedAppendU64(dst, e.ID)
+		dst = fedAppendStr(dst, e.Name)
+		n := byte(0)
+		for _, a := range e.Args {
+			if a.Key != "" {
+				n++
+			}
+		}
+		dst = append(dst, n)
+		for _, a := range e.Args {
+			if a.Key == "" {
+				continue
+			}
+			dst = fedAppendStr(dst, a.Key)
+			dst = fedAppendU64(dst, math.Float64bits(a.Val))
+		}
+	}
+	return dst
+}
+
+// DecodeTraceEvents parses a batch produced by AppendTraceEvents, with
+// the same hostile-input posture as the snapshot codec: counts are
+// validated against the remaining payload before any allocation.
+func DecodeTraceEvents(p []byte) (events []Event, dropped uint64, err error) {
+	d := fedDec{p: p}
+	if v := d.u8(); d.err == nil && v != traceVersion {
+		return nil, 0, fmt.Errorf("obs: trace batch version %d, this build speaks %d", v, traceVersion)
+	}
+	dropped = d.u64()
+	n := d.u32()
+	if d.err == nil {
+		// An event needs at least 34 bytes (fixed fields + two prefixes).
+		if n > maxTraceEvents || uint64(n)*34 > uint64(len(d.p)) {
+			return nil, 0, fmt.Errorf("obs: trace batch claims %d events in %d bytes", n, len(d.p))
+		}
+		events = make([]Event, n)
+		for i := range events {
+			events[i].Ts = int64(d.u64())
+			events[i].Dur = int64(d.u64())
+			events[i].Track = int32(d.u32())
+			events[i].Phase = d.u8()
+			events[i].ID = d.u64()
+			events[i].Name = d.str()
+			na := d.u8()
+			if d.err != nil {
+				break
+			}
+			if na > maxArgs {
+				return nil, 0, fmt.Errorf("obs: trace event %d claims %d args (max %d)", i, na, maxArgs)
+			}
+			for j := byte(0); j < na; j++ {
+				key := d.str()
+				bits := d.u64()
+				if d.err != nil {
+					break
+				}
+				events[i].Args[j] = Arg{Key: key, Val: math.Float64frombits(bits)}
+			}
+		}
+	}
+	if d.err != nil {
+		return nil, 0, fmt.Errorf("obs: malformed trace batch: %w", d.err)
+	}
+	if d.len() != 0 {
+		return nil, 0, fmt.Errorf("obs: trace batch has %d trailing bytes", d.len())
+	}
+	return events, dropped, nil
+}
+
+// TraceSource is one process's contribution to a merged trace.
+type TraceSource struct {
+	// Name labels the process track in the viewer ("coordinator",
+	// "worker 0", ...).
+	Name string
+	// OffsetMicros rebases this source's event timestamps onto the merged
+	// trace's clock: merged Ts = event Ts + OffsetMicros. The coordinator
+	// derives it from the start wall clocks exchanged in the handshake.
+	OffsetMicros int64
+	// Events is the source's trace ring in push order.
+	Events []Event
+	// Dropped is how many events the source's ring overwrote (or lost in
+	// transit); the per-source counts sum into the merged header.
+	Dropped uint64
+}
+
+// WriteMergedChromeTrace writes one Chrome trace covering several
+// processes: source i becomes pid i+1 with a process_name metadata
+// record, each with its own per-track thread names, and every event's
+// timestamp rebased by its source's offset (clamped at zero — the
+// viewer rejects negative timestamps). The output round-trips through
+// DecodeChromeTrace like the single-process exporter's.
+func WriteMergedChromeTrace(w io.Writer, sources []TraceSource) error {
+	raw := []json.RawMessage{} // non-nil so an empty trace renders as []
+	push := func(v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		raw = append(raw, b)
+		return nil
+	}
+
+	var dropped uint64
+	for si, src := range sources {
+		pid := si + 1
+		dropped += src.Dropped
+		if err := push(map[string]any{
+			"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+			"args": map[string]string{"name": src.Name},
+		}); err != nil {
+			return err
+		}
+		if err := push(map[string]any{
+			"name": "process_sort_index", "ph": "M", "pid": pid, "tid": 0,
+			"args": map[string]int{"sort_index": si},
+		}); err != nil {
+			return err
+		}
+
+		tracks := map[int32]bool{}
+		for _, e := range src.Events {
+			tracks[e.Track] = true
+		}
+		ids := make([]int32, 0, len(tracks))
+		for t := range tracks {
+			ids = append(ids, t)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ChromeTid(ids[i]) < ChromeTid(ids[j]) })
+		for _, t := range ids {
+			if err := push(map[string]any{
+				"name": "thread_name", "ph": "M", "pid": pid, "tid": ChromeTid(t),
+				"args": map[string]string{"name": TrackName(t)},
+			}); err != nil {
+				return err
+			}
+			if err := push(map[string]any{
+				"name": "thread_sort_index", "ph": "M", "pid": pid, "tid": ChromeTid(t),
+				"args": map[string]int{"sort_index": ChromeTid(t)},
+			}); err != nil {
+				return err
+			}
+		}
+
+		for _, e := range src.Events {
+			ts := e.Ts + src.OffsetMicros
+			if ts < 0 {
+				ts = 0
+			}
+			ce := ChromeEvent{
+				Name:  e.Name,
+				Phase: string(e.Phase),
+				Pid:   pid,
+				Tid:   ChromeTid(e.Track),
+				Ts:    ts,
+				Dur:   e.Dur,
+			}
+			if e.Phase == PhaseInstant {
+				ce.Scope = "t"
+			}
+			if e.Phase == PhaseFlowStart || e.Phase == PhaseFlowStep {
+				ce.Cat = "flow"
+				ce.ID = e.ID
+			}
+			for _, a := range e.Args {
+				if a.Key == "" {
+					continue
+				}
+				if ce.Args == nil {
+					ce.Args = make(map[string]float64, maxArgs)
+				}
+				ce.Args[a.Key] = a.Val
+			}
+			if err := push(ce); err != nil {
+				return err
+			}
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(ChromeTrace{
+		TraceEvents:     raw,
+		DisplayTimeUnit: "ms",
+		Dropped:         dropped,
+	})
+}

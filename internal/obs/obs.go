@@ -298,3 +298,26 @@ func (o *Observer) Events() (events []Event, dropped uint64) {
 	}
 	return o.tr.drain()
 }
+
+// EventsSince returns the trace events pushed at or after the cursor
+// `since` (0 for the start of the run), without consuming them, plus the
+// cursor for the next call and the count of requested events the ring
+// had already overwritten. Workers use it to stream their ring to the
+// coordinator incrementally.
+func (o *Observer) EventsSince(since uint64) (events []Event, next uint64, dropped uint64) {
+	if o == nil {
+		return nil, since, 0
+	}
+	return o.tr.drainSince(since)
+}
+
+// StartUnixNano returns the wall-clock instant of the observer's run
+// start as Unix nanoseconds (0 for nil). All trace timestamps are
+// microseconds relative to this instant; the distributed coordinator
+// uses the exchanged values to rebase worker trace clocks onto its own.
+func (o *Observer) StartUnixNano() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.start.UnixNano()
+}

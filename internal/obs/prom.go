@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -12,7 +13,11 @@ import (
 // text exposition format: one HELP/TYPE block per metric family, then
 // one line per sample, sorted — so two equal registry states render to
 // byte-identical dumps (the property the golden metrics tests pin).
-// Sampled funcs are exposed as gauges. Nil observers write nothing.
+// Histogram buckets are ordered by their numeric le bound, +Inf last.
+// Sampled funcs are exposed as gauges. Federated external snapshots
+// (Registry.SetExternal) are merged in under their injected label; the
+// output is identical regardless of the order the snapshots arrived in.
+// Nil observers write nothing.
 func (o *Observer) WritePrometheus(w io.Writer) error {
 	if o == nil {
 		return nil
@@ -25,68 +30,122 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	type family struct {
-		name, help, typ string
-		lines           []string
-	}
-	fams := map[string]*family{}
-	var order []string
-	add := func(name, help, typ, line string) {
-		f := fams[name]
-		if f == nil {
-			f = &family{name: name, help: help, typ: typ}
-			fams[name] = f
-			order = append(order, name)
-		}
-		f.lines = append(f.lines, line)
+	return WriteSnapshotPrometheus(w, r.Snapshot())
+}
+
+// WriteSnapshotPrometheus renders a self-describing snapshot — the
+// registry's own, a decoded federated one, or a merged set — in the
+// Prometheus text format. Samples whose family metadata is missing are
+// exposed as gauges so the output still validates.
+func WriteSnapshotPrometheus(w io.Writer, snap Snapshot) error {
+	fams := make(map[string]Family, len(snap.Families))
+	for _, f := range snap.Families {
+		fams[f.Name] = f
 	}
 
-	for _, m := range r.families() {
-		switch {
-		case m.counter != nil:
-			add(m.name, m.help, "counter",
-				fmt.Sprintf("%s%s %s", m.name, m.labels, formatValue(float64(m.counter.Load()))))
-		case m.gauge != nil:
-			add(m.name, m.help, "gauge",
-				fmt.Sprintf("%s%s %s", m.name, m.labels, formatValue(float64(m.gauge.Load()))))
-		case m.sample != nil:
-			add(m.name, m.help, "gauge",
-				fmt.Sprintf("%s%s %s", m.name, m.labels, formatValue(m.sample())))
-		case m.hist != nil:
-			bounds, counts := m.hist.Buckets()
-			cum := uint64(0)
-			for i := range bounds {
-				cum += counts[i]
-				le := "+Inf"
-				if !math.IsInf(bounds[i], 1) {
-					le = trimFloat(bounds[i])
-				}
-				add(m.name, m.help, "histogram",
-					fmt.Sprintf("%s_bucket%s %d", m.name, mergeLabel(m.labels, "le", le), cum))
-			}
-			add(m.name, m.help, "histogram",
-				fmt.Sprintf("%s_sum%s %d", m.name, m.labels, m.hist.Sum()))
-			add(m.name, m.help, "histogram",
-				fmt.Sprintf("%s_count%s %d", m.name, m.labels, m.hist.Count()))
+	type group struct {
+		fam     Family
+		samples []Sample
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, sm := range snap.Samples {
+		fam, ok := sampleFamily(sm.Name, fams)
+		if !ok {
+			fam = Family{Name: sm.Name, Kind: KindGauge}
 		}
+		g := groups[fam.Name]
+		if g == nil {
+			g = &group{fam: fam}
+			groups[fam.Name] = g
+			order = append(order, fam.Name)
+		}
+		g.samples = append(g.samples, sm)
 	}
 
 	sort.Strings(order)
 	var b strings.Builder
 	for _, name := range order {
-		f := fams[name]
-		if f.help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		g := groups[name]
+		if g.fam.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", g.fam.Name, g.fam.Help)
 		}
-		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
-		sort.Strings(f.lines)
-		for _, l := range f.lines {
-			b.WriteString(l)
-			b.WriteByte('\n')
+		fmt.Fprintf(&b, "# TYPE %s %s\n", g.fam.Name, g.fam.Kind)
+		sort.SliceStable(g.samples, func(i, j int) bool {
+			return promSampleLess(g.samples[i], g.samples[j])
+		})
+		for _, sm := range g.samples {
+			fmt.Fprintf(&b, "%s%s %s\n", sm.Name, sm.Labels, formatValue(sm.Value))
 		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// sampleFamily resolves a sample name to its family: exact match first,
+// then the histogram component suffixes against a histogram family.
+func sampleFamily(name string, fams map[string]Family) (Family, bool) {
+	if f, ok := fams[name]; ok {
+		return f, true
+	}
+	for _, suffix := range []string{"_bucket", "_count", "_sum"} {
+		if base, found := strings.CutSuffix(name, suffix); found {
+			if f, ok := fams[base]; ok && f.Kind == KindHistogram {
+				return f, true
+			}
+		}
+	}
+	return Family{}, false
+}
+
+// promSampleLess orders samples within one family block: by suffixed
+// name, then by the label set without le, then by the le bound compared
+// numerically — so each sub-histogram's buckets are contiguous and come
+// out in ascending bound order with +Inf last, not in lexicographic
+// accident ("10" before "2").
+func promSampleLess(a, b Sample) bool {
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	ar, ale, aok := splitLe(a.Labels)
+	br, ble, bok := splitLe(b.Labels)
+	if aok && bok {
+		if ar != br {
+			return ar < br
+		}
+		return ale < ble
+	}
+	return a.Labels < b.Labels
+}
+
+// splitLe extracts the numeric le bound from a rendered label set,
+// returning the set re-rendered without it. ok is false when no parsable
+// le label is present.
+func splitLe(rendered string) (rest string, le float64, ok bool) {
+	if !strings.Contains(rendered, `le="`) {
+		return rendered, 0, false
+	}
+	ls := parseRenderedLabels(rendered)
+	kept := ls[:0]
+	for _, l := range ls {
+		if l.Key != "le" {
+			kept = append(kept, l)
+			continue
+		}
+		if l.Value == "+Inf" {
+			le, ok = math.Inf(1), true
+			continue
+		}
+		v, err := strconv.ParseFloat(l.Value, 64)
+		if err != nil {
+			return rendered, 0, false
+		}
+		le, ok = v, true
+	}
+	if !ok {
+		return rendered, 0, false
+	}
+	return renderLabels(kept), le, true
 }
 
 // formatValue renders a sample value: integers without a decimal point,

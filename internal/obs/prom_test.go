@@ -7,7 +7,8 @@ import (
 
 // TestPrometheusGolden pins the text exposition format byte for byte:
 // HELP/TYPE blocks in name order, samples sorted, histograms expanded
-// into cumulative buckets with _sum and _count.
+// into cumulative buckets in ascending numeric bound order (+Inf last)
+// with _sum and _count.
 func TestPrometheusGolden(t *testing.T) {
 	o := New(Options{})
 	reg := o.Registry()
@@ -36,10 +37,10 @@ tw_gvt 7
 tw_queue_len{cluster="0"} 3
 # HELP tw_rollback_depth rollback depth in cycles
 # TYPE tw_rollback_depth histogram
-tw_rollback_depth_bucket{le="+Inf"} 3
 tw_rollback_depth_bucket{le="1"} 1
 tw_rollback_depth_bucket{le="2"} 1
 tw_rollback_depth_bucket{le="4"} 2
+tw_rollback_depth_bucket{le="+Inf"} 3
 tw_rollback_depth_count 3
 tw_rollback_depth_sum 13
 `

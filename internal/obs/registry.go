@@ -163,6 +163,10 @@ type Registry struct {
 	mu      sync.Mutex
 	metrics map[string]*metric
 	order   []*metric // registration order, for stable snapshots
+	// external holds federated snapshots from other processes (see
+	// SetExternal in federate.go), merged into Snapshot and the exporters
+	// under their injected label.
+	external map[string]externalSource
 }
 
 func newRegistry() *Registry {
@@ -233,10 +237,14 @@ type Sample struct {
 
 // Snapshot is the registry state at one instant. Histograms contribute
 // one sample per bucket (suffix _bucket with an le label) plus _count
-// and _sum, mirroring the Prometheus exposition shape.
+// and _sum, mirroring the Prometheus exposition shape. Families carries
+// the per-family type and help metadata so a snapshot is self-describing
+// — the property the federation codec and merged Prometheus dump rely
+// on.
 type Snapshot struct {
-	At      time.Duration // observer uptime when taken
-	Samples []Sample      // sorted by (Name, Labels)
+	At       time.Duration // observer uptime when taken
+	Families []Family      // sorted by Name, one entry per metric family
+	Samples  []Sample      // sorted by (Name, Labels)
 }
 
 // Get returns the value of the sample with the given name and rendered
@@ -251,9 +259,11 @@ func (s Snapshot) Get(name, labels string) (float64, bool) {
 }
 
 // Snapshot reads every instrument. Values come from atomics and sampled
-// funcs only, so it is safe mid-run; the sample list is sorted by
-// (name, labels) so equal registry states render identically regardless
-// of registration interleaving.
+// funcs only, so it is safe mid-run; the sample and family lists are
+// sorted so equal registry states render identically regardless of
+// registration interleaving. Federated external snapshots (SetExternal)
+// are merged in with their source label inserted, ordered by source —
+// never by arrival.
 func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}
@@ -261,6 +271,7 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	ms := make([]*metric, len(r.order))
 	copy(ms, r.order)
+	ext := r.externalSorted()
 	r.mu.Unlock()
 
 	var out []Sample
@@ -291,13 +302,95 @@ func (r *Registry) Snapshot() Snapshot {
 			out = append(out, Sample{Name: m.name + "_sum", Labels: m.labels, Value: float64(m.hist.Sum())})
 		}
 	}
+	fams := familiesOf(ms)
+	for _, src := range ext {
+		for _, sm := range src.snap.Samples {
+			out = append(out, Sample{
+				Name:   sm.Name,
+				Labels: insertLabel(sm.Labels, src.key, src.value),
+				Value:  sm.Value,
+			})
+		}
+		fams = mergeFamilies(fams, src.snap.Families)
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Name != out[j].Name {
 			return out[i].Name < out[j].Name
 		}
 		return out[i].Labels < out[j].Labels
 	})
-	return Snapshot{Samples: out}
+	return Snapshot{Families: fams, Samples: out}
+}
+
+// familiesOf derives the sorted family metadata of a metric list. The
+// help of a family is the lexicographically smallest non-empty help
+// registered under its name, so the choice never depends on
+// registration order.
+func familiesOf(ms []*metric) []Family {
+	byName := make(map[string]Family, len(ms))
+	for _, m := range ms {
+		kind := KindGauge
+		switch {
+		case m.counter != nil:
+			kind = KindCounter
+		case m.hist != nil:
+			kind = KindHistogram
+		}
+		f, ok := byName[m.name]
+		if !ok {
+			byName[m.name] = Family{Name: m.name, Help: m.help, Kind: kind}
+			continue
+		}
+		if betterHelp(m.help, f.Help) {
+			f.Help = m.help
+			byName[m.name] = f
+		}
+	}
+	out := make([]Family, 0, len(byName))
+	for _, f := range byName {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// mergeFamilies folds extra family metadata into a sorted family list,
+// keeping the result sorted and the help choice deterministic.
+func mergeFamilies(fams, extra []Family) []Family {
+	if len(extra) == 0 {
+		return fams
+	}
+	byName := make(map[string]Family, len(fams)+len(extra))
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	for _, f := range extra {
+		prev, ok := byName[f.Name]
+		if !ok {
+			byName[f.Name] = f
+			continue
+		}
+		if betterHelp(f.Help, prev.Help) {
+			prev.Help = f.Help
+			byName[f.Name] = prev
+		}
+	}
+	out := make([]Family, 0, len(byName))
+	for _, f := range byName {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// betterHelp reports whether candidate should replace current as a
+// family's help: any help beats none, then smallest byte order wins —
+// an arrival-order-free tie break for federated sources that disagree.
+func betterHelp(candidate, current string) bool {
+	if candidate == "" {
+		return false
+	}
+	return current == "" || candidate < current
 }
 
 // mergeLabel inserts one extra label into an already-rendered label set.
@@ -313,14 +406,4 @@ func mergeLabel(rendered, key, value string) string {
 func trimFloat(v float64) string {
 	s := fmt.Sprintf("%g", v)
 	return s
-}
-
-// help returns the registered help strings keyed by metric name (used by
-// the Prometheus exporter to emit one HELP/TYPE block per family).
-func (r *Registry) families() []*metric {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]*metric, len(r.order))
-	copy(out, r.order)
-	return out
 }

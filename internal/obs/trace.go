@@ -101,17 +101,33 @@ func (t *Tracer) push(e Event) {
 // drain copies the retained events out in push order (oldest retained
 // first) and reports how many older events the ring overwrote.
 func (t *Tracer) drain() (events []Event, dropped uint64) {
+	events, _, dropped = t.drainSince(0)
+	return events, dropped
+}
+
+// drainSince copies out the retained events with push index >= since, in
+// push order, without consuming them. next is the cursor to pass on the
+// following call (the total push count so far); dropped counts the
+// events in [since, next) that the ring had already overwritten — the
+// incremental streaming interface the distributed trace shipper uses.
+func (t *Tracer) drainSince(since uint64) (events []Event, next uint64, dropped uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	n := t.next
-	if n > t.capacity {
-		dropped = n - t.capacity
-		n = t.capacity
+	next = t.next
+	first := uint64(0)
+	if t.next > t.capacity {
+		first = t.next - t.capacity
 	}
-	events = make([]Event, 0, n)
-	first := t.next - n
-	for i := uint64(0); i < n; i++ {
-		events = append(events, t.buf[(first+i)%t.capacity])
+	if since > next {
+		since = next
 	}
-	return events, dropped
+	if since < first {
+		dropped = first - since
+		since = first
+	}
+	events = make([]Event, 0, next-since)
+	for i := since; i < next; i++ {
+		events = append(events, t.buf[i%t.capacity])
+	}
+	return events, next, dropped
 }

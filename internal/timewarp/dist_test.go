@@ -1,6 +1,11 @@
 package timewarp
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -9,6 +14,7 @@ import (
 	"repro/internal/comm/nettrans"
 	"repro/internal/gen"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/sim"
 )
@@ -126,30 +132,63 @@ func TestDifferentialNetTransportVsSequential(t *testing.T) {
 	}
 }
 
+// distObs carries the observability wiring for an instrumented
+// distributed test run: the coordinator's observer (federation sink),
+// one observer and probe per worker, and an optional flight-recorder
+// directory.
+type distObs struct {
+	coord         *obs.Observer
+	coordProbe    *Probe
+	workers       []*obs.Observer
+	probes        []*Probe
+	postMortemDir string
+	coordinator   **Coordinator // when non-nil, receives the coordinator handle
+}
+
 // distRun executes one distributed run with the coordinator and every
 // worker inside this test process — separate comm networks, separate
 // counter spaces, real TCP sockets between them — and returns the merged
 // result.
 func distRun(t *testing.T, spec *DistSpec, workers int, failAfter time.Duration) (*Result, error, []error) {
 	t.Helper()
-	probe := NewProbe()
+	return distRunObs(t, spec, workers, failAfter, distObs{})
+}
+
+// distRunObs is distRun with full observability wiring.
+func distRunObs(t *testing.T, spec *DistSpec, workers int, failAfter time.Duration, do distObs) (*Result, error, []error) {
+	t.Helper()
+	probe := do.coordProbe
+	if probe == nil {
+		probe = NewProbe()
+	}
 	co, err := NewCoordinator(CoordConfig{
-		Spec:         spec,
-		Workers:      workers,
-		RoundEvery:   200 * time.Microsecond,
-		Watchdog:     10 * time.Second,
-		StallTimeout: 20 * time.Second,
-		RunTimeout:   80 * time.Second,
-		Probe:        probe,
+		Spec:          spec,
+		Workers:       workers,
+		RoundEvery:    200 * time.Microsecond,
+		Watchdog:      10 * time.Second,
+		StallTimeout:  20 * time.Second,
+		RunTimeout:    80 * time.Second,
+		Probe:         probe,
+		Obs:           do.coord,
+		PostMortemDir: do.postMortemDir,
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if do.coordinator != nil {
+		*do.coordinator = co
 	}
 	var wg sync.WaitGroup
 	workerErrs := make([]error, workers)
 	for w := 0; w < workers; w++ {
 		w := w
 		opts := WorkerOptions{Coordinator: co.Addr()}
+		if w < len(do.workers) {
+			opts.Obs = do.workers[w]
+		}
+		if w < len(do.probes) {
+			opts.Probe = do.probes[w]
+		}
 		if w == workers-1 {
 			opts.FailAfter = failAfter
 		}
@@ -279,6 +318,305 @@ func TestDistributedWorkerCrashAborts(t *testing.T) {
 	}
 }
 
+// sumSeries totals every sample of one metric family across all label
+// sets, optionally keeping only samples whose rendered labels contain
+// want (e.g. `worker="1"`).
+func sumSeries(snap obs.Snapshot, name, want string) float64 {
+	var total float64
+	for _, sm := range snap.Samples {
+		if sm.Name != name {
+			continue
+		}
+		if want != "" && !strings.Contains(sm.Labels, want) {
+			continue
+		}
+		total += sm.Value
+	}
+	return total
+}
+
+// assignedWorkerID recovers a worker's coordinator-assigned id from its
+// local registry: the mesh registers net_frames_sent_total{peer=...} for
+// every peer but itself, so the missing peer id is its own.
+func assignedWorkerID(t *testing.T, snap obs.Snapshot, workers int) int {
+	t.Helper()
+	present := make(map[int]bool)
+	for _, sm := range snap.Samples {
+		if sm.Name != "net_frames_sent_total" {
+			continue
+		}
+		i := strings.Index(sm.Labels, `peer="`)
+		if i < 0 {
+			continue
+		}
+		rest := sm.Labels[i+len(`peer="`):]
+		j := strings.Index(rest, `"`)
+		if p, err := strconv.Atoi(rest[:j]); err == nil {
+			present[p] = true
+		}
+	}
+	for id := 0; id < workers; id++ {
+		if !present[id] {
+			return id
+		}
+	}
+	t.Fatalf("cannot resolve worker id: peers %v of %d", present, workers)
+	return -1
+}
+
+// TestDistributedFederation runs an instrumented 2-worker cluster and
+// checks the whole observability plane end to end: the coordinator's
+// single registry carries every worker's series under a worker label,
+// the per-peer wire counters tie out exactly against the coordinator's
+// era tallies, the merged dump is valid Prometheus exposition, the
+// merged Chrome trace decodes with one process per node, and the worker
+// probes report clean completion.
+func TestDistributedFederation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed runs are socket-heavy; skipped in -short")
+	}
+	c := gen.Viterbi(gen.ViterbiConfig{K: 4, W: 4, TB: 8})
+	ed, err := c.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := partition.Multiway(ed, partition.Options{K: 4, B: 10, Seed: 17, Restarts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cycles = 2000
+	spec := &DistSpec{
+		Source:    c.Source,
+		Top:       c.Top,
+		GateParts: pr.GateParts,
+		K:         4,
+		Cycles:    cycles,
+		VecSeed:   29,
+	}
+	const workers = 2
+	do := distObs{
+		coord:   obs.New(obs.Options{}),
+		workers: []*obs.Observer{obs.New(obs.Options{}), obs.New(obs.Options{})},
+		probes:  []*Probe{NewProbe(), NewProbe()},
+	}
+	var co *Coordinator
+	do.coordinator = &co
+	res, runErr, workerErrs := distRunObs(t, spec, workers, 0, do)
+	if runErr != nil {
+		t.Fatalf("coordinator: %v (workers: %v)", runErr, workerErrs)
+	}
+	for w, werr := range workerErrs {
+		if werr != nil {
+			t.Fatalf("worker %d: %v", w, werr)
+		}
+	}
+	if res.FinalGVT != cycles {
+		t.Errorf("final GVT %d, want %d", res.FinalGVT, cycles)
+	}
+
+	// Satellite: the per-peer wire counters on each worker's local
+	// registry must tie out exactly against the coordinator's era
+	// tallies — both sides count exactly the successfully sent frames.
+	var localSent, localRecv float64
+	for _, wo := range do.workers {
+		snap := wo.Snapshot()
+		localSent += sumSeries(snap, "net_frames_sent_total", "")
+		localRecv += sumSeries(snap, "net_frames_recv_total", "")
+	}
+	if localSent != float64(res.WireFramesSent) {
+		t.Errorf("sum of net_frames_sent_total across workers = %v, coordinator era tally = %d",
+			localSent, res.WireFramesSent)
+	}
+	if localRecv != float64(res.WireFramesRecv) {
+		t.Errorf("sum of net_frames_recv_total across workers = %v, coordinator era tally = %d",
+			localRecv, res.WireFramesRecv)
+	}
+	if res.WireFramesSent == 0 {
+		t.Error("no cross-process frames counted: k=4 over 2 workers must cut the graph")
+	}
+
+	// Federation: the coordinator's single registry must carry every
+	// worker's series under a worker label, and the final federated
+	// values must equal each worker's own final scrape. Worker ids are
+	// assigned by control-plane accept order, so map each local observer
+	// to its id via the per-peer counter labels before comparing.
+	fedSnap := do.coord.Snapshot()
+	seenID := make(map[int]bool)
+	for w, wo := range do.workers {
+		localSnap := wo.Snapshot()
+		id := assignedWorkerID(t, localSnap, workers)
+		if seenID[id] {
+			t.Fatalf("two workers resolved to id %d", id)
+		}
+		seenID[id] = true
+		wantLbl := `worker="` + strconv.Itoa(id) + `"`
+		if sumSeries(fedSnap, "tw_events", wantLbl) == 0 {
+			t.Errorf("coordinator registry has no tw_events series for %s", wantLbl)
+		}
+		fs := sumSeries(fedSnap, "net_frames_sent_total", wantLbl)
+		ls := sumSeries(localSnap, "net_frames_sent_total", "")
+		if fs != ls {
+			t.Errorf("worker %d (id %d): federated net_frames_sent_total = %v, local scrape = %v",
+				w, id, fs, ls)
+		}
+	}
+	if v, ok := fedSnap.Get("dist_gvt", ""); !ok || v != cycles {
+		t.Errorf("dist_gvt = %v (present %v), want %d", v, ok, cycles)
+	}
+	if sumSeries(fedSnap, "dist_round_latency_us_count", "") == 0 {
+		t.Error("dist_round_latency_us histogram recorded no rounds")
+	}
+
+	// One scrape covers the cluster, and it must be valid exposition.
+	var dump bytes.Buffer
+	if err := do.coord.WritePrometheus(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidatePrometheusText(dump.Bytes()); err != nil {
+		t.Fatalf("merged /metrics dump invalid: %v", err)
+	}
+
+	// Merged cluster trace: one Chrome-trace process per node, decodable
+	// by our own decoder.
+	var trace bytes.Buffer
+	if err := co.WriteMergedTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := obs.DecodeChromeTrace(&trace)
+	if err != nil {
+		t.Fatalf("merged trace does not decode: %v", err)
+	}
+	wantNames := map[int]string{1: "coordinator", 2: "worker 0", 3: "worker 1"}
+	for pid, name := range wantNames {
+		if dec.ProcessNames[pid] != name {
+			t.Errorf("merged trace pid %d named %q, want %q", pid, dec.ProcessNames[pid], name)
+		}
+	}
+	var coordEvents, workerEvents int
+	for _, ev := range dec.Events {
+		switch {
+		case ev.Pid == 1:
+			coordEvents++
+		case ev.Pid > 1:
+			workerEvents++
+		}
+	}
+	if coordEvents == 0 {
+		t.Error("merged trace has no coordinator events (gvt_round spans missing)")
+	}
+	if workerEvents == 0 {
+		t.Error("merged trace has no worker events (trace federation shipped nothing)")
+	}
+
+	// Worker probes: driven by GVT broadcasts during the run, finished
+	// clean at the end.
+	for w, p := range do.probes {
+		st := p.State()
+		if !st.Attached || !st.Done || st.Failed {
+			t.Errorf("worker %d probe: attached=%v done=%v failed=%v (%s)",
+				w, st.Attached, st.Done, st.Failed, st.Reason)
+		}
+		if st.Cycles != cycles {
+			t.Errorf("worker %d probe cycles = %d, want %d", w, st.Cycles, cycles)
+		}
+		if st.GVT == 0 {
+			t.Errorf("worker %d probe never saw a GVT broadcast", w)
+		}
+	}
+}
+
+// TestDistributedPostMortem crashes a worker mid-run with a
+// flight-recorder directory configured and requires the abort to leave a
+// complete, well-formed post-mortem bundle behind.
+func TestDistributedPostMortem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed runs are socket-heavy; skipped in -short")
+	}
+	c := gen.Viterbi(gen.ViterbiConfig{K: 4, W: 4, TB: 8})
+	ed, err := c.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := partition.Multiway(ed, partition.Options{K: 4, B: 10, Seed: 17, Restarts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &DistSpec{
+		Source:    c.Source,
+		Top:       c.Top,
+		GateParts: pr.GateParts,
+		K:         4,
+		Cycles:    50_000_000, // must still be in flight at the crash
+		VecSeed:   29,
+	}
+	dir := t.TempDir()
+	do := distObs{
+		coord:         obs.New(obs.Options{}),
+		workers:       []*obs.Observer{obs.New(obs.Options{}), obs.New(obs.Options{})},
+		probes:        []*Probe{NewProbe(), NewProbe()},
+		postMortemDir: dir,
+	}
+	_, runErr, _ := distRunObs(t, spec, 2, 100*time.Millisecond, do)
+	if runErr == nil {
+		t.Fatal("run survived a crashed worker")
+	}
+
+	// metrics.prom: valid exposition.
+	prom, err := os.ReadFile(filepath.Join(dir, "metrics.prom"))
+	if err != nil {
+		t.Fatalf("post-mortem bundle missing metrics: %v", err)
+	}
+	if _, err := obs.ValidatePrometheusText(prom); err != nil {
+		t.Errorf("post-mortem metrics.prom invalid: %v", err)
+	}
+
+	// trace.json: round-trips through our Chrome-trace decoder.
+	tf, err := os.Open(filepath.Join(dir, "trace.json"))
+	if err != nil {
+		t.Fatalf("post-mortem bundle missing trace: %v", err)
+	}
+	dec, err := obs.DecodeChromeTrace(tf)
+	tf.Close()
+	if err != nil {
+		t.Fatalf("post-mortem trace.json does not decode: %v", err)
+	}
+	if dec.ProcessNames[1] != "coordinator" {
+		t.Errorf("post-mortem trace pid 1 named %q, want coordinator", dec.ProcessNames[1])
+	}
+
+	// probes.json: carries the abort diagnosis and one entry per worker.
+	pj, err := os.ReadFile(filepath.Join(dir, "probes.json"))
+	if err != nil {
+		t.Fatalf("post-mortem bundle missing probes: %v", err)
+	}
+	var probes struct {
+		Reason  string `json:"reason"`
+		Workers []struct {
+			Worker int `json:"worker"`
+		} `json:"workers"`
+	}
+	if err := json.Unmarshal(pj, &probes); err != nil {
+		t.Fatalf("probes.json malformed: %v", err)
+	}
+	if probes.Reason == "" {
+		t.Error("probes.json has no abort reason")
+	}
+	if len(probes.Workers) != 2 {
+		t.Errorf("probes.json lists %d workers, want 2", len(probes.Workers))
+	}
+
+	// rounds.json: the GVT-round history, a JSON array.
+	rj, err := os.ReadFile(filepath.Join(dir, "rounds.json"))
+	if err != nil {
+		t.Fatalf("post-mortem bundle missing rounds: %v", err)
+	}
+	var rounds []map[string]any
+	if err := json.Unmarshal(rj, &rounds); err != nil {
+		t.Fatalf("rounds.json malformed: %v", err)
+	}
+	t.Logf("post-mortem: reason=%q rounds=%d trace_events=%d", probes.Reason, len(rounds), len(dec.Events))
+}
+
 func TestDistSpecRoundTrip(t *testing.T) {
 	s := &DistSpec{
 		Source:    "module m(); endmodule",
@@ -331,6 +669,11 @@ func FuzzDistProtoDecode(f *testing.F) {
 		Clusters: []clusterResult{{Cluster: 0, Stats: Stats{Messages: 2}}},
 		Observed: []observedNet{{Net: 1, Cycles: 3, Values: []bool{true, false, true}}}}))
 	f.Add([]byte{})
+	f.Add(obs.AppendSnapshot(nil, obs.Snapshot{
+		Families: []obs.Family{{Name: "m", Kind: obs.KindCounter}},
+		Samples:  []obs.Sample{{Name: "m", Value: 1}},
+	}))
+	f.Add(obs.AppendTraceEvents(nil, []obs.Event{{Name: "e", Phase: obs.PhaseInstant}}, 0))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _ = DecodeDistSpec(data)
 		_, _ = decodeReport(data, 8)
@@ -338,5 +681,9 @@ func FuzzDistProtoDecode(f *testing.F) {
 		_, _ = decodeCut(data)
 		_, _ = decodeGVT(data)
 		_, _ = decodeAbort(data)
+		// The federation payloads ride the same control plane: their
+		// decoders face the same hostile bytes.
+		_, _ = obs.DecodeSnapshot(data)
+		_, _, _ = obs.DecodeTraceEvents(data)
 	})
 }

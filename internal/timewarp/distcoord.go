@@ -4,10 +4,13 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/comm/nettrans"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // CoordConfig configures the coordinator of a distributed run.
@@ -35,6 +38,15 @@ type CoordConfig struct {
 	// for the in-process kernel; an abort surfaces through it as a
 	// failed state with the diagnosis.
 	Probe *Probe
+	// Obs, when enabled, instruments the GVT rounds (per-round gauges,
+	// latency histogram, gvt_round spans) and federates the workers'
+	// shipped registry snapshots into this observer under a worker
+	// label — one /metrics scrape or Report covers the whole run.
+	Obs *obs.Observer
+	// PostMortemDir, when non-empty, receives a flight-recorder bundle
+	// (merged metrics, merged trace tail, probe states, GVT-round
+	// history) whenever the run aborts.
+	PostMortemDir string
 }
 
 // Coordinator drives a distributed Time Warp run: it assigns clusters to
@@ -46,6 +58,103 @@ type Coordinator struct {
 	cfg       CoordConfig
 	ln        net.Listener
 	placement []int32
+	fed       *coordFed
+}
+
+// coordFed is the coordinator-retained observability state: per-worker
+// clock offsets from the handshake, the most recent federated snapshot,
+// a bounded flight-recorder ring of each worker's recent trace events,
+// and the GVT-round history. It is what the post-mortem bundle and the
+// merged cluster trace are written from — everything is already here
+// when a worker dies, so an abort costs no extra collection.
+type coordFed struct {
+	mu        sync.Mutex
+	offsetsUS []int64 // per worker: worker-clock µs − coordinator-clock µs
+	hasSnap   []bool
+	snaps     []obs.Snapshot
+	events    [][]obs.Event // per worker, drop-oldest at maxFedEvents
+	dropped   []uint64      // ring-overwrite + transit losses per worker
+	rounds    []roundRecord // drop-oldest at maxRoundHistory
+}
+
+// maxFedEvents bounds the per-worker flight-recorder ring the
+// coordinator retains; older events are dropped (and counted) so a
+// chatty worker cannot grow coordinator memory without bound.
+const maxFedEvents = 1 << 14
+
+// maxRoundHistory bounds the retained GVT-round records.
+const maxRoundHistory = 512
+
+// roundRecord is one GVT round's outcome, retained for the post-mortem
+// bundle's rounds.json.
+type roundRecord struct {
+	Round       uint64 `json:"round"`
+	GVT         uint64 `json:"gvt"`
+	MinProgress uint64 `json:"min_progress"`
+	Frozen      bool   `json:"frozen"`
+	Drained     bool   `json:"drained"`
+	LatencyUS   int64  `json:"latency_us"`
+	UptimeUS    int64  `json:"uptime_us"` // coordinator observer clock; 0 when uninstrumented
+}
+
+func newCoordFed(workers int) *coordFed {
+	return &coordFed{
+		offsetsUS: make([]int64, workers),
+		hasSnap:   make([]bool, workers),
+		snaps:     make([]obs.Snapshot, workers),
+		events:    make([][]obs.Event, workers),
+		dropped:   make([]uint64, workers),
+	}
+}
+
+func (fd *coordFed) noteRound(rec roundRecord) {
+	fd.mu.Lock()
+	if len(fd.rounds) >= maxRoundHistory {
+		copy(fd.rounds, fd.rounds[1:])
+		fd.rounds = fd.rounds[:maxRoundHistory-1]
+	}
+	fd.rounds = append(fd.rounds, rec)
+	fd.mu.Unlock()
+}
+
+// absorbObs consumes a worker's federation frame: snapshots replace the
+// worker's retained state and are merged into the coordinator registry
+// under worker="<id>"; trace batches append to the worker's bounded
+// flight-recorder ring. Returns handled=false for every other frame
+// type; a malformed payload is a protocol violation like any other.
+func (co *Coordinator) absorbObs(f workerFrame) (handled bool, err error) {
+	switch f.typ {
+	case nettrans.FrameMetrics:
+		s, err := obs.DecodeSnapshot(f.payload)
+		if err != nil {
+			return true, fmt.Errorf("timewarp: worker %d metrics: %w", f.worker, err)
+		}
+		fd := co.fed
+		fd.mu.Lock()
+		fd.hasSnap[f.worker] = true
+		fd.snaps[f.worker] = s
+		fd.mu.Unlock()
+		co.cfg.Obs.Registry().SetExternal("worker", strconv.Itoa(f.worker), s)
+		return true, nil
+	case nettrans.FrameTrace:
+		events, dropped, err := obs.DecodeTraceEvents(f.payload)
+		if err != nil {
+			return true, fmt.Errorf("timewarp: worker %d trace: %w", f.worker, err)
+		}
+		fd := co.fed
+		fd.mu.Lock()
+		fd.dropped[f.worker] += dropped
+		ring := append(fd.events[f.worker], events...)
+		if over := len(ring) - maxFedEvents; over > 0 {
+			fd.dropped[f.worker] += uint64(over)
+			copy(ring, ring[over:])
+			ring = ring[:maxFedEvents]
+		}
+		fd.events[f.worker] = ring
+		fd.mu.Unlock()
+		return true, nil
+	}
+	return false, nil
 }
 
 // NewCoordinator validates the config and opens the control listener so
@@ -78,7 +187,7 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 	for c := range placement {
 		placement[c] = int32(c * cfg.Workers / cfg.Spec.K)
 	}
-	return &Coordinator{cfg: cfg, ln: ln, placement: placement}, nil
+	return &Coordinator{cfg: cfg, ln: ln, placement: placement, fed: newCoordFed(cfg.Workers)}, nil
 }
 
 // Addr is the control-plane address workers must dial.
@@ -132,6 +241,13 @@ func (co *Coordinator) Run() (*Result, error) {
 		}
 		conns[i] = conn
 		dataAddrs[i] = hello.DataAddr
+		// Clock-rebase rule: both sides stamped their observer start as a
+		// wall-clock instant, so the difference maps a worker trace
+		// timestamp (µs since its own start) onto the coordinator's trace
+		// clock. Either side uninstrumented → offset 0 (no rebase).
+		if hello.StartUnixNano != 0 && co.cfg.Obs.Enabled() {
+			co.fed.offsetsUS[i] = (hello.StartUnixNano - co.cfg.Obs.StartUnixNano()) / 1000
+		}
 	}
 
 	specBlob := AppendDistSpec(nil, cfg.Spec)
@@ -202,9 +318,19 @@ func (co *Coordinator) Run() (*Result, error) {
 	return res, nil
 }
 
-// fail records the abort on the probe and returns it.
+// fail records the abort on the probe, flushes the flight recorder into
+// a post-mortem bundle when one was requested, and returns the error.
+// Every abort path funnels through here, so the bundle always reflects
+// the last retained state before the run died.
 func (co *Coordinator) fail(err error) (*Result, error) {
 	co.cfg.Probe.finish(err)
+	if co.cfg.PostMortemDir != "" {
+		if werr := co.WritePostMortem(co.cfg.PostMortemDir, err); werr != nil {
+			// The bundle is diagnostics for an already-failed run; losing it
+			// must not mask the original error.
+			fmt.Printf("timewarp: post-mortem bundle: %v\n", werr)
+		}
+	}
 	return nil, err
 }
 
@@ -222,23 +348,35 @@ func (co *Coordinator) abortAll(conns []*nettrans.Conn, reason string) {
 }
 
 // nextFrame waits for one control frame, turning worker errors, worker
-// death and watchdog expiry into run aborts.
+// death and watchdog expiry into run aborts. Federation frames
+// (metrics/trace) are absorbed in place — they can arrive interleaved
+// with any solicited frame — so callers only ever see protocol frames.
 func (co *Coordinator) nextFrame(frames chan workerFrame, timeout time.Duration, conns []*nettrans.Conn) (workerFrame, error) {
-	select {
-	case f := <-frames:
-		if f.err != nil {
-			co.abortAll(conns, fmt.Sprintf("worker %d died: %v", f.worker, f.err))
-			return f, fmt.Errorf("timewarp: worker %d died: %w", f.worker, f.err)
+	deadline := time.After(timeout)
+	for {
+		select {
+		case f := <-frames:
+			if f.err != nil {
+				co.abortAll(conns, fmt.Sprintf("worker %d died: %v", f.worker, f.err))
+				return f, fmt.Errorf("timewarp: worker %d died: %w", f.worker, f.err)
+			}
+			if f.typ == nettrans.FrameError {
+				a, _ := decodeAbort(f.payload)
+				co.abortAll(conns, fmt.Sprintf("worker %d failed: %s", f.worker, a.Reason))
+				return f, fmt.Errorf("timewarp: worker %d failed: %s", f.worker, a.Reason)
+			}
+			if handled, err := co.absorbObs(f); handled {
+				if err != nil {
+					co.abortAll(conns, err.Error())
+					return f, err
+				}
+				continue
+			}
+			return f, nil
+		case <-deadline:
+			co.abortAll(conns, fmt.Sprintf("watchdog: no worker activity within %v", timeout))
+			return workerFrame{}, fmt.Errorf("timewarp: watchdog: no worker activity within %v", timeout)
 		}
-		if f.typ == nettrans.FrameError {
-			a, _ := decodeAbort(f.payload)
-			co.abortAll(conns, fmt.Sprintf("worker %d failed: %s", f.worker, a.Reason))
-			return f, fmt.Errorf("timewarp: worker %d failed: %s", f.worker, a.Reason)
-		}
-		return f, nil
-	case <-time.After(timeout):
-		co.abortAll(conns, fmt.Sprintf("watchdog: no worker activity within %v", timeout))
-		return workerFrame{}, fmt.Errorf("timewarp: watchdog: no worker activity within %v", timeout)
 	}
 }
 
@@ -258,6 +396,20 @@ func (co *Coordinator) rounds(conns []*nettrans.Conn, frames chan workerFrame) (
 	cfg := co.cfg
 	k := cfg.Spec.K
 
+	// Per-round instrumentation. Registration and the Set/Observe calls
+	// are nil-safe, so an uninstrumented coordinator pays only dead
+	// branches here.
+	reg := cfg.Obs.Registry()
+	var (
+		gRound    = reg.Gauge("dist_round", "GVT rounds opened by the coordinator")
+		gGvt      = reg.Gauge("dist_gvt", "established global virtual time (cycles)")
+		gMinProg  = reg.Gauge("dist_min_progress", "slowest cluster's reported cycle")
+		gInflight = reg.Gauge("dist_wire_inflight", "pre-cut wire frames sent but not yet reported received")
+		gFreeze   = reg.Gauge("dist_freeze_streak", "consecutive quiescent all-done rounds (two terminate the run)")
+		hRoundLat = reg.Histogram("dist_round_latency_us", "cut broadcast to last report (µs)",
+			[]float64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000})
+	)
+
 	var (
 		round        uint64
 		gvt          uint64
@@ -273,25 +425,40 @@ func (co *Coordinator) rounds(conns []*nettrans.Conn, frames chan workerFrame) (
 
 	for {
 		// Idle between rounds, but keep listening: a worker crash or a
-		// FrameError must cut the nap short.
-		select {
-		case f := <-frames:
-			if f.err != nil {
-				co.abortAll(conns, fmt.Sprintf("worker %d died: %v", f.worker, f.err))
-				return nil, fmt.Errorf("timewarp: worker %d died: %w", f.worker, f.err)
+		// FrameError must cut the nap short, and federation frames from a
+		// worker's throttled shipper are absorbed here.
+		idle := time.After(cfg.RoundEvery)
+	napping:
+		for {
+			select {
+			case f := <-frames:
+				if f.err != nil {
+					co.abortAll(conns, fmt.Sprintf("worker %d died: %v", f.worker, f.err))
+					return nil, fmt.Errorf("timewarp: worker %d died: %w", f.worker, f.err)
+				}
+				if f.typ == nettrans.FrameError {
+					a, _ := decodeAbort(f.payload)
+					co.abortAll(conns, fmt.Sprintf("worker %d failed: %s", f.worker, a.Reason))
+					return nil, fmt.Errorf("timewarp: worker %d failed: %s", f.worker, a.Reason)
+				}
+				if handled, err := co.absorbObs(f); handled {
+					if err != nil {
+						co.abortAll(conns, err.Error())
+						return nil, err
+					}
+					continue
+				}
+				co.abortAll(conns, fmt.Sprintf("worker %d sent unsolicited frame 0x%02x", f.worker, f.typ))
+				return nil, fmt.Errorf("timewarp: worker %d sent unsolicited frame 0x%02x", f.worker, f.typ)
+			case <-idle:
+				break napping
 			}
-			if f.typ == nettrans.FrameError {
-				a, _ := decodeAbort(f.payload)
-				co.abortAll(conns, fmt.Sprintf("worker %d failed: %s", f.worker, a.Reason))
-				return nil, fmt.Errorf("timewarp: worker %d failed: %s", f.worker, a.Reason)
-			}
-			co.abortAll(conns, fmt.Sprintf("worker %d sent unsolicited frame 0x%02x", f.worker, f.typ))
-			return nil, fmt.Errorf("timewarp: worker %d sent unsolicited frame 0x%02x", f.worker, f.typ)
-		case <-time.After(cfg.RoundEvery):
 		}
 
 		// Cut: flip every worker's send color to this round's number.
 		round++
+		gRound.Set(int64(round))
+		roundT0 := time.Now()
 		cutPayload := appendCut(nil, distCut{Round: round})
 		for i, conn := range conns {
 			if err := conn.Send(nettrans.FrameCut, cutPayload); err != nil {
@@ -324,6 +491,8 @@ func (co *Coordinator) rounds(conns []*nettrans.Conn, frames chan workerFrame) (
 			reports[f.worker] = &r
 			n++
 		}
+		roundLatUS := int64(time.Since(roundT0) / time.Microsecond)
+		hRoundLat.Observe(float64(roundLatUS))
 
 		// Fold this round into the freeze/drain state.
 		var sumSent, sumAbsorbed, maxStraggler uint64
@@ -417,6 +586,7 @@ func (co *Coordinator) rounds(conns []*nettrans.Conn, frames chan workerFrame) (
 		}
 		cfg.Probe.note(gvt, minProg, maxStraggler, active)
 
+		terminate := false
 		if frozen && drained {
 			// Two identical, fully-drained rounds: the progress minimum
 			// held at a provably quiescent instant. Same argument as the
@@ -436,14 +606,49 @@ func (co *Coordinator) rounds(conns []*nettrans.Conn, frames chan workerFrame) (
 			}
 			if allDone {
 				doneStreak++
-				if doneStreak >= 2 {
-					return co.finish(conns, frames, gvt, violations)
-				}
+				terminate = doneStreak >= 2
 			} else {
 				doneStreak = 0
 			}
 		} else {
 			doneStreak = 0
+		}
+
+		// Round instrumentation and flight-recorder history: the era
+		// in-flight delta (pre-cut frames sent but not yet reported
+		// received), freeze progress, and one gvt_round span per round —
+		// recorded after the GVT update so the terminal round is captured
+		// with its final values.
+		var inflight int64
+		for era := range cumWireSent {
+			if era < round {
+				inflight += int64(cumWireSent[era]) - int64(cumWireRecv[era])
+			}
+		}
+		for era, recv := range cumWireRecv {
+			if era < round && cumWireSent[era] == 0 {
+				inflight -= int64(recv)
+			}
+		}
+		gGvt.Set(int64(gvt))
+		gMinProg.Set(int64(minProg))
+		gInflight.Set(inflight)
+		gFreeze.Set(int64(doneStreak))
+		cfg.Obs.Span(obs.TrackKernel, "gvt_round", roundT0,
+			obs.Arg{Key: "round", Val: float64(round)},
+			obs.Arg{Key: "gvt", Val: float64(gvt)},
+			obs.Arg{Key: "min_progress", Val: float64(minProg)})
+		co.fed.noteRound(roundRecord{
+			Round:       round,
+			GVT:         gvt,
+			MinProgress: minProg,
+			Frozen:      frozen,
+			Drained:     drained,
+			LatencyUS:   roundLatUS,
+			UptimeUS:    int64(cfg.Obs.Uptime() / time.Microsecond),
+		})
+		if terminate {
+			return co.finish(conns, frames, gvt, violations, cumWireSent, cumWireRecv)
 		}
 
 		if cfg.StallTimeout > 0 && !(allDone && sumSent == sumAbsorbed) &&
@@ -465,8 +670,11 @@ func (co *Coordinator) rounds(conns []*nettrans.Conn, frames chan workerFrame) (
 }
 
 // finish tells every worker to wrap up, collects their results and
-// merges them into the kernel's Result shape.
-func (co *Coordinator) finish(conns []*nettrans.Conn, frames chan workerFrame, gvt uint64, violations []string) (*Result, error) {
+// merges them into the kernel's Result shape. Workers ship their final
+// observability state (snapshot + trace tail) just before the result,
+// so the federation is complete by the time the Result exists.
+func (co *Coordinator) finish(conns []*nettrans.Conn, frames chan workerFrame, gvt uint64, violations []string,
+	cumWireSent, cumWireRecv map[uint64]uint64) (*Result, error) {
 	cfg := co.cfg
 	for i, conn := range conns {
 		if err := conn.Send(nettrans.FrameFinish, nil); err != nil {
@@ -483,6 +691,15 @@ func (co *Coordinator) finish(conns []*nettrans.Conn, frames chan workerFrame, g
 			reason := fmt.Sprintf("watchdog: %d of %d results within %v", n, cfg.Workers, cfg.Watchdog)
 			co.abortAll(conns, reason)
 			return nil, fmt.Errorf("timewarp: %s", reason)
+		}
+		if f.err == nil {
+			if handled, err := co.absorbObs(f); handled {
+				if err != nil {
+					co.abortAll(conns, err.Error())
+					return nil, err
+				}
+				continue
+			}
 		}
 		if f.err != nil {
 			if results[f.worker] != nil {
@@ -523,6 +740,12 @@ func (co *Coordinator) finish(conns []*nettrans.Conn, frames chan workerFrame, g
 		PerCluster:          make([]Stats, cfg.Spec.K),
 		FinalGVT:            gvt,
 		InvariantViolations: violations,
+	}
+	for _, n := range cumWireSent {
+		res.WireFramesSent += n
+	}
+	for _, n := range cumWireRecv {
+		res.WireFramesRecv += n
 	}
 	var sumSent, sumAbsorbed uint64
 	var sumInFlight int64

@@ -1,0 +1,145 @@
+package timewarp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/obs"
+)
+
+// The coordinator's flight recorder: everything below renders from the
+// state coordFed already retains (per-worker snapshots, bounded trace
+// rings, clock offsets, GVT-round history), so a post-mortem bundle can
+// be written at the instant of an abort with no further collection —
+// the workers may already be dead.
+
+// traceSources assembles the merged-trace inputs: the coordinator's own
+// ring first, then one source per worker with its handshake-derived
+// clock offset.
+func (co *Coordinator) traceSources() []obs.TraceSource {
+	var sources []obs.TraceSource
+	events, dropped := co.cfg.Obs.Events()
+	sources = append(sources, obs.TraceSource{
+		Name:    "coordinator",
+		Events:  events,
+		Dropped: dropped,
+	})
+	fd := co.fed
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	for i := range fd.events {
+		sources = append(sources, obs.TraceSource{
+			Name:         fmt.Sprintf("worker %d", i),
+			OffsetMicros: fd.offsetsUS[i],
+			Events:       append([]obs.Event(nil), fd.events[i]...),
+			Dropped:      fd.dropped[i],
+		})
+	}
+	return sources
+}
+
+// WriteMergedTrace writes the merged cluster trace: one Chrome-trace
+// process per worker (timestamps rebased onto the coordinator's clock)
+// plus the coordinator's own GVT-round spans. Valid at any point of the
+// run; after a clean finish it holds every worker's shipped ring tail.
+func (co *Coordinator) WriteMergedTrace(w io.Writer) error {
+	return obs.WriteMergedChromeTrace(w, co.traceSources())
+}
+
+// postMortemProbe is the probes.json shape: the coordinator's liveness
+// view plus the per-worker federation state at the moment of death.
+type postMortemProbe struct {
+	Reason      string             `json:"reason"`
+	Coordinator ProbeState         `json:"coordinator"`
+	Workers     []postMortemWorker `json:"workers"`
+}
+
+type postMortemWorker struct {
+	Worker int `json:"worker"`
+	// HasSnapshot is false when the worker never shipped metrics (died
+	// before its first round, or ran uninstrumented).
+	HasSnapshot bool `json:"has_snapshot"`
+	// SnapshotAtUS is the worker's uptime (µs) when its last shipped
+	// snapshot was taken.
+	SnapshotAtUS int64 `json:"snapshot_at_us"`
+	// OffsetUS is the handshake-derived clock offset applied to this
+	// worker's trace timestamps.
+	OffsetUS int64 `json:"offset_us"`
+	// RetainedEvents and DroppedEvents describe the flight-recorder ring.
+	RetainedEvents int    `json:"retained_events"`
+	DroppedEvents  uint64 `json:"dropped_events"`
+}
+
+// WritePostMortem flushes the flight recorder into dir: the merged
+// metrics exposition (metrics.prom), the merged cluster trace
+// (trace.json, DecodeChromeTrace-clean), the probe and federation state
+// (probes.json), and the GVT-round history (rounds.json). The dir is
+// created if missing. reason records why the run died (nil for a
+// user-requested dump of a live run).
+func (co *Coordinator) WritePostMortem(dir string, reason error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("timewarp: post-mortem dir: %w", err)
+	}
+	write := func(name string, render func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("timewarp: post-mortem %s: %w", name, err)
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return fmt.Errorf("timewarp: post-mortem %s: %w", name, err)
+		}
+		return f.Close()
+	}
+
+	if err := write("metrics.prom", func(w io.Writer) error {
+		return co.cfg.Obs.WritePrometheus(w)
+	}); err != nil {
+		return err
+	}
+	if err := write("trace.json", co.WriteMergedTrace); err != nil {
+		return err
+	}
+
+	fd := co.fed
+	fd.mu.Lock()
+	probe := postMortemProbe{Coordinator: co.cfg.Probe.State()}
+	if reason != nil {
+		probe.Reason = reason.Error()
+	}
+	for i := range fd.events {
+		var atUS int64
+		if fd.hasSnap[i] {
+			atUS = fd.snaps[i].At.Microseconds()
+		}
+		probe.Workers = append(probe.Workers, postMortemWorker{
+			Worker:         i,
+			HasSnapshot:    fd.hasSnap[i],
+			SnapshotAtUS:   atUS,
+			OffsetUS:       fd.offsetsUS[i],
+			RetainedEvents: len(fd.events[i]),
+			DroppedEvents:  fd.dropped[i],
+		})
+	}
+	rounds := append([]roundRecord(nil), fd.rounds...)
+	fd.mu.Unlock()
+
+	if err := write("probes.json", func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(probe)
+	}); err != nil {
+		return err
+	}
+	return write("rounds.json", func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if rounds == nil {
+			rounds = []roundRecord{}
+		}
+		return enc.Encode(rounds)
+	})
+}

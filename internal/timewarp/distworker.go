@@ -21,8 +21,15 @@ type WorkerOptions struct {
 	// (default "127.0.0.1:0").
 	Bind string
 	// Obs, when enabled, publishes per-peer wire metrics (frames/bytes
-	// sent and received per link) on the net track.
+	// sent and received per link) on the net track, and turns on the
+	// observability federation: the worker ships registry snapshots and
+	// trace-ring batches to the coordinator piggybacked on every GVT
+	// round and on termination.
 	Obs *obs.Observer
+	// Probe receives the worker-local liveness view (driven by the
+	// coordinator's GVT broadcasts and local cluster progress) — the
+	// state behind vsimd's /healthz.
+	Probe *Probe
 	// DialTimeout bounds the coordinator and peer dials (default 5s).
 	DialTimeout time.Duration
 	// FailAfter, when positive, drops every connection abruptly after
@@ -63,7 +70,12 @@ func RunWorker(opts WorkerOptions) error {
 	defer coord.Close()
 
 	if err := coord.Send(nettrans.FrameHello,
-		nettrans.AppendHello(nil, nettrans.Hello{DataAddr: ln.Addr().String()})); err != nil {
+		nettrans.AppendHello(nil, nettrans.Hello{
+			DataAddr: ln.Addr().String(),
+			// The coordinator rebases this worker's trace timestamps onto
+			// its own clock from the start-instant difference.
+			StartUnixNano: opts.Obs.StartUnixNano(),
+		})); err != nil {
 		return fmt.Errorf("timewarp: send hello: %w", err)
 	}
 	typ, payload, err := coord.Recv()
@@ -128,6 +140,12 @@ type distWorker struct {
 
 	stopGossip chan struct{}
 	gossipWG   sync.WaitGroup
+
+	// Observability-federation state: the trace-ring streaming cursor and
+	// the last ship instant (snapshots are throttled so a fast GVT cadence
+	// does not turn into a metrics firehose).
+	traceCursor uint64
+	lastShip    time.Time
 }
 
 func (w *distWorker) noteClusterErr(err error) {
@@ -196,6 +214,14 @@ func (w *distWorker) run(peerAddrs []string) error {
 		w.clusters = append(w.clusters, cl)
 	}
 
+	// Same per-cluster instrumentation the in-process kernel hangs on its
+	// registry, so the snapshots this worker federates carry the full
+	// tw_* series for its share of the clusters.
+	instrumentClusters(w.opts.Obs, w.clusters, w.progress, &w.gvt)
+	if w.opts.Obs.Enabled() {
+		w.net.Instrument(w.opts.Obs.Registry())
+	}
+
 	// Peer readers deliver remote events and progress gossip from here on.
 	for p, conn := range w.peers {
 		if conn == nil {
@@ -230,6 +256,7 @@ func (w *distWorker) run(peerAddrs []string) error {
 	if typ != nettrans.FrameStart {
 		return fmt.Errorf("timewarp: expected start, got frame type 0x%02x", typ)
 	}
+	w.opts.Probe.attach(w.spec.Cycles)
 
 	for _, cl := range w.clusters {
 		cl := cl
@@ -263,8 +290,9 @@ func (w *distWorker) run(peerAddrs []string) error {
 	w.net.CloseTransport()
 
 	if cerr := w.firstClusterErr(); cerr != nil {
-		return cerr
+		err = cerr
 	}
+	w.opts.Probe.finish(err)
 	return err
 }
 
@@ -292,17 +320,25 @@ func (w *distWorker) controlLoop() error {
 				w.cancelled.Store(true)
 				return fmt.Errorf("timewarp: worker %d send report: %w", w.id, err)
 			}
+			// Piggyback the observability federation on the round cadence:
+			// a throttled registry snapshot plus the trace ring's new tail.
+			w.shipObs(false)
 		case nettrans.FrameGVT:
 			g, err := decodeGVT(payload)
 			if err != nil {
 				return err
 			}
 			w.gvt.Store(g.Value)
+			w.noteProbe(g.Value)
+			w.opts.Obs.Instant(obs.TrackKernel, "gvt_broadcast",
+				obs.Arg{Key: "gvt", Val: float64(g.Value)})
 		case nettrans.FrameFinish:
 			// Quiescent and done: wake the clusters, let them drain out,
-			// then ship the merged local result.
+			// then ship the final observability state and the merged local
+			// result.
 			w.closeEndpoints()
 			w.clusterWG.Wait()
+			w.shipObs(true)
 			if err := w.coord.Send(nettrans.FrameResult,
 				appendResult(nil, w.result())); err != nil {
 				return fmt.Errorf("timewarp: worker %d send result: %w", w.id, err)
@@ -319,6 +355,61 @@ func (w *distWorker) controlLoop() error {
 			return fmt.Errorf("timewarp: worker %d: unexpected control frame 0x%02x", w.id, typ)
 		}
 	}
+}
+
+// shipObsEvery throttles the piggybacked metrics/trace shipping: at the
+// default 500µs round cadence a snapshot per round would dominate the
+// control plane, so snapshots ride at most this often (the final ship at
+// finish is unconditional).
+const shipObsEvery = 10 * time.Millisecond
+
+// shipObs sends the worker's registry snapshot and the unshipped tail of
+// its trace ring to the coordinator. Best-effort: a send failure means
+// the coordinator is gone, which the next control Recv surfaces as the
+// real error. force skips the throttle (termination and abort paths).
+func (w *distWorker) shipObs(force bool) {
+	if !w.opts.Obs.Enabled() {
+		return
+	}
+	now := time.Now()
+	if !force && now.Sub(w.lastShip) < shipObsEvery {
+		return
+	}
+	w.lastShip = now
+	snap := w.opts.Obs.Registry().Snapshot()
+	snap.At = w.opts.Obs.Uptime()
+	if err := w.coord.Send(nettrans.FrameMetrics, obs.AppendSnapshot(nil, snap)); err != nil {
+		return
+	}
+	events, next, dropped := w.opts.Obs.EventsSince(w.traceCursor)
+	if len(events) == 0 && dropped == 0 && !force {
+		return
+	}
+	if err := w.coord.Send(nettrans.FrameTrace, obs.AppendTraceEvents(nil, events, dropped)); err != nil {
+		return
+	}
+	w.traceCursor = next
+}
+
+// noteProbe publishes the worker-local liveness view after a GVT
+// broadcast: the coordinator-established GVT plus the progress and
+// straggler depth of the clusters this worker owns.
+func (w *distWorker) noteProbe(gvt uint64) {
+	if w.opts.Probe == nil {
+		return
+	}
+	minProg := uint64(0)
+	var maxStrag uint64
+	for i, cl := range w.clusters {
+		p := w.progress[cl.id].Load()
+		if i == 0 || p < minProg {
+			minProg = p
+		}
+		if d := cl.stats.maxStragglerDepth.Load(); d > maxStrag {
+			maxStrag = d
+		}
+	}
+	w.opts.Probe.note(gvt, minProg, maxStrag, true)
 }
 
 // report snapshots the worker-local counters for one GVT round.

@@ -138,6 +138,12 @@ type Result struct {
 	// termination. Always empty for a healthy kernel; the fuzz harness
 	// fails a run whose list is non-empty.
 	InvariantViolations []string
+	// WireFramesSent and WireFramesRecv are the cross-process data-frame
+	// totals the coordinator's Mattern era tallies accumulated — zero for
+	// in-process runs, and the ground truth the workers' per-peer wire
+	// counters must tie out against.
+	WireFramesSent uint64
+	WireFramesRecv uint64
 }
 
 // Run executes the optimistic parallel simulation and returns the
@@ -191,55 +197,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	runT0 := cfg.Obs.Start()
+	instrumentClusters(cfg.Obs, clusters, progress, &gvt)
 	if cfg.Obs.Enabled() {
-		reg := cfg.Obs.Registry()
-		// One shared rollback-depth histogram; depth is a property of the
-		// run, the per-cluster split already lives in the sampled counters.
-		rbDepth := reg.Histogram("tw_rollback_depth", "rollback depth in cycles",
-			[]float64{1, 2, 4, 8, 16, 32, 64})
-		for c := 0; c < cfg.K; c++ {
-			cl := clusters[c]
-			cl.obs = cfg.Obs
-			cl.rollbackDepth = rbDepth
-			st := &cl.stats
-			lbl := obs.L("cluster", c)
-			// Sampled gauges close over the cluster's atomics: registering
-			// them costs the hot path nothing at all.
-			reg.SampleFunc("tw_events", "gate evaluations executed (incl. re-execution)",
-				func() float64 { return float64(st.events.Load()) }, lbl)
-			reg.SampleFunc("tw_messages", "positive inter-cluster events sent",
-				func() float64 { return float64(st.messages.Load()) }, lbl)
-			reg.SampleFunc("tw_anti_messages", "cancellations sent",
-				func() float64 { return float64(st.antiMessages.Load()) }, lbl)
-			reg.SampleFunc("tw_rollbacks", "rollback occurrences",
-				func() float64 { return float64(st.rollbacks.Load()) }, lbl)
-			reg.SampleFunc("tw_rolled_back_events", "evaluations undone by rollbacks",
-				func() float64 { return float64(st.rolledBackEvents.Load()) }, lbl)
-			reg.SampleFunc("tw_checkpoints", "state checkpoints taken",
-				func() float64 { return float64(st.checkpoints.Load()) }, lbl)
-			reg.SampleFunc("tw_max_straggler_depth", "deepest single rollback in cycles",
-				func() float64 { return float64(st.maxStragglerDepth.Load()) }, lbl)
-			reg.SampleFunc("tw_queue_len", "pending remote events in the cluster queue",
-				func() float64 { return float64(st.queueLen.Load()) }, lbl)
-			reg.SampleFunc("tw_batches", "inter-cluster comm messages sent (batches)",
-				func() float64 { return float64(st.batches.Load()) }, lbl)
-			reg.SampleFunc("tw_batch_events", "events carried inside sent batches",
-				func() float64 { return float64(st.batchedEvents.Load()) }, lbl)
-			reg.SampleFunc("tw_pool_hits", "checkpoint buffer free-list reuses",
-				func() float64 { return float64(st.poolHits.Load()) }, lbl)
-			reg.SampleFunc("tw_pool_misses", "checkpoint buffer fresh allocations",
-				func() float64 { return float64(st.poolMisses.Load()) }, lbl)
-			reg.SampleFunc("tw_checkpoint_bytes_saved", "mirror bytes avoided by delta checkpoints",
-				func() float64 { return float64(st.checkpointBytesSaved.Load()) }, lbl)
-			reg.SampleFunc("tw_checkpoint_interval", "live state-saving interval in cycles",
-				func() float64 { return float64(st.checkpointInterval.Load()) }, lbl)
-			ci := c
-			reg.SampleFunc("tw_gvt_lag", "cluster progress above GVT in cycles",
-				func() float64 { return float64(progress[ci].Load()) - float64(gvt.Load()) }, lbl)
-		}
-		reg.SampleFunc("tw_gvt", "quiescent global virtual time in cycles",
-			func() float64 { return float64(gvt.Load()) })
-		net.Instrument(reg)
+		net.Instrument(cfg.Obs.Registry())
 	}
 
 	// Watcher: termination when every cluster has published Cycles and
@@ -448,4 +408,63 @@ func Run(cfg Config) (*Result, error) {
 		obs.Arg{Key: "cycles", Val: float64(cfg.Cycles)},
 		obs.Arg{Key: "rollbacks", Val: float64(res.Stats.Rollbacks)})
 	return res, nil
+}
+
+// instrumentClusters registers the per-cluster kernel metrics on o and
+// hooks each cluster's trace emitter. Shared by the in-process kernel
+// and the distributed worker, so a federated worker registry carries
+// exactly the tw_* series a local run would — the property that lets
+// one coordinator scrape stand in for per-worker scrapes. clusters may
+// be a subset of the run's clusters (a worker's share); labels come
+// from each cluster's own id.
+func instrumentClusters(o *obs.Observer, clusters []*cluster, progress []atomic.Uint64, gvt *atomic.Uint64) {
+	if !o.Enabled() {
+		return
+	}
+	reg := o.Registry()
+	// One shared rollback-depth histogram; depth is a property of the
+	// run, the per-cluster split already lives in the sampled counters.
+	rbDepth := reg.Histogram("tw_rollback_depth", "rollback depth in cycles",
+		[]float64{1, 2, 4, 8, 16, 32, 64})
+	for _, cl := range clusters {
+		cl.obs = o
+		cl.rollbackDepth = rbDepth
+		st := &cl.stats
+		lbl := obs.L("cluster", int(cl.id))
+		// Sampled gauges close over the cluster's atomics: registering
+		// them costs the hot path nothing at all.
+		reg.SampleFunc("tw_events", "gate evaluations executed (incl. re-execution)",
+			func() float64 { return float64(st.events.Load()) }, lbl)
+		reg.SampleFunc("tw_messages", "positive inter-cluster events sent",
+			func() float64 { return float64(st.messages.Load()) }, lbl)
+		reg.SampleFunc("tw_anti_messages", "cancellations sent",
+			func() float64 { return float64(st.antiMessages.Load()) }, lbl)
+		reg.SampleFunc("tw_rollbacks", "rollback occurrences",
+			func() float64 { return float64(st.rollbacks.Load()) }, lbl)
+		reg.SampleFunc("tw_rolled_back_events", "evaluations undone by rollbacks",
+			func() float64 { return float64(st.rolledBackEvents.Load()) }, lbl)
+		reg.SampleFunc("tw_checkpoints", "state checkpoints taken",
+			func() float64 { return float64(st.checkpoints.Load()) }, lbl)
+		reg.SampleFunc("tw_max_straggler_depth", "deepest single rollback in cycles",
+			func() float64 { return float64(st.maxStragglerDepth.Load()) }, lbl)
+		reg.SampleFunc("tw_queue_len", "pending remote events in the cluster queue",
+			func() float64 { return float64(st.queueLen.Load()) }, lbl)
+		reg.SampleFunc("tw_batches", "inter-cluster comm messages sent (batches)",
+			func() float64 { return float64(st.batches.Load()) }, lbl)
+		reg.SampleFunc("tw_batch_events", "events carried inside sent batches",
+			func() float64 { return float64(st.batchedEvents.Load()) }, lbl)
+		reg.SampleFunc("tw_pool_hits", "checkpoint buffer free-list reuses",
+			func() float64 { return float64(st.poolHits.Load()) }, lbl)
+		reg.SampleFunc("tw_pool_misses", "checkpoint buffer fresh allocations",
+			func() float64 { return float64(st.poolMisses.Load()) }, lbl)
+		reg.SampleFunc("tw_checkpoint_bytes_saved", "mirror bytes avoided by delta checkpoints",
+			func() float64 { return float64(st.checkpointBytesSaved.Load()) }, lbl)
+		reg.SampleFunc("tw_checkpoint_interval", "live state-saving interval in cycles",
+			func() float64 { return float64(st.checkpointInterval.Load()) }, lbl)
+		ci := cl.id
+		reg.SampleFunc("tw_gvt_lag", "cluster progress above GVT in cycles",
+			func() float64 { return float64(progress[ci].Load()) - float64(gvt.Load()) }, lbl)
+	}
+	reg.SampleFunc("tw_gvt", "quiescent global virtual time in cycles",
+		func() float64 { return float64(gvt.Load()) })
 }
