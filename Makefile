@@ -21,7 +21,7 @@ BENCH_PATTERN ?= TimeWarp
 DIST_CYCLES ?= 200
 DIST_MONITOR_PORT ?= 8316
 
-.PHONY: check build test vet race bench bench-record bench-record-packed bench-record-dist perf-smoke fuzz trace-demo monitor-demo dist-smoke dist-postmortem
+.PHONY: check build test vet race bench bench-record bench-record-packed bench-record-dist bench-record-prof perf-smoke fuzz trace-demo monitor-demo dist-smoke dist-postmortem
 
 check: build test vet race
 
@@ -70,10 +70,11 @@ dist-smoke:
 	$(GO) build -o vsimd.dist ./cmd/vsimd
 	$(GO) build -o obscheck.dist ./cmd/obscheck
 	./vsim.dist -in soc.v -top soc -cycles $(DIST_CYCLES) -seed 7 > dist-seq.out; \
+	rm -rf dist-profile; \
 	./vsim.dist -in soc.v -top soc -cycles $(DIST_CYCLES) -seed 7 \
 		-mode dist -k 4 -workers 2 \
 		-serve 127.0.0.1:$(DIST_MONITOR_PORT) -serve-hold $(MONITOR_HOLD) \
-		-trace dist.trace.json -metrics dist.metrics.prom > dist-coord.out 2>&1 & \
+		-trace dist.trace.json -metrics dist.metrics.prom -profile-dir dist-profile > dist-coord.out 2>&1 & \
 	pid=$$!; \
 	addr=""; \
 	for i in $$(seq 1 100); do \
@@ -97,6 +98,10 @@ dist-smoke:
 	wait $$pid || { echo "coordinator failed:"; cat dist-coord.out; exit 1; }; \
 	./obscheck.dist -prom dist.metrics.prom -require 'worker="' -trace dist.trace.json \
 		|| { echo "observability artifacts invalid"; exit 1; }; \
+	./obscheck.dist -folded dist-profile/flame.folded \
+		|| { echo "merged phase flame invalid"; exit 1; }; \
+	grep -q 'worker 1;' dist-profile/flame.folded \
+		|| { echo "merged phase flame has no worker 1 stacks"; exit 1; }; \
 	cat dist-seq.out dist-coord.out; \
 	seq_digest=$$(grep '^waveforms ' dist-seq.out); \
 	dist_digest=$$(grep '^waveforms ' dist-coord.out); \
@@ -133,14 +138,21 @@ dist-postmortem:
 	kill -9 $$w1; \
 	if wait $$pid; then echo "coordinator survived a killed worker"; exit 1; fi; \
 	wait $$w0 2>/dev/null; true; \
-	for f in metrics.prom trace.json probes.json rounds.json; do \
+	for f in metrics.prom trace.json probes.json rounds.json goroutines.txt flame.folded; do \
 		if [ ! -s dist-postmortem.bundle/$$f ]; then \
 			echo "post-mortem bundle missing $$f"; ls -la dist-postmortem.bundle 2>/dev/null; exit 1; \
 		fi; \
 	done; \
+	for f in worker-0.flame.folded worker-1.flame.folded; do \
+		if [ ! -f dist-postmortem.bundle/$$f ]; then \
+			echo "post-mortem bundle missing $$f"; ls -la dist-postmortem.bundle 2>/dev/null; exit 1; \
+		fi; \
+	done; \
 	./obscheck.dist -prom dist-postmortem.bundle/metrics.prom -trace dist-postmortem.bundle/trace.json \
+		-folded dist-postmortem.bundle/flame.folded \
 		|| { echo "post-mortem artifacts invalid"; exit 1; }; \
 	grep -q '"reason"' dist-postmortem.bundle/probes.json || { echo "probes.json has no abort reason"; exit 1; }; \
+	grep -q 'goroutine' dist-postmortem.bundle/goroutines.txt || { echo "goroutines.txt has no goroutines"; exit 1; }; \
 	echo "dist-postmortem: bundle complete and valid after worker kill"
 
 build:
@@ -185,6 +197,16 @@ bench-record-dist:
 		| tee bench-record-dist.txt \
 		| $(GO) run ./cmd/benchrec -out BENCH_8.json
 
+# Re-record the profiling-plane pair (BENCH_9.json): the instrumented
+# soc@k4 kernel with and without the continuous-profiling layer (live
+# self-time collector + pprof labels + armed capturer). The Off/On delta
+# is the documented standing cost of the profiling plane (budget: ≤5%
+# wall); perf-smoke gates the pair's allocs/op like the kernel set.
+bench-record-prof:
+	$(GO) test -run '^$$' -bench 'TimeWarpProfOff|TimeWarpProfOn' -benchmem -count=$(BENCH_COUNT) . \
+		| tee bench-record-prof.txt \
+		| $(GO) run ./cmd/benchrec -out BENCH_9.json
+
 # The CI allocs/op gate: fresh benchmark runs compared against the
 # committed baseline. Fails on >10% allocs/op regression and on any
 # run/baseline benchmark-set mismatch (benchrec refuses to silently skip
@@ -204,3 +226,7 @@ perf-smoke:
 		-bench 'DistFederationObsOff|DistFederationObsOn' \
 		-benchmem -count=3 . \
 		| $(GO) run ./cmd/benchrec -check BENCH_8.json -max-allocs-regress 10
+	$(GO) test -run '^$$' \
+		-bench 'TimeWarpProfOff|TimeWarpProfOn' \
+		-benchmem -count=3 . \
+		| $(GO) run ./cmd/benchrec -check BENCH_9.json -max-allocs-regress 10

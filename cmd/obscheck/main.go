@@ -1,17 +1,21 @@
 // Command obscheck validates observability artifacts from the command
 // line — the CI half of the observability plane. It checks a Prometheus
-// text exposition with the same parser the obs test-suite uses, and
-// round-trips a Chrome trace through the package's own decoder, so a
-// scraped /metrics body or an exported (merged) trace file can be gated
-// in shell scripts without a Prometheus server or a browser.
+// text exposition with the same parser the obs test-suite uses,
+// round-trips a Chrome trace through the package's own decoder, and
+// parses a folded-stack flame profile with the strict profile-plane
+// parser, so a scraped /metrics body, an exported (merged) trace file
+// or a flame.folded artifact can be gated in shell scripts without a
+// Prometheus server, a browser or a flamegraph renderer.
 //
 // Examples:
 //
 //	curl -fsS http://127.0.0.1:8080/metrics | obscheck -prom -
 //	obscheck -prom metrics.prom -require 'worker="1"'
 //	obscheck -trace cluster.trace.json
+//	obscheck -folded dist-profile/flame.folded
 //
-// Exit status 0 when every requested check passes, 1 otherwise.
+// Exit status 0 when every requested check passes, 1 otherwise, 2 when
+// no check was requested.
 package main
 
 import (
@@ -22,64 +26,89 @@ import (
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/obs/profile"
 )
+
+// checks names the artifacts one obscheck invocation validates. Empty
+// strings skip; Require only applies to the Prom exposition.
+type checks struct {
+	Prom    string
+	Trace   string
+	Folded  string
+	Require string
+}
 
 func main() {
 	var (
 		prom    = flag.String("prom", "", "validate this Prometheus text exposition file (\"-\" = stdin)")
 		trace   = flag.String("trace", "", "decode this Chrome trace file (\"-\" = stdin) and report its contents")
+		folded  = flag.String("folded", "", "validate this folded-stack flame profile (\"-\" = stdin): every line must be \"frame;frame... value\"")
 		require = flag.String("require", "", "with -prom: additionally require this substring to appear in the exposition (e.g. a label like worker=\"1\")")
 	)
 	flag.Parse()
-	if *prom == "" && *trace == "" {
-		fmt.Fprintln(os.Stderr, "obscheck: nothing to do: pass -prom and/or -trace")
+	c := checks{Prom: *prom, Trace: *trace, Folded: *folded, Require: *require}
+	if c.Prom == "" && c.Trace == "" && c.Folded == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to do: pass -prom, -trace and/or -folded")
 		flag.Usage()
 		os.Exit(2)
 	}
+	os.Exit(run(c, os.Stdin, os.Stdout, os.Stderr))
+}
 
-	if *prom != "" {
-		data, err := readInput(*prom)
-		fatal(err)
+// run performs the requested checks and returns the process exit code —
+// the whole command minus flag parsing and os.Exit, so the test-suite
+// can drive every path in-process.
+func run(c checks, stdin io.Reader, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "obscheck:", err)
+		return 1
+	}
+
+	if c.Prom != "" {
+		data, err := readInput(c.Prom, stdin)
+		if err != nil {
+			return fail(err)
+		}
 		n, err := obs.ValidatePrometheusText(data)
 		if err != nil {
-			fatal(fmt.Errorf("prometheus exposition invalid: %w", err))
+			return fail(fmt.Errorf("prometheus exposition invalid: %w", err))
 		}
-		if *require != "" && !strings.Contains(string(data), *require) {
-			fatal(fmt.Errorf("exposition valid but does not contain %q", *require))
+		if c.Require != "" && !strings.Contains(string(data), c.Require) {
+			return fail(fmt.Errorf("exposition valid but does not contain %q", c.Require))
 		}
-		fmt.Printf("obscheck: prometheus ok: %d samples\n", n)
+		fmt.Fprintf(stdout, "obscheck: prometheus ok: %d samples\n", n)
 	}
 
-	if *trace != "" {
-		f, err := openInput(*trace)
-		fatal(err)
-		dec, err := obs.DecodeChromeTrace(f)
-		f.Close()
+	if c.Trace != "" {
+		data, err := readInput(c.Trace, stdin)
 		if err != nil {
-			fatal(fmt.Errorf("chrome trace invalid: %w", err))
+			return fail(err)
 		}
-		fmt.Printf("obscheck: trace ok: %d events, %d processes, %d named tracks, %d dropped\n",
+		dec, err := obs.DecodeChromeTrace(strings.NewReader(string(data)))
+		if err != nil {
+			return fail(fmt.Errorf("chrome trace invalid: %w", err))
+		}
+		fmt.Fprintf(stdout, "obscheck: trace ok: %d events, %d processes, %d named tracks, %d dropped\n",
 			len(dec.Events), len(dec.ProcessNames), len(dec.ThreadNames), dec.Dropped)
 	}
+
+	if c.Folded != "" {
+		data, err := readInput(c.Folded, stdin)
+		if err != nil {
+			return fail(err)
+		}
+		n, err := profile.ValidateFolded(data)
+		if err != nil {
+			return fail(fmt.Errorf("folded flame invalid: %w", err))
+		}
+		fmt.Fprintf(stdout, "obscheck: folded ok: %d stacks\n", n)
+	}
+	return 0
 }
 
-func readInput(path string) ([]byte, error) {
+func readInput(path string, stdin io.Reader) ([]byte, error) {
 	if path == "-" {
-		return io.ReadAll(os.Stdin)
+		return io.ReadAll(stdin)
 	}
 	return os.ReadFile(path)
-}
-
-func openInput(path string) (*os.File, error) {
-	if path == "-" {
-		return os.Stdin, nil
-	}
-	return os.Open(path)
-}
-
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "obscheck:", err)
-		os.Exit(1)
-	}
 }

@@ -32,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/clustersim"
@@ -40,6 +41,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/obs/causality"
+	"repro/internal/obs/profile"
 	"repro/internal/obs/serve"
 	"repro/internal/partition"
 	"repro/internal/sim"
@@ -67,6 +69,9 @@ func main() {
 		serveAddr = flag.String("serve", "", "serve live monitoring endpoints (/metrics /healthz /status /events /debug/pprof) on this host:port while the run executes (tw mode)")
 		serveHold = flag.Duration("serve-hold", 0, "keep the monitoring server up this long after the run finishes (with -serve; for scripted scrapes and demos)")
 		blame     = flag.Bool("blame", false, "record per-event causality and print the rollback-blame / critical-path report after the run (tw mode)")
+
+		profileDir  = flag.String("profile-dir", "", "write profiling artifacts into this directory after the run: the folded phase flame (flame.folded; flamegraph.pl/speedscope-compatible), and in dist mode the per-worker flames and shipped captures (tw/dist mode)")
+		captureRate = flag.Float64("capture-rollback-rate", 0, "trigger an automatic evidence capture (CPU profile, goroutine dump, phase flame) when the rollback rate exceeds this many rollbacks/s; 0 disables (tw mode)")
 
 		chkEvery = flag.Uint64("checkpoint-every", 1, "state-saving interval in cycles; sparse checkpointing trades rollback coast-forward cost for lower saving overhead (tw/dist mode)")
 		adaptive = flag.Bool("adaptive-checkpoint", false, "let each cluster tune its checkpoint interval from its observed rollback rate, starting at -checkpoint-every (tw/dist mode)")
@@ -144,7 +149,7 @@ func main() {
 		// server) was requested, so an uninstrumented run pays a single
 		// nil-check per site.
 		var o *obs.Observer
-		if *trace != "" || *metrics != "" || *report || *serveAddr != "" {
+		if *trace != "" || *metrics != "" || *report || *serveAddr != "" || *profileDir != "" {
 			o = obs.New(obs.Options{})
 		}
 		pr, err := partition.Multiway(ed, partition.Options{K: *k, B: *b, Obs: o})
@@ -156,6 +161,21 @@ func main() {
 				NL: nl, GateParts: pr.GateParts, K: *k, Vectors: vs, Cycles: *cycles,
 				CheckpointEvery: *chkEvery, AdaptiveCheckpoint: *adaptive,
 				Obs: o,
+			}
+			if o != nil {
+				// The phase collector turns completed spans into live
+				// tw_phase_* metrics; the capturer arms triggered capture
+				// (probe-health degradation and, with -capture-rollback-rate,
+				// rollback storms).
+				profile.NewCollector(o.Registry()).Attach(o)
+				cfg.Profile = &profile.Capturer{
+					Dir: *profileDir,
+					Source: func() []obs.Event {
+						evs, _ := o.Events()
+						return evs
+					},
+					RollbackRate: *captureRate,
+				}
 			}
 			if *chaos {
 				cfg.Transport = comm.Chaos(comm.ChaosConfig{Seed: *chaosSeed, StallEvery: 16, Obs: o})
@@ -191,6 +211,19 @@ func main() {
 				an := rec.Analyze()
 				fmt.Print(an.String())
 				o.AddReportSection("causality", an.String)
+			}
+			if o != nil {
+				o.AddReportSection("phase profile", func() string {
+					evs, _ := o.Events()
+					return profile.Build(evs).String()
+				})
+			}
+			if *profileDir != "" {
+				fatal(os.MkdirAll(*profileDir, 0o755))
+				evs, _ := o.Events()
+				flame := filepath.Join(*profileDir, profile.FlameFile)
+				fatal(profile.WriteFileAtomic(flame, profile.Build(evs).AppendFolded(nil, "")))
+				fmt.Printf("wrote %s\n", flame)
 			}
 			o.Snapshot()
 			fatal(o.Dump(*trace, *metrics))
@@ -228,8 +261,9 @@ func main() {
 		// dump or /metrics scrape covers the whole cluster. The flight
 		// recorder (-postmortem-dir) needs it too.
 		var o *obs.Observer
-		if *trace != "" || *metrics != "" || *report || *serveAddr != "" || *postmortem != "" {
+		if *trace != "" || *metrics != "" || *report || *serveAddr != "" || *postmortem != "" || *profileDir != "" {
 			o = obs.New(obs.Options{})
+			profile.NewCollector(o.Registry()).Attach(o)
 		}
 		pr, err := partition.Multiway(ed, partition.Options{K: *k, B: *b, Obs: o})
 		fatal(err)
@@ -264,6 +298,7 @@ func main() {
 			Probe:         probe,
 			Obs:           o,
 			PostMortemDir: *postmortem,
+			ProfileDir:    *profileDir,
 		})
 		fatal(err)
 		// The exact line scripts parse to learn the port (with -listen :0).
@@ -283,6 +318,11 @@ func main() {
 			fatal(fmt.Errorf("invariant violations: %v", res.InvariantViolations))
 		}
 		fmt.Println(waveDigest(nl.POs, res.Observed))
+		if *profileDir != "" {
+			// Run already rendered the merged worker-labeled flame plus the
+			// per-worker artifacts into the directory.
+			fmt.Printf("wrote %s\n", filepath.Join(*profileDir, profile.FlameFile))
+		}
 		// -trace writes the merged cluster trace (one Chrome-trace process
 		// per node, worker clocks rebased onto the coordinator's); the
 		// metrics dump and report render the federated registry.
@@ -377,7 +417,7 @@ func validateFlags(mode string, k int, b float64, cycles, chkEvery uint64, worke
 		// The chaos transport and the causality recorder live inside the
 		// in-process kernel; the distributed runtime has neither (its
 		// adversary is the real network).
-		for _, f := range []string{"chaos", "chaos-seed", "blame"} {
+		for _, f := range []string{"chaos", "chaos-seed", "blame", "capture-rollback-rate"} {
 			if set[f] {
 				return fmt.Errorf("-%s only applies to -mode tw (mode is %q)", f, mode)
 			}
@@ -387,7 +427,7 @@ func validateFlags(mode string, k int, b float64, cycles, chkEvery uint64, worke
 		// The observability exports work for both the in-process kernel
 		// and the distributed coordinator (where one scrape federates
 		// every worker's registry and the trace merges all clocks).
-		for _, f := range []string{"trace", "metrics", "report"} {
+		for _, f := range []string{"trace", "metrics", "report", "profile-dir"} {
 			if set[f] {
 				return fmt.Errorf("-%s only applies to -mode tw or dist (mode is %q)", f, mode)
 			}

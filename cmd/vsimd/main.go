@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/profile"
 	"repro/internal/obs/serve"
 	"repro/internal/timewarp"
 )
@@ -40,7 +41,9 @@ func main() {
 		metrics    = flag.String("metrics", "", "write a Prometheus-style dump of the worker's wire metrics to this file after the run (\"-\" = stdout)")
 		serveAddr  = flag.String("serve", "", "serve /metrics, /healthz, /status and pprof on this address while the worker runs (e.g. 127.0.0.1:9110)")
 		stallAfter = flag.Duration("stall-after", 0, "report unhealthy on /healthz after this long without progress (0 = 10s default)")
-		obsOn      = flag.Bool("obs", true, "instrument the worker and federate its metrics and trace ring to the coordinator; -obs=false runs bare (and disables -metrics/-serve content)")
+		obsOn      = flag.Bool("obs", true, "instrument the worker and federate its metrics, trace ring and profiling capture to the coordinator; -obs=false runs bare (and disables -metrics/-serve content and profiling)")
+		profileDir = flag.String("profile-dir", "", "also write this worker's triggered-capture artifacts (profile.pb.gz, goroutines.txt, flame.folded) locally into this directory; they federate to the coordinator regardless")
+		capRate    = flag.Float64("capture-rollback-rate", 0, "trigger an automatic evidence capture when the local rollback rate exceeds this many rollbacks/s; 0 disables")
 	)
 	flag.Parse()
 	if *connect == "" {
@@ -55,8 +58,22 @@ func main() {
 	// registry is what makes the coordinator's single /metrics scrape and
 	// post-mortem bundle worth anything — and -obs=false drops all three.
 	var o *obs.Observer
+	var capt *profile.Capturer
 	if *obsOn {
 		o = obs.New(obs.Options{})
+		// Phase collector: completed spans become live tw_phase_* metrics
+		// on /metrics and in the federated snapshots. The capturer arms
+		// triggered evidence capture; its last capture ships to the
+		// coordinator inside the worker's FrameProfile.
+		profile.NewCollector(o.Registry()).Attach(o)
+		capt = &profile.Capturer{
+			Dir: *profileDir,
+			Source: func() []obs.Event {
+				evs, _ := o.Events()
+				return evs
+			},
+			RollbackRate: *capRate,
+		}
 	}
 	probe := timewarp.NewProbe()
 
@@ -82,6 +99,7 @@ func main() {
 		DialTimeout: *dialTO,
 		Obs:         o,
 		Probe:       probe,
+		Profile:     capt,
 	})
 	if *metrics != "" {
 		o.Snapshot()

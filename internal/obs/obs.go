@@ -23,15 +23,24 @@ package obs
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// SpanSink receives every completed span as it is recorded: track, span
+// name, start timestamp and duration (both µs on the observer clock).
+// Sinks run inline on the instrumented goroutine and must be cheap and
+// race-safe — the profile collector's phase aggregation is the intended
+// consumer.
+type SpanSink func(track int32, name string, tsUS, durUS int64)
 
 // Observer is the per-run instrumentation hub: one registry, one tracer,
 // one clock. A nil Observer is valid and disables all instrumentation.
 type Observer struct {
-	start time.Time
-	reg   *Registry
-	tr    *Tracer
+	start    time.Time
+	reg      *Registry
+	tr       *Tracer
+	spanSink atomic.Pointer[SpanSink]
 
 	mu       sync.Mutex
 	series   []Snapshot // periodic registry snapshots, oldest first
@@ -101,14 +110,33 @@ func (o *Observer) Span(track int32, name string, t0 time.Time, args ...Arg) {
 	if o == nil || t0.IsZero() {
 		return
 	}
+	ts := o.since(t0)
+	dur := int64(time.Since(t0) / time.Microsecond)
 	o.tr.push(Event{
-		Ts:    o.since(t0),
-		Dur:   int64(time.Since(t0) / time.Microsecond),
+		Ts:    ts,
+		Dur:   dur,
 		Track: track,
 		Phase: PhaseSpan,
 		Name:  name,
 		Args:  packArgs(args),
 	})
+	if sink := o.spanSink.Load(); sink != nil {
+		(*sink)(track, name, ts, dur)
+	}
+}
+
+// SetSpanSink installs (or, with nil, removes) the live span sink. Safe
+// to call concurrently with recording, though the usual pattern installs
+// it once before the run starts.
+func (o *Observer) SetSpanSink(fn SpanSink) {
+	if o == nil {
+		return
+	}
+	if fn == nil {
+		o.spanSink.Store(nil)
+		return
+	}
+	o.spanSink.Store(&fn)
 }
 
 // Instant records a point-in-time event on track.

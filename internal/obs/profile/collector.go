@@ -1,0 +1,171 @@
+package profile
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Collector is the live leg of the phase profiler: installed as an
+// Observer span sink, it folds every completed span into per-(track,
+// phase) self-time counters as the run executes, and lazily registers
+// each key as a tw_phase_self_us sample on the registry — so the family
+// shows up on /metrics scrapes mid-run and federates to a distributed
+// coordinator exactly like the kernel's tw_* series.
+//
+// The self-time computation exploits the tracer's completion order:
+// spans arrive child-before-parent (a child span completes, and is
+// recorded, before the span that encloses it), so a per-track stack of
+// completed intervals suffices — a new span pops every retained interval
+// it encloses, sums their durations as child time, and charges itself
+// the remainder. O(1) amortized per span, one mutex around the
+// structural state.
+type Collector struct {
+	reg *obs.Registry // nil: counters only, no metric family
+
+	mu     sync.Mutex
+	tracks map[int32]*trackIntervals
+	keys   map[string]*phaseCounters
+}
+
+// trackIntervals is the per-track stack of completed child intervals
+// not yet claimed by an enclosing span.
+type trackIntervals struct {
+	stack []completedSpan
+}
+
+type completedSpan struct {
+	ts, dur int64
+}
+
+// phaseCounters is the live accumulation of one (track, phase) key,
+// read by the registered SampleFunc without locks.
+type phaseCounters struct {
+	selfUS  atomic.Int64
+	totalUS atomic.Int64
+	count   atomic.Int64
+}
+
+// NewCollector creates a collector publishing its tw_phase_self_us /
+// tw_phase_total_us / tw_phase_count families on reg (nil registry:
+// aggregation only). Attach it with Attach.
+func NewCollector(reg *obs.Registry) *Collector {
+	return &Collector{
+		reg:    reg,
+		tracks: make(map[int32]*trackIntervals),
+		keys:   make(map[string]*phaseCounters),
+	}
+}
+
+// Attach installs the collector as o's span sink. A nil observer is a
+// no-op.
+func (c *Collector) Attach(o *obs.Observer) {
+	if c == nil || o == nil {
+		return
+	}
+	o.SetSpanSink(c.NoteSpan)
+}
+
+// NoteSpan consumes one completed span — the obs.SpanSink contract.
+func (c *Collector) NoteSpan(track int32, name string, tsUS, durUS int64) {
+	if c == nil {
+		return
+	}
+	if durUS < 0 {
+		durUS = 0
+	}
+	end := tsUS + durUS
+	c.mu.Lock()
+	ti, ok := c.tracks[track]
+	if !ok {
+		ti = &trackIntervals{}
+		c.tracks[track] = ti
+	}
+	// Claim completed intervals this span encloses. Completion order
+	// guarantees anything on the stack ended at or before now; enclosure
+	// therefore reduces to "started at or after this span's start" (with
+	// an end check to survive overlapping concurrent emitters).
+	var childUS int64
+	for n := len(ti.stack); n > 0; n-- {
+		top := ti.stack[n-1]
+		if top.ts < tsUS || top.ts+top.dur > end {
+			break
+		}
+		childUS += top.dur
+		ti.stack = ti.stack[:n-1]
+	}
+	ti.stack = append(ti.stack, completedSpan{ts: tsUS, dur: durUS})
+	// Bound the retained structure: an emitter that never produces an
+	// enclosing span would otherwise grow the stack forever.
+	if len(ti.stack) > maxRetainedIntervals {
+		ti.stack = ti.stack[len(ti.stack)-maxRetainedIntervals:]
+	}
+	pc := c.countersLocked(track, name)
+	c.mu.Unlock()
+
+	self := durUS - childUS
+	if self < 0 {
+		self = 0
+	}
+	pc.selfUS.Add(self)
+	pc.totalUS.Add(durUS)
+	pc.count.Add(1)
+}
+
+// maxRetainedIntervals bounds each track's completed-interval stack.
+const maxRetainedIntervals = 1 << 12
+
+// countersLocked returns (registering on first sight) the counters of
+// one (track, phase) key. Caller holds c.mu.
+func (c *Collector) countersLocked(track int32, name string) *phaseCounters {
+	key := strconv.Itoa(int(track)) + "\x00" + name
+	pc, ok := c.keys[key]
+	if !ok {
+		pc = &phaseCounters{}
+		c.keys[key] = pc
+		if c.reg != nil {
+			lbls := []obs.Label{obs.L("cluster", TrackLabel(track)), obs.L("phase", name)}
+			c.reg.SampleFunc("tw_phase_self_us",
+				"self time attributed to this phase (µs, child spans excluded)",
+				func() float64 { return float64(pc.selfUS.Load()) }, lbls...)
+			c.reg.SampleFunc("tw_phase_total_us",
+				"wall time of this phase's spans (µs, children included)",
+				func() float64 { return float64(pc.totalUS.Load()) }, lbls...)
+			c.reg.SampleFunc("tw_phase_count",
+				"completed spans of this phase",
+				func() float64 { return float64(pc.count.Load()) }, lbls...)
+		}
+	}
+	return pc
+}
+
+// Self returns the live self-time (µs) of one (track, phase) key — the
+// test and report hook; 0 when the key was never seen.
+func (c *Collector) Self(track int32, name string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	pc, ok := c.keys[strconv.Itoa(int(track))+"\x00"+name]
+	c.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return pc.selfUS.Load()
+}
+
+// Do runs fn with pprof goroutine labels (mode, cluster, phase)
+// attached, so /debug/pprof/profile CPU samples taken while fn runs
+// attribute to the cluster and phase — per-cluster CPU attribution from
+// the stdlib profiler, no new dependency. The kernel wraps each cluster
+// goroutine and the watcher in it; the distributed worker and the
+// pre-simulation campaign pool do the same under their own modes.
+func Do(mode string, track int32, phase string, fn func()) {
+	pprof.Do(context.Background(),
+		pprof.Labels("mode", mode, "cluster", TrackLabel(track), "phase", phase),
+		func(context.Context) { fn() })
+}

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/obs/profile"
 )
 
 // BruteForce evaluates every (k, b) combination — the paper's Table 3 —
@@ -63,9 +64,11 @@ func BruteForce(cfg *Config) (points []*Point, best *Point, err error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for i := range idx {
-					results[i], errs[i] = cfg.eval(context.Background(), cells[i].k, cells[i].b)
-				}
+				profile.Do("presim", obs.TrackCampaign, "brute", func() {
+					for i := range idx {
+						results[i], errs[i] = cfg.eval(context.Background(), cells[i].k, cells[i].b)
+					}
+				})
 			}()
 		}
 		for i := range cells {
@@ -199,7 +202,9 @@ func (cfg *Config) runRow(k int, bs []float64) ([]*Point, error) {
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				slots[i].p, slots[i].err = cfg.eval(ctx, k, bs[i])
+				profile.Do("presim", obs.TrackCampaign, "heuristic", func() {
+					slots[i].p, slots[i].err = cfg.eval(ctx, k, bs[i])
+				})
 				close(done[i])
 			}(i)
 		}

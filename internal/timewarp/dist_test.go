@@ -15,6 +15,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/netlist"
 	"repro/internal/obs"
+	"repro/internal/obs/profile"
 	"repro/internal/partition"
 	"repro/internal/sim"
 )
@@ -141,7 +142,9 @@ type distObs struct {
 	coordProbe    *Probe
 	workers       []*obs.Observer
 	probes        []*Probe
+	workerProfs   []*profile.Capturer
 	postMortemDir string
+	profileDir    string
 	coordinator   **Coordinator // when non-nil, receives the coordinator handle
 }
 
@@ -171,6 +174,7 @@ func distRunObs(t *testing.T, spec *DistSpec, workers int, failAfter time.Durati
 		Probe:         probe,
 		Obs:           do.coord,
 		PostMortemDir: do.postMortemDir,
+		ProfileDir:    do.profileDir,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -188,6 +192,9 @@ func distRunObs(t *testing.T, spec *DistSpec, workers int, failAfter time.Durati
 		}
 		if w < len(do.probes) {
 			opts.Probe = do.probes[w]
+		}
+		if w < len(do.workerProfs) {
+			opts.Profile = do.workerProfs[w]
 		}
 		if w == workers-1 {
 			opts.FailAfter = failAfter
@@ -550,11 +557,13 @@ func TestDistributedPostMortem(t *testing.T) {
 		VecSeed:   29,
 	}
 	dir := t.TempDir()
+	var co *Coordinator
 	do := distObs{
 		coord:         obs.New(obs.Options{}),
 		workers:       []*obs.Observer{obs.New(obs.Options{}), obs.New(obs.Options{})},
 		probes:        []*Probe{NewProbe(), NewProbe()},
 		postMortemDir: dir,
+		coordinator:   &co,
 	}
 	_, runErr, _ := distRunObs(t, spec, 2, 100*time.Millisecond, do)
 	if runErr == nil {
@@ -614,7 +623,86 @@ func TestDistributedPostMortem(t *testing.T) {
 	if err := json.Unmarshal(rj, &rounds); err != nil {
 		t.Fatalf("rounds.json malformed: %v", err)
 	}
+
+	// goroutines.txt: the coordinator's own dump — a wedged distributed
+	// run usually wedges the coordinator's round loop too.
+	gd, err := os.ReadFile(filepath.Join(dir, "goroutines.txt"))
+	if err != nil {
+		t.Fatalf("post-mortem bundle missing goroutine dump: %v", err)
+	}
+	if !bytes.Contains(gd, []byte("goroutine")) {
+		t.Error("goroutines.txt does not look like a goroutine dump")
+	}
+
+	// flame.folded: the merged worker-labeled phase flame, strictly
+	// parseable. The killed worker never shipped a profile, so its stacks
+	// come from the coordinator's flight-recorder ring.
+	flame, err := os.ReadFile(filepath.Join(dir, "flame.folded"))
+	if err != nil {
+		t.Fatalf("post-mortem bundle missing flame: %v", err)
+	}
+	if _, err := profile.ValidateFolded(flame); err != nil {
+		t.Errorf("flame.folded invalid: %v\n%s", err, flame)
+	}
+	// Per-worker folded stacks exist for every worker — dead or alive.
+	for w := 0; w < 2; w++ {
+		name := filepath.Join(dir, "worker-"+strconv.Itoa(w)+".flame.folded")
+		if _, err := os.Stat(name); err != nil {
+			t.Errorf("post-mortem bundle missing %s: %v", name, err)
+		}
+	}
+
+	// Double abort: rewriting the bundle must neither duplicate nor
+	// truncate files — the deterministic artifacts come back identical,
+	// and no temp litter survives.
+	before := bundleSnapshot(t, dir)
+	if err := co.WritePostMortem(dir, runErr); err != nil {
+		t.Fatalf("second WritePostMortem: %v", err)
+	}
+	after := bundleSnapshot(t, dir)
+	if len(after) != len(before) {
+		t.Errorf("double abort changed the bundle file set: %d -> %d files", len(before), len(after))
+	}
+	for name, content := range before {
+		if name == "goroutines.txt" {
+			// The dump reflects live goroutine state; only require it stays
+			// present and well-formed.
+			if !bytes.Contains(after[name], []byte("goroutine")) {
+				t.Errorf("goroutines.txt truncated on rewrite")
+			}
+			continue
+		}
+		if !bytes.Equal(after[name], content) {
+			t.Errorf("double abort changed %s (%d -> %d bytes)", name, len(content), len(after[name]))
+		}
+	}
+
 	t.Logf("post-mortem: reason=%q rounds=%d trace_events=%d", probes.Reason, len(rounds), len(dec.Events))
+}
+
+// bundleSnapshot reads every file of a post-mortem bundle into memory,
+// failing on subdirectories or temp litter.
+func bundleSnapshot(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			t.Fatalf("unexpected directory %s in bundle", e.Name())
+		}
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp litter %s in bundle", e.Name())
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = data
+	}
+	return out
 }
 
 func TestDistSpecRoundTrip(t *testing.T) {
@@ -674,6 +762,12 @@ func FuzzDistProtoDecode(f *testing.F) {
 		Samples:  []obs.Sample{{Name: "m", Value: 1}},
 	}))
 	f.Add(obs.AppendTraceEvents(nil, []obs.Event{{Name: "e", Phase: obs.PhaseInstant}}, 0))
+	f.Add(appendProfile(nil, distProfile{
+		Reason:     "finish",
+		Stacks:     []profile.StackStat{{Stack: "cluster 0;sim", Count: 2, SelfUS: 120}},
+		CPU:        []byte{0x1f, 0x8b},
+		Goroutines: []byte("goroutine 1 [running]\n"),
+	}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _ = DecodeDistSpec(data)
 		_, _ = decodeReport(data, 8)
@@ -681,6 +775,7 @@ func FuzzDistProtoDecode(f *testing.F) {
 		_, _ = decodeCut(data)
 		_, _ = decodeGVT(data)
 		_, _ = decodeAbort(data)
+		_, _ = decodeProfile(data)
 		// The federation payloads ride the same control plane: their
 		// decoders face the same hostile bytes.
 		_, _ = obs.DecodeSnapshot(data)

@@ -45,8 +45,13 @@ type CoordConfig struct {
 	Obs *obs.Observer
 	// PostMortemDir, when non-empty, receives a flight-recorder bundle
 	// (merged metrics, merged trace tail, probe states, GVT-round
-	// history) whenever the run aborts.
+	// history, goroutine dump, per-worker and merged phase flames)
+	// whenever the run aborts.
 	PostMortemDir string
+	// ProfileDir, when non-empty, receives the run's profiling
+	// artifacts (merged and per-worker folded stacks, shipped worker
+	// captures) after a clean finish and on abort.
+	ProfileDir string
 }
 
 // Coordinator drives a distributed Time Warp run: it assigns clusters to
@@ -59,6 +64,10 @@ type Coordinator struct {
 	ln        net.Listener
 	placement []int32
 	fed       *coordFed
+	// pmOnce guards the abort-time artifact writes: repeated abort
+	// signals (a dying worker racing the watchdog, a double fail) write
+	// the post-mortem bundle and profile artifacts exactly once.
+	pmOnce sync.Once
 }
 
 // coordFed is the coordinator-retained observability state: per-worker
@@ -72,9 +81,10 @@ type coordFed struct {
 	offsetsUS []int64 // per worker: worker-clock µs − coordinator-clock µs
 	hasSnap   []bool
 	snaps     []obs.Snapshot
-	events    [][]obs.Event // per worker, drop-oldest at maxFedEvents
-	dropped   []uint64      // ring-overwrite + transit losses per worker
-	rounds    []roundRecord // drop-oldest at maxRoundHistory
+	events    [][]obs.Event  // per worker, drop-oldest at maxFedEvents
+	dropped   []uint64       // ring-overwrite + transit losses per worker
+	rounds    []roundRecord  // drop-oldest at maxRoundHistory
+	profiles  []*distProfile // latest shipped profile capture per worker
 }
 
 // maxFedEvents bounds the per-worker flight-recorder ring the
@@ -104,6 +114,7 @@ func newCoordFed(workers int) *coordFed {
 		snaps:     make([]obs.Snapshot, workers),
 		events:    make([][]obs.Event, workers),
 		dropped:   make([]uint64, workers),
+		profiles:  make([]*distProfile, workers),
 	}
 }
 
@@ -151,6 +162,16 @@ func (co *Coordinator) absorbObs(f workerFrame) (handled bool, err error) {
 			ring = ring[:maxFedEvents]
 		}
 		fd.events[f.worker] = ring
+		fd.mu.Unlock()
+		return true, nil
+	case nettrans.FrameProfile:
+		p, err := decodeProfile(f.payload)
+		if err != nil {
+			return true, fmt.Errorf("timewarp: worker %d profile: %w", f.worker, err)
+		}
+		fd := co.fed
+		fd.mu.Lock()
+		fd.profiles[f.worker] = &p
 		fd.mu.Unlock()
 		return true, nil
 	}
@@ -315,22 +336,37 @@ func (co *Coordinator) Run() (*Result, error) {
 		return co.fail(err)
 	}
 	cfg.Probe.finish(nil)
+	if cfg.ProfileDir != "" {
+		// Clean finish: every worker shipped its final profile just before
+		// its result, so the merged flame covers the whole run.
+		if werr := co.WriteProfiles(cfg.ProfileDir); werr != nil {
+			return nil, werr
+		}
+	}
 	return res, nil
 }
 
 // fail records the abort on the probe, flushes the flight recorder into
 // a post-mortem bundle when one was requested, and returns the error.
-// Every abort path funnels through here, so the bundle always reflects
-// the last retained state before the run died.
+// Every abort path funnels through here; the artifact writes are
+// once-guarded and individually atomic, so repeated abort signals write
+// the bundle exactly once and never truncate it.
 func (co *Coordinator) fail(err error) (*Result, error) {
 	co.cfg.Probe.finish(err)
-	if co.cfg.PostMortemDir != "" {
-		if werr := co.WritePostMortem(co.cfg.PostMortemDir, err); werr != nil {
-			// The bundle is diagnostics for an already-failed run; losing it
-			// must not mask the original error.
-			fmt.Printf("timewarp: post-mortem bundle: %v\n", werr)
+	co.pmOnce.Do(func() {
+		if co.cfg.PostMortemDir != "" {
+			if werr := co.WritePostMortem(co.cfg.PostMortemDir, err); werr != nil {
+				// The bundle is diagnostics for an already-failed run; losing it
+				// must not mask the original error.
+				fmt.Printf("timewarp: post-mortem bundle: %v\n", werr)
+			}
 		}
-	}
+		if co.cfg.ProfileDir != "" && co.cfg.ProfileDir != co.cfg.PostMortemDir {
+			if werr := co.WriteProfiles(co.cfg.ProfileDir); werr != nil {
+				fmt.Printf("timewarp: profile artifacts: %v\n", werr)
+			}
+		}
+	})
 	return nil, err
 }
 

@@ -1,6 +1,7 @@
 package timewarp
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -8,6 +9,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/obs"
+	"repro/internal/obs/profile"
 )
 
 // The coordinator's flight recorder: everything below renders from the
@@ -76,23 +78,28 @@ type postMortemWorker struct {
 // WritePostMortem flushes the flight recorder into dir: the merged
 // metrics exposition (metrics.prom), the merged cluster trace
 // (trace.json, DecodeChromeTrace-clean), the probe and federation state
-// (probes.json), and the GVT-round history (rounds.json). The dir is
-// created if missing. reason records why the run died (nil for a
-// user-requested dump of a live run).
+// (probes.json), the GVT-round history (rounds.json), the coordinator's
+// goroutine dump (goroutines.txt), and the profiling artifacts — the
+// merged worker-labeled flame (flame.folded) plus per-worker folded
+// stacks and shipped captures (worker-N.*). The dir is created if
+// missing. reason records why the run died (nil for a user-requested
+// dump of a live run). Every file is written atomically (temp + rename)
+// and the content renders from retained state, so calling this twice —
+// a double abort — rewrites identical artifacts instead of duplicating
+// or truncating them.
 func (co *Coordinator) WritePostMortem(dir string, reason error) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("timewarp: post-mortem dir: %w", err)
 	}
 	write := func(name string, render func(io.Writer) error) error {
-		f, err := os.Create(filepath.Join(dir, name))
-		if err != nil {
+		var buf bytes.Buffer
+		if err := render(&buf); err != nil {
 			return fmt.Errorf("timewarp: post-mortem %s: %w", name, err)
 		}
-		if err := render(f); err != nil {
-			f.Close()
+		if err := profile.WriteFileAtomic(filepath.Join(dir, name), buf.Bytes()); err != nil {
 			return fmt.Errorf("timewarp: post-mortem %s: %w", name, err)
 		}
-		return f.Close()
+		return nil
 	}
 
 	if err := write("metrics.prom", func(w io.Writer) error {
@@ -134,12 +141,21 @@ func (co *Coordinator) WritePostMortem(dir string, reason error) error {
 	}); err != nil {
 		return err
 	}
-	return write("rounds.json", func(w io.Writer) error {
+	if err := write("rounds.json", func(w io.Writer) error {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if rounds == nil {
 			rounds = []roundRecord{}
 		}
 		return enc.Encode(rounds)
-	})
+	}); err != nil {
+		return err
+	}
+	if err := write(profile.GoroutinesFile, func(w io.Writer) error {
+		_, err := w.Write(coordGoroutineDump())
+		return err
+	}); err != nil {
+		return err
+	}
+	return co.WriteProfiles(dir)
 }

@@ -1,0 +1,182 @@
+package timewarp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/obs/profile"
+	"repro/internal/partition"
+)
+
+func TestProfileCodecRoundTrip(t *testing.T) {
+	p := distProfile{
+		Reason: "rollback storm: 9000 rollbacks/s",
+		Stacks: []profile.StackStat{
+			{Stack: "cluster 0;sim", Count: 3, SelfUS: 120},
+			{Stack: "cluster 0;sim;rollback", Count: 2, SelfUS: 45},
+			{Stack: "kernel;watcher", Count: 1, SelfUS: 7},
+		},
+		CPU:        []byte{0x1f, 0x8b, 0x08, 0x00},
+		Goroutines: []byte("goroutine 1 [running]:\nmain.main()\n"),
+	}
+	enc := appendProfile(nil, p)
+	got, err := decodeProfile(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Reason != p.Reason {
+		t.Errorf("reason = %q, want %q", got.Reason, p.Reason)
+	}
+	if len(got.Stacks) != len(p.Stacks) {
+		t.Fatalf("stacks = %d, want %d", len(got.Stacks), len(p.Stacks))
+	}
+	for i := range p.Stacks {
+		if got.Stacks[i] != p.Stacks[i] {
+			t.Errorf("stack %d = %+v, want %+v", i, got.Stacks[i], p.Stacks[i])
+		}
+	}
+	if !bytes.Equal(got.CPU, p.CPU) || !bytes.Equal(got.Goroutines, p.Goroutines) {
+		t.Error("blobs did not round-trip")
+	}
+
+	// An empty profile (no capture fired, empty ring) round-trips too.
+	empty, err := decodeProfile(appendProfile(nil, distProfile{Reason: "finish"}))
+	if err != nil {
+		t.Fatalf("decode empty: %v", err)
+	}
+	if empty.Reason != "finish" || len(empty.Stacks) != 0 {
+		t.Fatalf("empty profile = %+v", empty)
+	}
+
+	// Every truncation prefix must fail cleanly, never panic or succeed.
+	for n := 0; n < len(enc); n++ {
+		if _, err := decodeProfile(enc[:n]); err == nil {
+			t.Fatalf("decode accepted %d-byte truncation of %d-byte frame", n, len(enc))
+		}
+	}
+}
+
+func TestProfileCodecRejectsHostile(t *testing.T) {
+	// Wrong version byte.
+	enc := appendProfile(nil, distProfile{Reason: "x"})
+	bad := append([]byte(nil), enc...)
+	bad[0] = 2
+	if _, err := decodeProfile(bad); err == nil {
+		t.Error("decode accepted unknown version")
+	}
+
+	// A stack count far larger than the payload could hold: the size
+	// check must reject it before allocating.
+	hostile := []byte{1}                              // version
+	hostile = append(hostile, 0, 0, 0, 0)             // empty reason
+	hostile = append(hostile, 0xff, 0xff, 0xff, 0x7f) // absurd count
+	if _, err := decodeProfile(hostile); err == nil {
+		t.Error("decode accepted oversized stack count")
+	}
+
+	// Negative counters (top bit set in the u64) are invalid.
+	neg := appendProfile(nil, distProfile{
+		Stacks: []profile.StackStat{{Stack: "cluster 0;sim", Count: -1, SelfUS: 5}},
+	})
+	if _, err := decodeProfile(neg); err == nil {
+		t.Error("decode accepted negative stack counter")
+	}
+
+	// An empty stack path is invalid.
+	emptyStack := appendProfile(nil, distProfile{
+		Stacks: []profile.StackStat{{Stack: "", Count: 1, SelfUS: 5}},
+	})
+	if _, err := decodeProfile(emptyStack); err == nil {
+		t.Error("decode accepted empty stack path")
+	}
+
+	// Blobs over the cap are rejected after decode, before retention.
+	bigBlob := appendProfile(nil, distProfile{CPU: make([]byte, maxProfileBlob+1)})
+	if _, err := decodeProfile(bigBlob); err == nil {
+		t.Error("decode accepted oversized CPU blob")
+	}
+}
+
+// TestDistributedProfileFederation runs a clean two-worker distributed
+// simulation with observers and capturers attached and a profile dir
+// set, then checks the coordinator rendered the merged worker-labeled
+// flame plus per-worker folded stacks — the -profile-dir contract of
+// vsim -mode dist.
+func TestDistributedProfileFederation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed runs are socket-heavy; skipped in -short")
+	}
+	c := gen.Viterbi(gen.ViterbiConfig{K: 4, W: 4, TB: 8})
+	ed, err := c.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := partition.Multiway(ed, partition.Options{K: 4, B: 10, Seed: 17, Restarts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cycles = 2000
+	spec := &DistSpec{
+		Source:    c.Source,
+		Top:       c.Top,
+		GateParts: pr.GateParts,
+		K:         4,
+		Cycles:    cycles,
+		VecSeed:   29,
+	}
+	dir := t.TempDir()
+	wobs := []*obs.Observer{obs.New(obs.Options{}), obs.New(obs.Options{})}
+	do := distObs{
+		coord:   obs.New(obs.Options{}),
+		workers: wobs,
+		probes:  []*Probe{NewProbe(), NewProbe()},
+		workerProfs: []*profile.Capturer{
+			{Source: func() []obs.Event { evs, _ := wobs[0].Events(); return evs }},
+			{Source: func() []obs.Event { evs, _ := wobs[1].Events(); return evs }},
+		},
+		profileDir: dir,
+	}
+	res, runErr, workerErrs := distRunObs(t, spec, 2, 0, do)
+	if runErr != nil {
+		t.Fatalf("coordinator: %v (workers: %v)", runErr, workerErrs)
+	}
+	for w, werr := range workerErrs {
+		if werr != nil {
+			t.Fatalf("worker %d: %v", w, werr)
+		}
+	}
+	if res.FinalGVT != cycles {
+		t.Errorf("final GVT %d, want %d", res.FinalGVT, cycles)
+	}
+
+	// The merged flame validates and is labeled by source: coordinator
+	// rounds plus both workers' cluster stacks.
+	merged, err := os.ReadFile(filepath.Join(dir, profile.FlameFile))
+	if err != nil {
+		t.Fatalf("merged flame: %v", err)
+	}
+	if _, err := profile.ValidateFolded(merged); err != nil {
+		t.Fatalf("merged flame invalid: %v\n%s", err, merged)
+	}
+	for _, prefix := range []string{"coordinator;", "worker 0;", "worker 1;"} {
+		if !bytes.Contains(merged, []byte(prefix)) {
+			t.Errorf("merged flame missing %q stacks:\n%s", prefix, merged)
+		}
+	}
+
+	// Per-worker folded stacks exist and validate on their own.
+	for w := 0; w < 2; w++ {
+		name := filepath.Join(dir, "worker-"+string(rune('0'+w))+"."+profile.FlameFile)
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("worker flame: %v", err)
+		}
+		if _, err := profile.ValidateFolded(data); err != nil {
+			t.Errorf("worker %d flame invalid: %v", w, err)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/comm/nettrans"
 	"repro/internal/obs"
+	"repro/internal/obs/profile"
 	"repro/internal/sim"
 )
 
@@ -30,6 +31,11 @@ type WorkerOptions struct {
 	// coordinator's GVT broadcasts and local cluster progress) — the
 	// state behind vsimd's /healthz.
 	Probe *Probe
+	// Profile, when non-nil, receives degradation triggers (local cluster
+	// failure, rollback storms) exactly like the in-process kernel's
+	// Config.Profile; its last capture ships to the coordinator inside
+	// the worker's FrameProfile at finish and on local failure.
+	Profile *profile.Capturer
 	// DialTimeout bounds the coordinator and peer dials (default 5s).
 	DialTimeout time.Duration
 	// FailAfter, when positive, drops every connection abruptly after
@@ -263,12 +269,19 @@ func (w *distWorker) run(peerAddrs []string) error {
 		w.clusterWG.Add(1)
 		go func() {
 			defer w.clusterWG.Done()
-			if err := cl.run(); err != nil {
+			var err error
+			profile.Do("dist", cl.id, "sim", func() {
+				err = cl.run()
+			})
+			if err != nil {
 				w.noteClusterErr(err)
 				w.cancelled.Store(true)
 				w.closeEndpoints()
-				// Best effort: tell the coordinator why; it aborts the
-				// whole run and relays the reason to every other worker.
+				// Best effort: capture and ship the evidence, then tell the
+				// coordinator why; it aborts the whole run and relays the
+				// reason to every other worker.
+				w.opts.Profile.Trigger("cluster failure: " + err.Error())
+				w.shipProfile("cluster failure: " + err.Error())
 				w.coord.Send(nettrans.FrameError,
 					appendAbort(nil, distAbort{Reason: err.Error()}))
 			}
@@ -339,6 +352,7 @@ func (w *distWorker) controlLoop() error {
 			w.closeEndpoints()
 			w.clusterWG.Wait()
 			w.shipObs(true)
+			w.shipProfile("finish")
 			if err := w.coord.Send(nettrans.FrameResult,
 				appendResult(nil, w.result())); err != nil {
 				return fmt.Errorf("timewarp: worker %d send result: %w", w.id, err)
@@ -391,10 +405,44 @@ func (w *distWorker) shipObs(force bool) {
 	w.traceCursor = next
 }
 
+// shipProfile sends the worker's profiling capture to the coordinator
+// inside a FrameProfile: the folded phase stacks of the full local trace
+// ring (the coordinator's flight-recorder ring is bounded, this is not)
+// plus the CPU profile and goroutine dump of the last triggered capture
+// when one fired. Best-effort, same contract as shipObs. Must run before
+// the frame that ends the run (FrameResult / FrameError) so the
+// coordinator absorbs it while still draining this worker's stream.
+func (w *distWorker) shipProfile(reason string) {
+	if !w.opts.Obs.Enabled() {
+		return
+	}
+	w.opts.Profile.Wait() // let an in-flight triggered capture finish
+	events, _ := w.opts.Obs.Events()
+	p := distProfile{
+		Reason: reason,
+		Stacks: profile.Build(events).Stacks,
+	}
+	if arts, ok := w.opts.Profile.Last(); ok {
+		p.CPU = arts.CPU
+		p.Goroutines = arts.Goroutines
+	}
+	if len(p.Stacks) == 0 && len(p.CPU) == 0 && len(p.Goroutines) == 0 {
+		return
+	}
+	w.coord.Send(nettrans.FrameProfile, appendProfile(nil, p))
+}
+
 // noteProbe publishes the worker-local liveness view after a GVT
 // broadcast: the coordinator-established GVT plus the progress and
 // straggler depth of the clusters this worker owns.
 func (w *distWorker) noteProbe(gvt uint64) {
+	if w.opts.Profile != nil {
+		var rb uint64
+		for _, cl := range w.clusters {
+			rb += cl.stats.rollbacks.Load()
+		}
+		w.opts.Profile.NoteRollbacks(rb)
+	}
 	if w.opts.Probe == nil {
 		return
 	}

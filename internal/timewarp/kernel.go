@@ -11,6 +11,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/obs/causality"
+	"repro/internal/obs/profile"
 	"repro/internal/sim"
 )
 
@@ -94,6 +95,13 @@ type Config struct {
 	// (GVT, minimum progress, straggler depth, last-activity time) — the
 	// read-only feed behind the monitoring server's /healthz.
 	Probe *Probe
+	// Profile, when non-nil, receives degradation triggers from the
+	// watcher: probe-health transitions (stalled, livelocked, failed) and
+	// the per-window rollback rate. The capturer decides — under its own
+	// rate limits — whether to take a CPU profile, goroutine dump, and
+	// phase flame. Nil disables triggered capture; pprof goroutine labels
+	// are applied regardless (they are free without an active profile).
+	Profile *profile.Capturer
 }
 
 // Stats aggregates kernel activity over a run.
@@ -214,120 +222,131 @@ func Run(cfg Config) (*Result, error) {
 	watcher.Add(1)
 	go func() {
 		defer watcher.Done()
-		// Quiescent-GVT detection: if across two polls (a) no message was
-		// sent, (b) every sent message was absorbed, and (c) no cluster's
-		// published cycle changed, then no absorption (hence no rollback)
-		// occurred in the window either — absorbed is capped by sent and
-		// already equal to it. The progress minimum therefore held at a
-		// provably quiescent instant, and since any future rollback chain
-		// starts from a message sent at or above its sender's LVT, no
-		// rollback can ever target a cycle below that minimum: it is a
-		// safe fossil-collection line, and "all finished + quiescent" is
-		// safe termination.
-		prevSent := uint64(0)
-		prevAbsorbed := uint64(0)
-		prevProg := make([]uint64, cfg.K)
-		curProg := make([]uint64, cfg.K)
-		prevValid := false
-		doneStreak := 0
-		started := time.Now()
-		lastActivity := started
-		for {
-			select {
-			case <-stop:
-				return
-			case <-time.After(cfg.WatcherInterval):
-			}
-			sent := net.TotalSent()
-			nowAbsorbed := absorbed.Load()
-			allAbsorbed := nowAbsorbed == sent
-			allDone := true
-			minProg := uint64(math.MaxUint64)
-			for c := range progress {
-				curProg[c] = progress[c].Load()
-				if curProg[c] < minProg {
-					minProg = curProg[c]
+		profile.Do("tw", obs.TrackKernel, "watcher", func() {
+			// Quiescent-GVT detection: if across two polls (a) no message was
+			// sent, (b) every sent message was absorbed, and (c) no cluster's
+			// published cycle changed, then no absorption (hence no rollback)
+			// occurred in the window either — absorbed is capped by sent and
+			// already equal to it. The progress minimum therefore held at a
+			// provably quiescent instant, and since any future rollback chain
+			// starts from a message sent at or above its sender's LVT, no
+			// rollback can ever target a cycle below that minimum: it is a
+			// safe fossil-collection line, and "all finished + quiescent" is
+			// safe termination.
+			prevSent := uint64(0)
+			prevAbsorbed := uint64(0)
+			prevProg := make([]uint64, cfg.K)
+			curProg := make([]uint64, cfg.K)
+			prevValid := false
+			doneStreak := 0
+			started := time.Now()
+			lastActivity := started
+			for {
+				select {
+				case <-stop:
+					return
+				case <-time.After(cfg.WatcherInterval):
 				}
-				if curProg[c] < cfg.Cycles {
-					allDone = false
-				}
-			}
-			progMoved := false
-			for c := range curProg {
-				if curProg[c] != prevProg[c] {
-					progMoved = true
-					break
-				}
-			}
-			active := sent != prevSent || nowAbsorbed != prevAbsorbed || progMoved
-			if active {
-				lastActivity = time.Now()
-			}
-			if cfg.Probe != nil {
-				maxDepth := uint64(0)
-				for _, cl := range clusters {
-					if d := cl.stats.maxStragglerDepth.Load(); d > maxDepth {
-						maxDepth = d
+				sent := net.TotalSent()
+				nowAbsorbed := absorbed.Load()
+				allAbsorbed := nowAbsorbed == sent
+				allDone := true
+				minProg := uint64(math.MaxUint64)
+				for c := range progress {
+					curProg[c] = progress[c].Load()
+					if curProg[c] < minProg {
+						minProg = curProg[c]
+					}
+					if curProg[c] < cfg.Cycles {
+						allDone = false
 					}
 				}
-				cfg.Probe.note(gvt.Load(), minProg, maxDepth, active)
-			}
-			stable := prevValid && sent == prevSent && allAbsorbed && !progMoved
-			if stable {
-				// GVT advances only at quiescent instants and must never
-				// regress — the invariant fossil collection stands on.
-				if old := gvt.Load(); minProg > old {
-					gvt.Store(minProg)
-					cfg.Obs.Count(obs.TrackKernel, "gvt", float64(minProg))
-					cfg.Obs.Instant(obs.TrackKernel, "gvt_advance",
-						obs.Arg{Key: "gvt", Val: float64(minProg)})
-				} else if minProg < old {
-					watcherViolations = append(watcherViolations, fmt.Sprintf(
-						"GVT regression: quiescent minimum %d below established GVT %d", minProg, old))
+				progMoved := false
+				for c := range curProg {
+					if curProg[c] != prevProg[c] {
+						progMoved = true
+						break
+					}
 				}
-			}
-			if stable && allDone {
-				doneStreak++
-				if doneStreak >= 2 {
+				active := sent != prevSent || nowAbsorbed != prevAbsorbed || progMoved
+				if active {
+					lastActivity = time.Now()
+				}
+				if cfg.Probe != nil {
+					maxDepth := uint64(0)
+					for _, cl := range clusters {
+						if d := cl.stats.maxStragglerDepth.Load(); d > maxDepth {
+							maxDepth = d
+						}
+					}
+					cfg.Probe.note(gvt.Load(), minProg, maxDepth, active)
+				}
+				if cfg.Profile != nil {
+					var rb uint64
+					for _, cl := range clusters {
+						rb += cl.stats.rollbacks.Load()
+					}
+					cfg.Profile.NoteRollbacks(rb)
+				}
+				stable := prevValid && sent == prevSent && allAbsorbed && !progMoved
+				if stable {
+					// GVT advances only at quiescent instants and must never
+					// regress — the invariant fossil collection stands on.
+					if old := gvt.Load(); minProg > old {
+						gvt.Store(minProg)
+						cfg.Obs.Count(obs.TrackKernel, "gvt", float64(minProg))
+						cfg.Obs.Instant(obs.TrackKernel, "gvt_advance",
+							obs.Arg{Key: "gvt", Val: float64(minProg)})
+					} else if minProg < old {
+						watcherViolations = append(watcherViolations, fmt.Sprintf(
+							"GVT regression: quiescent minimum %d below established GVT %d", minProg, old))
+					}
+				}
+				if stable && allDone {
+					doneStreak++
+					if doneStreak >= 2 {
+						for c := 0; c < cfg.K; c++ {
+							net.Endpoint(c).Close()
+						}
+						return
+					}
+				} else {
+					doneStreak = 0
+				}
+				// Deadlock watcher: everything is quiet yet the run has not
+				// terminated — a wedged cluster or a lost message. Abort so
+				// tests fail with a diagnosis instead of hanging.
+				if cfg.StallTimeout > 0 && !(allDone && allAbsorbed) &&
+					time.Since(lastActivity) > cfg.StallTimeout {
+					watcherErr = fmt.Errorf(
+						"timewarp: run stalled for %v (progress min %d of %d cycles, %d of %d messages absorbed): wedged cluster or lost message",
+						cfg.StallTimeout, minProg, cfg.Cycles, nowAbsorbed, sent)
+					cfg.Profile.Trigger(watcherErr.Error())
+					cancelled.Store(true)
 					for c := 0; c < cfg.K; c++ {
 						net.Endpoint(c).Close()
 					}
 					return
 				}
-			} else {
-				doneStreak = 0
-			}
-			// Deadlock watcher: everything is quiet yet the run has not
-			// terminated — a wedged cluster or a lost message. Abort so
-			// tests fail with a diagnosis instead of hanging.
-			if cfg.StallTimeout > 0 && !(allDone && allAbsorbed) &&
-				time.Since(lastActivity) > cfg.StallTimeout {
-				watcherErr = fmt.Errorf(
-					"timewarp: run stalled for %v (progress min %d of %d cycles, %d of %d messages absorbed): wedged cluster or lost message",
-					cfg.StallTimeout, minProg, cfg.Cycles, nowAbsorbed, sent)
-				cancelled.Store(true)
-				for c := 0; c < cfg.K; c++ {
-					net.Endpoint(c).Close()
+				// Hard cap: activity without termination forever is livelock
+				// (e.g. rollback churn with broken cancellation).
+				if cfg.RunTimeout > 0 && time.Since(started) > cfg.RunTimeout {
+					watcherErr = fmt.Errorf(
+						"timewarp: run exceeded hard cap %v while still active (progress min %d of %d cycles, %d of %d messages absorbed): livelocked kernel",
+						cfg.RunTimeout, minProg, cfg.Cycles, nowAbsorbed, sent)
+					cfg.Profile.Trigger(watcherErr.Error())
+					cancelled.Store(true)
+					for c := 0; c < cfg.K; c++ {
+						net.Endpoint(c).Close()
+					}
+					return
 				}
-				return
+				prevSent = sent
+				prevAbsorbed = nowAbsorbed
+				copy(prevProg, curProg)
+				prevValid = allAbsorbed
 			}
-			// Hard cap: activity without termination forever is livelock
-			// (e.g. rollback churn with broken cancellation).
-			if cfg.RunTimeout > 0 && time.Since(started) > cfg.RunTimeout {
-				watcherErr = fmt.Errorf(
-					"timewarp: run exceeded hard cap %v while still active (progress min %d of %d cycles, %d of %d messages absorbed): livelocked kernel",
-					cfg.RunTimeout, minProg, cfg.Cycles, nowAbsorbed, sent)
-				cancelled.Store(true)
-				for c := 0; c < cfg.K; c++ {
-					net.Endpoint(c).Close()
-				}
-				return
-			}
-			prevSent = sent
-			prevAbsorbed = nowAbsorbed
-			copy(prevProg, curProg)
-			prevValid = allAbsorbed
-		}
+		})
 	}()
 
 	var wg sync.WaitGroup
@@ -336,7 +355,9 @@ func Run(cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			errs[c] = clusters[c].run()
+			profile.Do("tw", int32(c), "sim", func() {
+				errs[c] = clusters[c].run()
+			})
 			if errs[c] != nil {
 				// Abort the whole run: wake and stop every peer.
 				cancelled.Store(true)
@@ -356,11 +377,14 @@ func Run(cfg Config) (*Result, error) {
 
 	for c := 0; c < cfg.K; c++ {
 		if errs[c] != nil {
+			cfg.Profile.Trigger("cluster failure: " + errs[c].Error())
+			cfg.Profile.Wait()
 			cfg.Probe.finish(errs[c])
 			return nil, errs[c]
 		}
 	}
 	if watcherErr != nil {
+		cfg.Profile.Wait()
 		cfg.Probe.finish(watcherErr)
 		return nil, watcherErr
 	}
