@@ -21,7 +21,7 @@ BENCH_PATTERN ?= TimeWarp
 DIST_CYCLES ?= 200
 DIST_MONITOR_PORT ?= 8316
 
-.PHONY: check build test vet race bench bench-record bench-record-packed bench-record-dist bench-record-prof perf-smoke fuzz trace-demo monitor-demo dist-smoke dist-postmortem
+.PHONY: check build test vet race bench bench-record bench-record-packed bench-record-dist bench-record-prof bench-record-part perf-smoke partition-quality fuzz trace-demo monitor-demo dist-smoke dist-postmortem
 
 check: build test vet race
 
@@ -207,6 +207,15 @@ bench-record-prof:
 		| tee bench-record-prof.txt \
 		| $(GO) run ./cmd/benchrec -out BENCH_9.json
 
+# Re-record the partitioner set (BENCH_10.json): the flat multilevel
+# engine vs the n-level engine (single-worker and 4-worker) on soc@k=8.
+# The recorded cut metric is the documented flat-vs-n-level comparison;
+# perf-smoke gates the set's allocs/op like the kernel set.
+bench-record-part:
+	$(GO) test -run '^$$' -bench 'PartitionFlatSoc|PartitionNLevelSoc' -benchmem -count=$(BENCH_COUNT) . \
+		| tee bench-record-part.txt \
+		| $(GO) run ./cmd/benchrec -out BENCH_10.json
+
 # The CI allocs/op gate: fresh benchmark runs compared against the
 # committed baseline. Fails on >10% allocs/op regression and on any
 # run/baseline benchmark-set mismatch (benchrec refuses to silently skip
@@ -230,3 +239,15 @@ perf-smoke:
 		-bench 'TimeWarpProfOff|TimeWarpProfOn' \
 		-benchmem -count=3 . \
 		| $(GO) run ./cmd/benchrec -check BENCH_9.json -max-allocs-regress 10
+	$(GO) test -run '^$$' \
+		-bench 'PartitionFlatSoc|PartitionNLevelSoc' \
+		-benchmem -count=3 . \
+		| $(GO) run ./cmd/benchrec -check BENCH_10.json -max-allocs-regress 10
+
+# The CI partition-quality gate: the n-level engine's cut must match or
+# beat the flat multilevel cut on all four canonical workloads at
+# k ∈ {2,4,8} with a fixed seed, and the same seed must yield the
+# identical assignment at any worker count.
+partition-quality:
+	$(GO) test ./internal/multilevel/ \
+		-run 'TestPartitionNQualityVsFlat|TestPartitionNDeterministicAcrossWorkers' -v

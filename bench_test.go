@@ -735,3 +735,66 @@ func benchDistFederation(b *testing.B, instrumented bool) {
 
 func BenchmarkDistFederationObsOff(b *testing.B) { benchDistFederation(b, false) }
 func BenchmarkDistFederationObsOn(b *testing.B)  { benchDistFederation(b, true) }
+
+// ---- partitioner: flat multilevel vs n-level on the SoC --------------------
+
+var (
+	socHOnce sync.Once
+	socH     *hypergraph.H
+)
+
+// socFlatH is the partitioner benchmark workload: the 2-channel SoC
+// flattened into a gate-level hypergraph (same fixture the quality and
+// determinism gates use).
+func socFlatH(b *testing.B) *hypergraph.H {
+	b.Helper()
+	ed, _ := socK4(b)
+	socHOnce.Do(func() {
+		h, err := hypergraph.BuildFlat(ed)
+		if err != nil {
+			panic(err)
+		}
+		socH = h
+	})
+	return socH
+}
+
+// BenchmarkPartitionFlatSoc / BenchmarkPartitionNLevelSoc record the
+// documented flat-vs-n-level comparison on soc@k=8: the n-level engine
+// must match or beat the flat cut (gated by TestPartitionNQualityVsFlat
+// and the partition-quality CI job) while its allocs/op are gated by
+// perf-smoke against BENCH_10.json. The Workers4 variant exists to keep
+// the parallel path's allocation behavior visible; its assignment is
+// bit-identical to the single-worker run.
+func BenchmarkPartitionFlatSoc(b *testing.B) {
+	h := socFlatH(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cut int
+	for i := 0; i < b.N; i++ {
+		res, err := multilevel.Partition(h, multilevel.Options{K: 8, B: 10, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cut = res.Cut
+	}
+	b.ReportMetric(float64(cut), "cut")
+}
+
+func benchPartitionNLevelSoc(b *testing.B, workers int) {
+	h := socFlatH(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cut int
+	for i := 0; i < b.N; i++ {
+		res, err := multilevel.PartitionN(h, multilevel.Options{K: 8, B: 10, Seed: 1, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cut = res.Cut
+	}
+	b.ReportMetric(float64(cut), "cut")
+}
+
+func BenchmarkPartitionNLevelSoc(b *testing.B)         { benchPartitionNLevelSoc(b, 1) }
+func BenchmarkPartitionNLevelSocWorkers4(b *testing.B) { benchPartitionNLevelSoc(b, 4) }

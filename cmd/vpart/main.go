@@ -3,19 +3,27 @@
 //
 // Usage:
 //
-//	vpart -in design.v -top mychip -k 4 -b 10               # design-driven
-//	vpart -in design.v -top mychip -k 4 -b 10 -algo ml      # multilevel (flat)
-//	vpart -in design.v -top mychip -k 2 -b 10 -strategy cut # pairing choice
+//	vpart -in design.v -top mychip -k 4 -b 10                 # design-driven
+//	vpart -in design.v -top mychip -k 4 -b 10 -algo ml        # multilevel (flat)
+//	vpart -in design.v -top mychip -k 4 -b 10 -algo nlevel    # n-level (flat)
+//	vpart -in design.v -top mychip -k 2 -b 10 -strategy cut   # pairing choice
+//	vpart -in design.v -top mychip -k 4 -b 10 -json           # scriptable report
 //	vpart -in design.v -top mychip -k 4 -b 10 -out parts.txt
 //
 // The optional output file lists one "gatePath partition" pair per line.
+// With -json, a machine-readable cut-quality report (cut size, per-block
+// loads, imbalance ratio, levels, winning restart, wall time) is written
+// to stdout so flat-vs-n-level comparisons are scriptable; the human
+// summary moves to stderr.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/elab"
 	"repro/internal/multilevel"
@@ -25,15 +33,52 @@ import (
 	"repro/internal/verilog"
 )
 
+// report is the -json cut-quality document.
+type report struct {
+	Algo      string  `json:"algo"`
+	K         int     `json:"k"`
+	B         float64 `json:"b"`
+	Seed      int64   `json:"seed"`
+	Cut       int     `json:"cut"`
+	Loads     []int   `json:"loads"`
+	Balanced  bool    `json:"balanced"`
+	Imbalance float64 `json:"imbalance"` // max load / ideal load
+	WindowLo  int     `json:"window_lo"`
+	WindowHi  int     `json:"window_hi"`
+	Levels    int     `json:"levels,omitempty"`    // coarsening levels / rounds
+	Restart   int     `json:"restart"`             // winning restart index
+	Flattened int     `json:"flattened,omitempty"` // dd only
+	WallMS    float64 `json:"wall_ms"`
+	Gates     int     `json:"gates"`
+	Nets      int     `json:"nets"`
+}
+
+func (r *report) fill(total int) {
+	ideal := float64(total) / float64(r.K)
+	maxLoad := 0
+	for _, l := range r.Loads {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	if ideal > 0 {
+		r.Imbalance = float64(maxLoad) / ideal
+	}
+	c := partition.Constraint{K: r.K, B: r.B, Total: total}
+	r.WindowLo, r.WindowHi = c.Bounds()
+}
+
 func main() {
 	var (
 		in        = flag.String("in", "", "input Verilog file (required)")
 		top       = flag.String("top", "", "top module name (required)")
 		k         = flag.Int("k", 2, "number of partitions")
 		b         = flag.Float64("b", 10, "load balance factor in percent")
-		algo      = flag.String("algo", "dd", "partitioner: dd (design-driven) | ml (multilevel, flattened)")
+		algo      = flag.String("algo", "dd", "partitioner: dd (design-driven) | ml (flat multilevel) | nlevel (flat n-level)")
 		strategy  = flag.String("strategy", "gain", "dd pairing strategy: random | exhaustive | cut | gain")
 		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "parallelism for dd restarts and nlevel coarsening/refinement (0 = all cores; the result is identical at any value)")
+		jsonOut   = flag.Bool("json", false, "write a machine-readable cut-quality report to stdout (human summary goes to stderr)")
 		out       = flag.String("out", "", "write gate→partition mapping to this file")
 		opt       = flag.Bool("opt", false, "run constant propagation + dead-gate sweep first")
 		serveAddr = flag.String("serve", "", "serve live monitoring endpoints (/metrics /healthz /status /events /debug/pprof) on this host:port while partitioning")
@@ -42,6 +87,12 @@ func main() {
 	if *in == "" || *top == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// With -json, stdout carries only the report.
+	human := os.Stdout
+	if *jsonOut {
+		human = os.Stderr
 	}
 
 	var o *obs.Observer
@@ -60,22 +111,24 @@ func main() {
 	ed, err := elab.Elaborate(d, *top)
 	fatal(err)
 	st := ed.Netlist.Stats()
-	fmt.Printf("design: %d gates, %d nets, %d module instances\n",
+	fmt.Fprintf(human, "design: %d gates, %d nets, %d module instances\n",
 		st.Gates, st.Nets, len(ed.Instances)-1)
 	if *opt {
 		// Optimization rewrites the flat netlist; the hierarchy-aware
 		// design-driven algorithm needs the original instance tree, so
-		// -opt applies to the multilevel path only.
-		if *algo != "ml" {
-			fatal(fmt.Errorf("-opt is only supported with -algo ml (optimization discards hierarchy)"))
+		// -opt applies to the flattened paths only.
+		if *algo == "dd" {
+			fatal(fmt.Errorf("-opt is only supported with -algo ml or nlevel (optimization discards hierarchy)"))
 		}
 		optNL, _, res, err := ed.Netlist.Optimize()
 		fatal(err)
-		fmt.Printf("optimized: %s\n", res)
+		fmt.Fprintf(human, "optimized: %s\n", res)
 		ed.Netlist = optNL
 	}
 
+	rep := report{Algo: *algo, K: *k, B: *b, Seed: *seed, Gates: st.Gates, Nets: st.Nets}
 	var gateParts []int32
+	t0 := time.Now()
 	switch *algo {
 	case "dd":
 		ps, ok := partition.ParsePairingStrategy(*strategy)
@@ -83,20 +136,43 @@ func main() {
 			fatal(fmt.Errorf("unknown strategy %q", *strategy))
 		}
 		res, err := partition.Multiway(ed, partition.Options{
-			K: *k, B: *b, Strategy: ps, Seed: *seed, Obs: o,
+			K: *k, B: *b, Strategy: ps, Seed: *seed, Workers: *workers, Obs: o,
 		})
 		fatal(err)
-		fmt.Printf("design-driven: cut=%d balanced=%v loads=%v flattened=%d (%s)\n",
+		fmt.Fprintf(human, "design-driven: cut=%d balanced=%v loads=%v flattened=%d (%s)\n",
 			res.Cut, res.Balanced, res.Loads, res.Flattened, res.Constraint)
 		gateParts = res.GateParts
+		rep.Cut, rep.Loads, rep.Balanced, rep.Flattened = res.Cut, res.Loads, res.Balanced, res.Flattened
 	case "ml":
 		_, res, err := multilevel.PartitionFlat(ed, multilevel.Options{K: *k, B: *b, Seed: *seed})
 		fatal(err)
-		fmt.Printf("multilevel(flat): cut=%d balanced=%v loads=%v levels=%d\n",
+		fmt.Fprintf(human, "multilevel(flat): cut=%d balanced=%v loads=%v levels=%d\n",
 			res.Cut, res.Balanced, res.Loads, res.Levels)
 		gateParts = res.GateParts
+		rep.Cut, rep.Loads, rep.Balanced, rep.Levels = res.Cut, res.Loads, res.Balanced, res.Levels
+	case "nlevel":
+		_, res, err := multilevel.PartitionNFlat(ed, multilevel.Options{
+			K: *k, B: *b, Seed: *seed, Workers: *workers, Obs: o,
+		})
+		fatal(err)
+		fmt.Fprintf(human, "nlevel(flat): cut=%d balanced=%v loads=%v rounds=%d restart=%d\n",
+			res.Cut, res.Balanced, res.Loads, res.Levels, res.Restart)
+		gateParts = res.GateParts
+		rep.Cut, rep.Loads, rep.Balanced, rep.Levels, rep.Restart = res.Cut, res.Loads, res.Balanced, res.Levels, res.Restart
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	rep.WallMS = float64(time.Since(t0).Microseconds()) / 1000.0
+
+	if *jsonOut {
+		total := 0
+		for _, l := range rep.Loads {
+			total += l
+		}
+		rep.fill(total)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fatal(enc.Encode(&rep))
 	}
 
 	if *out != "" {

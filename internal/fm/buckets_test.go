@@ -1,0 +1,113 @@
+package fm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hypergraph"
+)
+
+// TestBucketPopBestTieBreak pins down the tie-break rule: within one gain
+// bucket, popBest returns the most recently inserted vertex (the bucket is
+// a LIFO stack). Determinism of a search therefore reduces to determinism
+// of the insertion sequence, which is what the n-level refiner relies on.
+func TestBucketPopBestTieBreak(t *testing.T) {
+	b := newBucketList(8, 5)
+	for _, v := range []hypergraph.VertexID{3, 1, 7, 5} {
+		b.insert(v, 2)
+	}
+	want := []hypergraph.VertexID{5, 7, 1, 3}
+	for _, w := range want {
+		v, g := b.popBest(func(hypergraph.VertexID) bool { return true })
+		if v != w || g != 2 {
+			t.Fatalf("popBest = (%d, %d), want (%d, 2)", v, g, w)
+		}
+	}
+	if v, _ := b.popBest(func(hypergraph.VertexID) bool { return true }); v != hypergraph.NoVertex {
+		t.Fatalf("expected empty, got %d", v)
+	}
+
+	// Rejection by accept must not disturb the order of the survivors.
+	for _, v := range []hypergraph.VertexID{0, 1, 2} {
+		b.insert(v, 1)
+	}
+	v, _ := b.popBest(func(v hypergraph.VertexID) bool { return v != 2 })
+	if v != 1 {
+		t.Fatalf("popBest skipping 2 = %d, want 1", v)
+	}
+	v, _ = b.popBest(func(v hypergraph.VertexID) bool { return true })
+	if v != 2 {
+		t.Fatalf("popBest = %d, want 2 (still queued after rejection)", v)
+	}
+}
+
+// TestBucketUpdateFullGainRange walks a vertex across every representable
+// gain value, interleaved with other occupants, and checks popBest always
+// sees the freshest keys — including the extremes ±maxDegree.
+func TestBucketUpdateFullGainRange(t *testing.T) {
+	const maxDeg = 6
+	b := newBucketList(4, maxDeg)
+	b.insert(0, 0)
+	for g := -maxDeg; g <= maxDeg; g++ {
+		b.update(0, g)
+		if int(b.gain[0]) != g {
+			t.Fatalf("gain[0] = %d, want %d", b.gain[0], g)
+		}
+	}
+	b.insert(1, maxDeg)
+	b.insert(2, -maxDeg)
+	// 0 sits at +maxDeg after the sweep; 1 was inserted later → LIFO.
+	v, g := b.popBest(func(hypergraph.VertexID) bool { return true })
+	if v != 1 || g != maxDeg {
+		t.Fatalf("popBest = (%d, %d), want (1, %d)", v, g, maxDeg)
+	}
+	// Push 0 to the bottom and confirm it drains after 2.
+	b.update(0, -maxDeg)
+	v, g = b.popBest(func(hypergraph.VertexID) bool { return true })
+	if v != 0 || g != -maxDeg {
+		t.Fatalf("popBest = (%d, %d), want (0, %d)", v, g, -maxDeg)
+	}
+	v, g = b.popBest(func(hypergraph.VertexID) bool { return true })
+	if v != 2 || g != -maxDeg {
+		t.Fatalf("popBest = (%d, %d), want (2, %d)", v, g, -maxDeg)
+	}
+	if !b.empty() {
+		t.Fatal("bucket list should be empty")
+	}
+}
+
+// TestBucketUpdateRandomized cross-checks the structure against a naive
+// map implementation under random insert/update/remove/pop traffic.
+func TestBucketUpdateRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n, maxDeg = 32, 10
+	b := newBucketList(n, maxDeg)
+	ref := map[hypergraph.VertexID]int{}
+	for step := 0; step < 2000; step++ {
+		v := hypergraph.VertexID(rng.Intn(n))
+		switch rng.Intn(4) {
+		case 0, 1:
+			g := rng.Intn(2*maxDeg+1) - maxDeg
+			b.update(v, g)
+			ref[v] = g
+		case 2:
+			b.remove(v)
+			delete(ref, v)
+		case 3:
+			if len(ref) == 0 {
+				continue
+			}
+			want := -maxDeg - 1
+			for _, g := range ref {
+				if g > want {
+					want = g
+				}
+			}
+			got, g := b.popBest(func(hypergraph.VertexID) bool { return true })
+			if g != want || ref[got] != want {
+				t.Fatalf("step %d: popBest = (%d, %d), want gain %d", step, got, g, want)
+			}
+			delete(ref, got)
+		}
+	}
+}

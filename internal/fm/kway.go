@@ -1,0 +1,248 @@
+package fm
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/hypergraph"
+)
+
+// KWay is the n-level k-way FM refiner: gain-bucket localized searches
+// seeded at freshly uncontracted vertex pairs, plus deterministic
+// parallel global rounds that batch independent positive-gain moves.
+// All moves go through the GainCache, so gains stay exact at O(affected
+// pins) per move.
+type KWay struct {
+	gc       *GainCache
+	feasible Feasible
+
+	buckets *bucketList
+	maxDeg  int
+
+	epoch   int64
+	locked  []int64 // epoch in which the vertex was moved (FM lock)
+	touched []hypergraph.VertexID
+
+	// StallLimit bounds how many non-improving moves a localized search
+	// tolerates past its best prefix before giving up (default 8).
+	StallLimit int
+
+	moves []kwMove
+}
+
+type kwMove struct {
+	v    hypergraph.VertexID
+	from int32
+}
+
+// NewKWay builds a refiner over gc. feasible guards every move (nil
+// allows all); it receives the cache's live loads.
+func NewKWay(gc *GainCache, feasible Feasible) *KWay {
+	d := gc.d
+	maxDeg := 1
+	for vi := 0; vi < d.NumVertices(); vi++ {
+		v := hypergraph.VertexID(vi)
+		if !d.Active(v) {
+			continue
+		}
+		deg := 0
+		for _, e := range d.Incident(v) {
+			deg += d.EdgeWeight(e)
+		}
+		if deg > maxDeg {
+			maxDeg = deg
+		}
+	}
+	// During uncoarsening incidence lists only split, so the max weighted
+	// degree observed now bounds every future gain.
+	return &KWay{
+		gc:         gc,
+		feasible:   feasible,
+		buckets:    newBucketList(d.NumVertices(), maxDeg),
+		maxDeg:     maxDeg,
+		locked:     make([]int64, d.NumVertices()),
+		StallLimit: 8,
+	}
+}
+
+func (kw *KWay) allowed(v hypergraph.VertexID, from, to int32) bool {
+	if kw.feasible == nil {
+		return true
+	}
+	return kw.feasible(v, from, to, kw.gc.loads)
+}
+
+func (kw *KWay) bestOf(v hypergraph.VertexID) (int32, int, bool) {
+	return kw.gc.BestMove(v, func(v hypergraph.VertexID, from, to int32) bool {
+		return kw.allowed(v, from, to)
+	})
+}
+
+// activate inserts v into the gain buckets keyed by its best feasible
+// gain, if it has one and is neither locked this epoch nor queued.
+func (kw *KWay) activate(v hypergraph.VertexID) {
+	if kw.locked[v] == kw.epoch || kw.buckets.inList[v] {
+		return
+	}
+	if _, g, ok := kw.bestOf(v); ok {
+		kw.buckets.insert(v, g)
+		kw.touched = append(kw.touched, v)
+	}
+}
+
+// LocalSearch runs one localized FM search seeded at the given vertices
+// (typically the two endpoints of a just-undone contraction). It
+// hill-climbs with a stall limit and rolls back to the best positive
+// prefix. Returns the cut improvement kept (≥ 0).
+func (kw *KWay) LocalSearch(seeds ...hypergraph.VertexID) int {
+	kw.epoch++
+	kw.touched = kw.touched[:0]
+	kw.moves = kw.moves[:0]
+	for _, s := range seeds {
+		if kw.gc.d.Active(s) {
+			kw.activate(s)
+		}
+	}
+	cum, bestCum, bestLen := 0, 0, 0
+	for {
+		v, key := kw.buckets.popBest(func(v hypergraph.VertexID) bool {
+			return kw.locked[v] != kw.epoch
+		})
+		if v == hypergraph.NoVertex {
+			break
+		}
+		t, g, ok := kw.bestOf(v)
+		if !ok {
+			continue // no longer has a feasible target; drop
+		}
+		if g != key {
+			kw.buckets.insert(v, g) // stale key: requeue with the fresh gain
+			continue
+		}
+		kw.locked[v] = kw.epoch
+		from := kw.gc.parts[v]
+		kw.gc.Move(v, t)
+		kw.moves = append(kw.moves, kwMove{v: v, from: from})
+		cum += g
+		// ≥ keeps the longest best prefix: zero-gain plateau moves
+		// survive the rollback, giving later searches fresh terrain.
+		if cum >= bestCum {
+			bestCum, bestLen = cum, len(kw.moves)
+		}
+		if len(kw.moves)-bestLen > kw.StallLimit {
+			break
+		}
+		// Neighborhood expansion + key refresh for pins whose gains the
+		// move changed.
+		for _, e := range kw.gc.d.Incident(v) {
+			for _, p := range kw.gc.d.Pins(e) {
+				if p == v || kw.locked[p] == kw.epoch {
+					continue
+				}
+				if kw.buckets.inList[p] {
+					if _, g2, ok2 := kw.bestOf(p); ok2 {
+						kw.buckets.update(p, g2)
+					} else {
+						kw.buckets.remove(p)
+					}
+				} else {
+					kw.activate(p)
+				}
+			}
+		}
+	}
+	// Roll back past the best prefix.
+	for i := len(kw.moves) - 1; i >= bestLen; i-- {
+		kw.gc.Move(kw.moves[i].v, kw.moves[i].from)
+	}
+	// Drain the queue so the next search starts clean.
+	for _, v := range kw.touched {
+		kw.buckets.remove(v)
+	}
+	kw.buckets.maxGain = -kw.buckets.offset - 1
+	return bestCum
+}
+
+type kwCandidate struct {
+	v    hypergraph.VertexID
+	gain int
+}
+
+// GlobalRound batches independent positive-gain moves the way the GPU
+// partitioner does: a parallel read-only scan proposes the best feasible
+// move per active vertex, proposals are ordered by (gain desc, vertex ID
+// asc) — a fixed priority independent of the worker count — and applied
+// serially with live revalidation against the cache. Returns the number
+// of applied moves.
+func (kw *KWay) GlobalRound(workers int) int {
+	d := kw.gc.d
+	n := d.NumVertices()
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	chunks := make([][]kwCandidate, workers)
+	var wg sync.WaitGroup
+	per := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var out []kwCandidate
+			for vi := lo; vi < hi; vi++ {
+				v := hypergraph.VertexID(vi)
+				if !d.Active(v) {
+					continue
+				}
+				if _, g, ok := kw.bestOf(v); ok && g > 0 {
+					out = append(out, kwCandidate{v: v, gain: g})
+				}
+			}
+			chunks[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var cands []kwCandidate
+	for _, c := range chunks {
+		cands = append(cands, c...)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].gain != cands[j].gain {
+			return cands[i].gain > cands[j].gain
+		}
+		return cands[i].v < cands[j].v
+	})
+	applied := 0
+	for _, c := range cands {
+		// Earlier applications may have changed this vertex's gains:
+		// revalidate against the live cache before moving.
+		if t, g, ok := kw.bestOf(c.v); ok && g > 0 {
+			kw.gc.Move(c.v, t)
+			applied++
+		}
+	}
+	return applied
+}
+
+// GlobalRounds runs GlobalRound until a fixpoint or maxRounds, returning
+// the total number of applied moves.
+func (kw *KWay) GlobalRounds(workers, maxRounds int) int {
+	total := 0
+	for r := 0; r < maxRounds; r++ {
+		n := kw.GlobalRound(workers)
+		total += n
+		if n == 0 {
+			break
+		}
+	}
+	return total
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/elab"
 	"repro/internal/fm"
 	"repro/internal/hypergraph"
+	"repro/internal/obs"
 )
 
 // Options configures the multilevel partitioner.
@@ -34,6 +35,14 @@ type Options struct {
 	// Deng the paper cites), projected to the gates without fine-grained
 	// FM. Used by the clustering-vs-hierarchy study.
 	RefineAbove int
+	// Workers bounds parallelism in PartitionN (0 → GOMAXPROCS, 1 →
+	// sequential). The result is identical for every Workers value.
+	// Ignored by the flat Partition.
+	Workers int
+	// Obs, when enabled, records n-level phase spans (coarsen, initial
+	// partition, refine) on the partition trace track. Nil disables.
+	// Ignored by the flat Partition.
+	Obs *obs.Observer
 }
 
 // Result is the outcome of a multilevel run.
@@ -42,8 +51,9 @@ type Result struct {
 	Cut        int
 	Loads      []int
 	Balanced   bool
-	Levels     int // coarsening levels used
+	Levels     int // coarsening levels (flat) or contraction rounds (n-level)
 	GateParts  []int32
+	Restart    int // index of the winning initial-partition restart (n-level)
 }
 
 // Partition runs the multilevel algorithm on hypergraph h. As in the

@@ -1,0 +1,169 @@
+package multilevel
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/hypergraph"
+)
+
+// nlevelWorkloads builds the four canonical flat workloads used across
+// the repo's differential suites.
+func nlevelWorkloads(t *testing.T) map[string]*hypergraph.H {
+	t.Helper()
+	out := map[string]*hypergraph.H{}
+	add := func(name string, c *gen.Circuit) {
+		ed, err := c.Elaborate()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		h, err := hypergraph.BuildFlat(ed)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = h
+	}
+	add("viterbi", gen.Viterbi(gen.ViterbiConfig{K: 4, W: 4, TB: 8}))
+	add("fir", gen.FIR(gen.FIRConfig{Taps: 8, W: 6, Seed: 3}))
+	add("multiplier", gen.Multiplier(6))
+	add("soc", gen.ViterbiSoC(gen.SoCConfig{
+		Channels:      2,
+		Viterbi:       gen.ViterbiConfig{K: 4, W: 4, TB: 8},
+		ScramblerBits: 12,
+		CRCBits:       8,
+	}))
+	return out
+}
+
+func TestPartitionNBasic(t *testing.T) {
+	h := flatViterbi(t)
+	for _, k := range []int{2, 3, 4, 8} {
+		res, err := PartitionN(h, Options{K: k, B: 10, Seed: 1})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := res.Assignment.Validate(h); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if !res.Balanced {
+			t.Errorf("k=%d: not balanced: %v", k, res.Loads)
+		}
+		if res.Levels < 2 {
+			t.Errorf("k=%d: expected real coarsening rounds, got %d", k, res.Levels)
+		}
+		t.Logf("k=%d: cut=%d loads=%v rounds=%d restart=%d", k, res.Cut, res.Loads, res.Levels, res.Restart)
+	}
+}
+
+// TestPartitionNDeterministicAcrossWorkers is the ISSUE's determinism
+// gate: same seed must yield the identical assignment at Workers 1 and 4.
+func TestPartitionNDeterministicAcrossWorkers(t *testing.T) {
+	for name, h := range nlevelWorkloads(t) {
+		for _, k := range []int{2, 4, 8} {
+			var ref *Result
+			for _, workers := range []int{1, 4} {
+				res, err := PartitionN(h, Options{K: k, B: 10, Seed: 1, Workers: workers})
+				if err != nil {
+					t.Fatalf("%s k=%d workers=%d: %v", name, k, workers, err)
+				}
+				if ref == nil {
+					ref = res
+					continue
+				}
+				if res.Cut != ref.Cut {
+					t.Errorf("%s k=%d: cut %d at workers=4, %d at workers=1", name, k, res.Cut, ref.Cut)
+				}
+				for v := range res.Assignment.Parts {
+					if res.Assignment.Parts[v] != ref.Assignment.Parts[v] {
+						t.Fatalf("%s k=%d: vertex %d in block %d at workers=4, %d at workers=1",
+							name, k, v, res.Assignment.Parts[v], ref.Assignment.Parts[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionNQualityVsFlat is the ISSUE's quality gate: the n-level cut
+// must be ≤ the flat multilevel cut on all four workloads at k ∈ {2,4,8}
+// (same seed, same constraint).
+func TestPartitionNQualityVsFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quality sweep in -short mode")
+	}
+	worse := 0
+	for name, h := range nlevelWorkloads(t) {
+		for _, k := range []int{2, 4, 8} {
+			opts := Options{K: k, B: 10, Seed: 1}
+			flat, err := Partition(h, opts)
+			if err != nil {
+				t.Fatalf("%s k=%d flat: %v", name, k, err)
+			}
+			nl, err := PartitionN(h, opts)
+			if err != nil {
+				t.Fatalf("%s k=%d n-level: %v", name, k, err)
+			}
+			t.Logf("%s k=%d: flat cut=%d, n-level cut=%d", name, k, flat.Cut, nl.Cut)
+			if nl.Cut > flat.Cut {
+				t.Errorf("%s k=%d: n-level cut %d worse than flat %d", name, k, nl.Cut, flat.Cut)
+				worse++
+			}
+			if !nl.Balanced {
+				t.Errorf("%s k=%d: n-level result unbalanced: %v", name, k, nl.Loads)
+			}
+		}
+	}
+	_ = worse
+}
+
+// TestPartitionNOversizedSolo: a vertex heavier than the window's upper
+// bound must sit alone in a solo block instead of flattening or failing,
+// with the remaining blocks balanced over the remaining weight.
+func TestPartitionNOversizedSolo(t *testing.T) {
+	// 1 giant (weight 500) + 60 unit vertices in a ring, k=4, b=10:
+	// window over 560 is [84, 196] → the giant is oversized.
+	h := &hypergraph.H{}
+	add := func(w int) hypergraph.VertexID {
+		v := hypergraph.VertexID(len(h.Vertices))
+		h.Vertices = append(h.Vertices, hypergraph.Vertex{ID: v, Weight: w})
+		h.TotalWeight += w
+		return v
+	}
+	giant := add(500)
+	for i := 0; i < 60; i++ {
+		add(1)
+	}
+	edge := func(pins ...hypergraph.VertexID) {
+		e := hypergraph.EdgeID(len(h.Edges))
+		h.Edges = append(h.Edges, hypergraph.Edge{ID: e, Pins: pins, Weight: 1})
+		for _, p := range pins {
+			h.Vertices[p].Edges = append(h.Vertices[p].Edges, e)
+		}
+	}
+	for i := 1; i <= 60; i++ {
+		next := i%60 + 1
+		edge(hypergraph.VertexID(i), hypergraph.VertexID(next))
+	}
+	edge(giant, 1) // tie the giant to the ring
+
+	res, err := PartitionN(h, Options{K: 4, B: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gBlock := res.Assignment.Parts[giant]
+	if res.Loads[gBlock] != 500 {
+		t.Errorf("giant must sit alone: block %d load %d, want 500", gBlock, res.Loads[gBlock])
+	}
+	if !res.Balanced {
+		t.Errorf("aware balance must hold: loads %v", res.Loads)
+	}
+	// Remaining 60 weight over 3 blocks, b=10 → window [14, 26].
+	for b, l := range res.Loads {
+		if int32(b) == gBlock {
+			continue
+		}
+		if l < 14 || l > 26 {
+			t.Errorf("shared block %d load %d outside [14,26]", b, l)
+		}
+	}
+}

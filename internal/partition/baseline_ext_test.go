@@ -1,0 +1,35 @@
+// External test package: comparisons against the multilevel baseline live
+// here because internal/multilevel's n-level engine imports
+// internal/partition for its constraint machinery, and an in-package test
+// import would form a cycle.
+package partition_test
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/multilevel"
+	"repro/internal/partition"
+)
+
+func TestMultiwayBeatsMultilevelOnHierarchy(t *testing.T) {
+	// The paper's headline: the design-driven algorithm produces a much
+	// smaller cut than the multilevel baseline on the flattened netlist.
+	c := gen.Viterbi(gen.ViterbiConfig{K: 5, W: 6, TB: 16})
+	ed, err := c.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, err := partition.Multiway(ed, partition.Options{K: 2, B: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ml, err := multilevel.PartitionFlat(ed, multilevel.Options{K: 2, B: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("design-driven cut=%d, multilevel(flat) cut=%d", dd.Cut, ml.Cut)
+	if dd.Cut > ml.Cut {
+		t.Errorf("design-driven (%d) should not lose to flat multilevel (%d)", dd.Cut, ml.Cut)
+	}
+}

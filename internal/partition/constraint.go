@@ -95,25 +95,96 @@ func (c Constraint) Violation(loads []int) int {
 	return v
 }
 
-// Feasible returns an fm.Feasible-compatible predicate: a move is allowed
-// if it does not push the destination above hi and does not pull the
-// source below lo — unless the move strictly reduces the total violation
-// (repair moves on unbalanced inputs). loads is the refiner's live
+// FeasibleLoad reports whether moving weight w from block `from` to block
+// `to` is allowed: it must not push the destination above hi or pull the
+// source below lo — unless it strictly reduces the total violation
+// (repair moves on unbalanced inputs). loads is the caller's live
 // per-partition weight.
-func (c Constraint) Feasible(h *hypergraph.H) func(v hypergraph.VertexID, from, to int32, loads []int) bool {
+func (c Constraint) FeasibleLoad(w int, from, to int32, loads []int) bool {
 	lo, hi := c.Bounds()
-	return func(v hypergraph.VertexID, from, to int32, loads []int) bool {
-		w := h.Vertices[v].Weight
-		newFrom := loads[from] - w
-		newTo := loads[to] + w
-		if newFrom >= lo && newTo <= hi {
-			return true
-		}
-		// Allow strict violation-reducing repair moves.
-		before := excess(loads[from], lo, hi) + excess(loads[to], lo, hi)
-		after := excess(newFrom, lo, hi) + excess(newTo, lo, hi)
-		return after < before
+	newFrom := loads[from] - w
+	newTo := loads[to] + w
+	if newFrom >= lo && newTo <= hi {
+		return true
 	}
+	// Allow strict violation-reducing repair moves.
+	before := excess(loads[from], lo, hi) + excess(loads[to], lo, hi)
+	after := excess(newFrom, lo, hi) + excess(newTo, lo, hi)
+	return after < before
+}
+
+// Feasible returns an fm.Feasible-compatible predicate over h's vertex
+// weights (see FeasibleLoad).
+func (c Constraint) Feasible(h *hypergraph.H) func(v hypergraph.VertexID, from, to int32, loads []int) bool {
+	return func(v hypergraph.VertexID, from, to int32, loads []int) bool {
+		return c.FeasibleLoad(h.Vertices[v].Weight, from, to, loads)
+	}
+}
+
+// Oversized reports whether a single vertex of weight w cannot fit the
+// window at all — no balanced assignment containing it in a shared block
+// exists, which is what used to force the flattening fallback.
+func (c Constraint) Oversized(w int) bool {
+	_, hi := c.Bounds()
+	return w > hi
+}
+
+// Aware is the vertex-weight-aware relaxation of the constraint
+// ("Multilevel Hypergraph Partitioning with Vertex Weights Revisited",
+// arXiv 2102.01378): blocks that host an individually-oversized
+// super-gate are marked solo and exempted from the window, and the
+// window is re-derived over the remaining blocks and remaining weight.
+// With no solo blocks it degenerates to the plain Constraint.
+type Aware struct {
+	Solo []bool     // by block: true when the block holds one oversized vertex
+	Rem  Constraint // window over the non-solo blocks
+}
+
+// Aware builds the vertex-weight-aware view given the solo-block mask and
+// the total weight parked in solo blocks.
+func (c Constraint) Aware(solo []bool, soloWeight int) Aware {
+	nSolo := 0
+	for _, s := range solo {
+		if s {
+			nSolo++
+		}
+	}
+	rem := Constraint{K: c.K - nSolo, B: c.B, Total: c.Total - soloWeight}
+	return Aware{Solo: solo, Rem: rem}
+}
+
+// Satisfied reports whether every non-solo block load lies in the
+// re-derived window. Solo blocks are exempt by construction.
+func (a Aware) Satisfied(loads []int) bool {
+	if a.Rem.K <= 0 {
+		return true
+	}
+	lo, hi := a.Rem.Bounds()
+	for t, l := range loads {
+		if t < len(a.Solo) && a.Solo[t] {
+			continue
+		}
+		if l < lo || l > hi {
+			return false
+		}
+	}
+	return true
+}
+
+// FeasibleLoad is the move predicate: moves into or out of solo blocks
+// are rejected outright (an oversized super-gate sits alone), everything
+// else follows the re-derived window's FeasibleLoad.
+func (a Aware) FeasibleLoad(w int, from, to int32, loads []int) bool {
+	if int(from) < len(a.Solo) && a.Solo[from] {
+		return false
+	}
+	if int(to) < len(a.Solo) && a.Solo[to] {
+		return false
+	}
+	if a.Rem.K <= 0 {
+		return false
+	}
+	return a.Rem.FeasibleLoad(w, from, to, loads)
 }
 
 func excess(l, lo, hi int) int {

@@ -50,6 +50,56 @@ func TestBoundsTinyB(t *testing.T) {
 	}
 }
 
+// TestOversized: a vertex heavier than hi can never share a window.
+func TestOversized(t *testing.T) {
+	c := Constraint{K: 4, B: 10, Total: 1000} // window [150, 350]
+	if c.Oversized(350) {
+		t.Error("weight 350 fits exactly at hi")
+	}
+	if !c.Oversized(351) {
+		t.Error("weight 351 exceeds hi and must be oversized")
+	}
+}
+
+// TestAwareSoloBlocks: with an oversized super-gate parked alone in block
+// 0, the window is re-derived over the remaining blocks and weight, solo
+// loads are exempt, and moves touching the solo block are rejected.
+func TestAwareSoloBlocks(t *testing.T) {
+	c := Constraint{K: 4, B: 10, Total: 1000} // plain window [150, 350]
+	solo := []bool{true, false, false, false}
+	a := c.Aware(solo, 400) // block 0 holds a weight-400 super-gate
+
+	// Remaining: 600 over 3 blocks → window 600·(1/3 ± 0.1) = [140, 260].
+	if lo, hi := a.Rem.Bounds(); lo != 140 || hi != 260 {
+		t.Fatalf("rem window [%d,%d], want [140,260]", lo, hi)
+	}
+	if !a.Satisfied([]int{400, 200, 200, 200}) {
+		t.Error("solo block load must be exempt")
+	}
+	if a.Satisfied([]int{400, 300, 150, 150}) {
+		t.Error("non-solo block above rem hi must fail")
+	}
+	loads := []int{400, 200, 200, 200}
+	if a.FeasibleLoad(10, 0, 1, loads) {
+		t.Error("moving out of a solo block must be rejected")
+	}
+	if a.FeasibleLoad(10, 1, 0, loads) {
+		t.Error("moving into a solo block must be rejected")
+	}
+	if !a.FeasibleLoad(10, 1, 2, loads) {
+		t.Error("a window-respecting move between shared blocks must pass")
+	}
+	if a.FeasibleLoad(70, 1, 2, loads) {
+		t.Error("a move overflowing rem hi must be rejected")
+	}
+
+	// No solo blocks → degenerates to the plain constraint.
+	plain := c.Aware([]bool{false, false, false, false}, 0)
+	if lo, hi := plain.Rem.Bounds(); lo != 150 || hi != 350 {
+		t.Fatalf("degenerate window [%d,%d], want [150,350]", lo, hi)
+	}
+}
+
 // TestCeilFloorEps: genuine fractional parts round outward; float-noise
 // deviations from an integer snap back to it.
 func TestCeilFloorEps(t *testing.T) {

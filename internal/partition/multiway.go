@@ -97,6 +97,19 @@ func restartSeeds(seed int64, n int) []restartSeed {
 	return out
 }
 
+// RestartSeeds derives n independent single seeds from a master seed,
+// pre-drawn so that restarts can run concurrently in any order and still
+// reproduce the sequential results bit-for-bit. The n-level partitioner
+// shares this idiom for its coarsest-level initial-partition restarts.
+func RestartSeeds(seed int64, n int) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int64, n)
+	for r := range out {
+		out[r] = rng.Int63()
+	}
+	return out
+}
+
 func randomInit(seed int64) initFunc {
 	return func(d *elab.Design, h *hypergraph.H, k int) *hypergraph.Assignment {
 		rr := rand.New(rand.NewSource(seed))

@@ -6,7 +6,6 @@ import (
 	"repro/internal/elab"
 	"repro/internal/gen"
 	"repro/internal/hypergraph"
-	"repro/internal/multilevel"
 )
 
 func viterbiDesign(t *testing.T) *elab.Design {
@@ -183,24 +182,6 @@ func TestMultiwayErrors(t *testing.T) {
 	}
 	if _, err := Multiway(ed, Options{K: 2, B: 0}); err == nil {
 		t.Error("B=0 should error")
-	}
-}
-
-func TestMultiwayBeatsMultilevelOnHierarchy(t *testing.T) {
-	// The paper's headline: the design-driven algorithm produces a much
-	// smaller cut than the multilevel baseline on the flattened netlist.
-	ed := viterbiDesign(t)
-	dd, err := Multiway(ed, Options{K: 2, B: 10})
-	if err != nil {
-		t.Fatal(err)
-	}
-	_, ml, err := multilevel.PartitionFlat(ed, multilevel.Options{K: 2, B: 10, Seed: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Logf("design-driven cut=%d, multilevel(flat) cut=%d", dd.Cut, ml.Cut)
-	if dd.Cut > ml.Cut {
-		t.Errorf("design-driven (%d) should not lose to flat multilevel (%d)", dd.Cut, ml.Cut)
 	}
 }
 
